@@ -1,0 +1,173 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (§7).
+// Each runs the corresponding harness experiment at the Quick scale and
+// reports the headline quantities as custom metrics; `go test -bench . -v`
+// additionally logs the full table the paper's figure plots. The expbench
+// command regenerates the same tables at larger scales.
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// benchExperiment runs one harness experiment per iteration, reporting
+// the named columns of the final sweep point as metrics.
+func benchExperiment(b *testing.B, fn func(harness.Scale) (*harness.Result, error), metrics map[string]string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := fn(harness.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := r.Points[len(r.Points)-1]
+			for col, unit := range metrics {
+				b.ReportMetric(last.Values[col], unit)
+			}
+			b.Logf("\n%s", r.Format())
+		}
+	}
+}
+
+func BenchmarkFig09a_TPCHVerticalVaryD(b *testing.B) {
+	benchExperiment(b, harness.Exp1, map[string]string{"incVer(s)": "inc_s", "batVer(s)": "bat_s"})
+}
+
+func BenchmarkFig09bc_TPCHVerticalVaryDelta(b *testing.B) {
+	benchExperiment(b, harness.Exp2, map[string]string{"incKB": "incKB", "batKB": "batKB"})
+}
+
+func BenchmarkFig09d_TPCHVerticalVarySigma(b *testing.B) {
+	benchExperiment(b, harness.Exp3, map[string]string{"incVer(s)": "inc_s", "batVer(s)": "bat_s"})
+}
+
+func BenchmarkFig09e_TPCHVerticalScaleup(b *testing.B) {
+	benchExperiment(b, harness.Exp4, map[string]string{"inc-scaleup": "inc_su", "bat-scaleup": "bat_su"})
+}
+
+func BenchmarkFig09f_TPCHHorizontalVaryD(b *testing.B) {
+	benchExperiment(b, harness.Exp6, map[string]string{"incHor(s)": "inc_s", "batHor(s)": "bat_s"})
+}
+
+func BenchmarkFig09gh_TPCHHorizontalVaryDelta(b *testing.B) {
+	benchExperiment(b, harness.Exp7, map[string]string{"incKB": "incKB", "batKB": "batKB"})
+}
+
+func BenchmarkFig09i_TPCHHorizontalVarySigma(b *testing.B) {
+	benchExperiment(b, harness.Exp8, map[string]string{"incHor(s)": "inc_s", "batHor(s)": "bat_s"})
+}
+
+func BenchmarkFig09j_TPCHHorizontalScaleup(b *testing.B) {
+	benchExperiment(b, harness.Exp9, map[string]string{"inc-scaleup": "inc_su", "bat-scaleup": "bat_su"})
+}
+
+func BenchmarkFig09k_DBLPVerticalVaryDelta(b *testing.B) {
+	benchExperiment(b, harness.Exp2DBLP, map[string]string{"incVer(s)": "inc_s", "batVer(s)": "bat_s"})
+}
+
+func BenchmarkFig09l_DBLPVerticalVarySigma(b *testing.B) {
+	benchExperiment(b, harness.Exp3DBLP, map[string]string{"incVer(s)": "inc_s", "batVer(s)": "bat_s"})
+}
+
+func BenchmarkFig10_EqidShipmentOptimization(b *testing.B) {
+	benchExperiment(b, harness.Exp5, map[string]string{"saved%": "saved_pct"})
+}
+
+func BenchmarkFig11a_VerticalIncVsRefinedBatch(b *testing.B) {
+	benchExperiment(b, func(sc harness.Scale) (*harness.Result, error) {
+		return harness.Exp10(sc, "vertical")
+	}, map[string]string{"inc(s)": "inc_s", "ibat(s)": "ibat_s"})
+}
+
+func BenchmarkFig11b_HorizontalIncVsRefinedBatch(b *testing.B) {
+	benchExperiment(b, func(sc harness.Scale) (*harness.Result, error) {
+		return harness.Exp10(sc, "horizontal")
+	}, map[string]string{"inc(s)": "inc_s", "ibat(s)": "ibat_s"})
+}
+
+func BenchmarkMD5CodingAblation(b *testing.B) {
+	benchExperiment(b, harness.MD5Ablation, map[string]string{"KB": "KB"})
+}
+
+// --- micro-benchmarks: per-update latency of the core algorithms ---
+
+func benchSetupVertical(b *testing.B, useOpt bool) (*VerticalSystem, *workload.Generator, *Relation) {
+	b.Helper()
+	gen := workload.NewSized(workload.TPCH, 42, 8000)
+	rules := gen.Rules(50)
+	rel := gen.Relation(4000)
+	sys, err := NewVertical(rel, RoundRobinVertical(gen.Schema(), 10), rules,
+		VerticalOptions{UseOptimizer: useOpt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, gen, rel
+}
+
+func BenchmarkUnitUpdateVertical(b *testing.B) {
+	sys, gen, _ := benchSetupVertical(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := gen.Next()
+		if _, err := sys.ApplyBatch(UpdateList{{Kind: Insert, Tuple: t}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnitUpdateHorizontal(b *testing.B) {
+	gen := workload.NewSized(workload.TPCH, 42, 8000)
+	rules := gen.Rules(50)
+	rel := gen.Relation(4000)
+	sys, err := NewHorizontal(rel, HashHorizontal("c_name", 10), rules, HorizontalOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := gen.Next()
+		if _, err := sys.ApplyBatch(UpdateList{{Kind: Insert, Tuple: t}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCentralizedDetect(b *testing.B) {
+	gen := workload.NewSized(workload.TPCH, 42, 8000)
+	rules := gen.Rules(50)
+	rel := gen.Relation(4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectCentralized(rel, rules)
+	}
+}
+
+// Boundedness guard (Theorem 5 / Propositions 6 & 8): the per-update
+// shipment must not grow with |D|. Run as a benchmark so it reports the
+// measured bytes-per-update at two database sizes.
+func BenchmarkBoundednessVerticalShipment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var perUpdate [2]float64
+		for k, d := range []int{2000, 8000} {
+			gen := workload.NewSized(workload.TPCH, 5, 10000)
+			rules := gen.Rules(25)
+			rel := gen.Relation(d)
+			sys, err := NewVertical(rel, RoundRobinVertical(gen.Schema(), 10), rules, VerticalOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			updates := gen.Updates(rel, 500, 0.8)
+			if _, err := sys.ApplyBatch(updates); err != nil {
+				b.Fatal(err)
+			}
+			perUpdate[k] = float64(sys.Stats().Bytes) / float64(len(updates))
+		}
+		if i == 0 {
+			b.ReportMetric(perUpdate[0], "B/upd@2k")
+			b.ReportMetric(perUpdate[1], "B/upd@8k")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/centralized"
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// centralizedDetect is split into its own file to keep repro.go purely
+// declarative re-exports.
+func centralizedDetect(rel *relation.Relation, rules []cfd.CFD) *cfd.Violations {
+	return centralized.Detect(rel, rules)
+}
+
+// CentralizedIncremental maintains V(Σ, D) for a single-site relation
+// under batch updates in O(|∆D| + |∆V|) — the centralized counterpart of
+// the distributed incremental detectors (Fan et al., TODS 2008).
+type CentralizedIncremental = centralized.Incremental
+
+// NewCentralizedIncremental indexes rel (cloned) and computes V(Σ, D).
+func NewCentralizedIncremental(rel *Relation, rules []CFD) (*CentralizedIncremental, error) {
+	return centralized.NewIncremental(rel, rules)
+}
+
+// ReadRelationCSV reads a relation written by WriteRelationCSV (header:
+// "id" plus attribute names).
+func ReadRelationCSV(r io.Reader, name string) (*Relation, error) {
+	return relation.ReadCSV(r, name)
+}
+
+// WriteRelationCSV writes the relation as CSV.
+func WriteRelationCSV(w io.Writer, rel *Relation) error {
+	return relation.WriteCSV(w, rel)
+}

@@ -1,0 +1,63 @@
+// expbench regenerates the paper's evaluation: every figure and table of
+// §7 as a text table, at a configurable scale.
+//
+// Usage:
+//
+//	expbench                 # all experiments at the default scale
+//	expbench -exp Exp-2      # one experiment (substring match)
+//	expbench -unit 500 -sites 6 -seed 3
+//	expbench -quick          # the small scale used by tests/benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "use the quick (test) scale")
+		unit     = flag.Int("unit", 0, "rows standing in for 1M TPCH tuples (0 = scale default)")
+		dblpUnit = flag.Int("dblpunit", 0, "rows standing in for 100K DBLP tuples (0 = scale default)")
+		sites    = flag.Int("sites", 0, "number of sites n (0 = scale default)")
+		seed     = flag.Int64("seed", 0, "workload seed (0 = scale default)")
+		exp      = flag.String("exp", "", "run only experiments whose name contains this substring")
+	)
+	flag.Parse()
+
+	sc := harness.Default
+	if *quick {
+		sc = harness.Quick
+	}
+	if *unit > 0 {
+		sc.Unit = *unit
+	}
+	if *dblpUnit > 0 {
+		sc.DBLPUnit = *dblpUnit
+	}
+	if *sites > 0 {
+		sc.Sites = *sites
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	fmt.Printf("reproduction scale: 1M TPCH ≙ %d rows, 100K DBLP ≙ %d rows, n = %d sites, seed %d\n\n",
+		sc.Unit, sc.DBLPUnit, sc.Sites, sc.Seed)
+
+	results, err := harness.All(sc)
+	for _, r := range results {
+		if *exp != "" && !strings.Contains(r.Name, *exp) && !strings.Contains(r.Figure, *exp) {
+			continue
+		}
+		fmt.Println(r.Format())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,187 @@
+package centralized
+
+import (
+	"fmt"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// Incremental maintains V(Σ, D) for a single-site relation under batch
+// updates in O(|∆D| + |∆V|): the centralized counterpart of incVer/incHor
+// that the paper cites from Fan et al. (TODS 2008). It uses the same
+// Fig. 4 case analysis over in-memory equivalence groups, with no
+// distribution and therefore no shipment.
+//
+// It also serves as the reference implementation of the case analysis:
+// the distributed engines are tested against Detect, and Detect against
+// BruteForce; Incremental closes the loop by checking the *incremental*
+// logic in isolation from any distribution machinery.
+type Incremental struct {
+	rel   *relation.Relation
+	rules []cfd.CFD
+	v     *cfd.Violations
+
+	// groups: per variable rule, X-key → B-value → member set.
+	groups map[string]map[string]map[string]map[relation.TupleID]struct{}
+}
+
+// NewIncremental indexes rel and computes the initial V(Σ, D). The
+// relation is cloned: the caller's copy is not mutated by Apply.
+func NewIncremental(rel *relation.Relation, rules []cfd.CFD) (*Incremental, error) {
+	if err := cfd.ValidateAll(rel.Schema, rules); err != nil {
+		return nil, err
+	}
+	inc := &Incremental{
+		rel:    relation.New(rel.Schema),
+		rules:  append([]cfd.CFD(nil), rules...),
+		v:      cfd.NewViolations(),
+		groups: make(map[string]map[string]map[string]map[relation.TupleID]struct{}),
+	}
+	for i := range inc.rules {
+		if !inc.rules[i].IsConstant() {
+			inc.groups[inc.rules[i].ID] = make(map[string]map[string]map[relation.TupleID]struct{})
+		}
+	}
+	var err error
+	rel.Each(func(t relation.Tuple) bool {
+		var delta *cfd.Delta
+		delta, err = inc.applyUnit(relation.Update{Kind: relation.Insert, Tuple: t})
+		if err != nil {
+			return false
+		}
+		delta.Apply(inc.v)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// Violations returns the maintained violation set.
+func (inc *Incremental) Violations() *cfd.Violations { return inc.v }
+
+// Relation returns the maintained relation (D ⊕ all applied batches).
+func (inc *Incremental) Relation() *relation.Relation { return inc.rel }
+
+// Apply processes a batch update and returns ∆V.
+func (inc *Incremental) Apply(updates relation.UpdateList) (*cfd.Delta, error) {
+	delta := cfd.NewDelta()
+	for _, u := range updates.Normalize() {
+		ud, err := inc.applyUnit(u)
+		if err != nil {
+			return nil, err
+		}
+		ud.Apply(inc.v)
+		delta.Merge(ud)
+	}
+	return delta, nil
+}
+
+func (inc *Incremental) applyUnit(u relation.Update) (*cfd.Delta, error) {
+	delta := cfd.NewDelta()
+	schema := inc.rel.Schema
+	switch u.Kind {
+	case relation.Insert:
+		if err := inc.rel.Insert(u.Tuple); err != nil {
+			return nil, err
+		}
+	case relation.Delete:
+		if _, ok := inc.rel.Get(u.Tuple.ID); !ok {
+			return nil, fmt.Errorf("centralized: delete of missing tuple %d", u.Tuple.ID)
+		}
+	}
+
+	for i := range inc.rules {
+		r := &inc.rules[i]
+		if !r.MatchesLHS(schema, u.Tuple) {
+			continue
+		}
+		if r.IsConstant() {
+			if u.Tuple.Values[schema.MustIndex(r.RHS)] != r.RHSPattern {
+				if u.Kind == relation.Insert {
+					delta.Add(u.Tuple.ID, r.ID)
+				} else {
+					delta.Remove(u.Tuple.ID, r.ID)
+				}
+			}
+			continue
+		}
+
+		xKey := u.Tuple.Key(schema, r.LHS)
+		bVal := u.Tuple.Values[schema.MustIndex(r.RHS)]
+		byRule := inc.groups[r.ID]
+		group := byRule[xKey]
+
+		switch u.Kind {
+		case relation.Insert:
+			classSize := len(group[bVal])
+			distinct := len(group)
+			// Fig. 4 incVIns case analysis.
+			switch {
+			case classSize > 0:
+				if distinct >= 2 {
+					delta.Add(u.Tuple.ID, r.ID)
+				}
+			case distinct >= 2:
+				delta.Add(u.Tuple.ID, r.ID)
+			case distinct == 1:
+				delta.Add(u.Tuple.ID, r.ID)
+				for b := range group {
+					for id := range group[b] {
+						delta.Add(id, r.ID)
+					}
+				}
+			}
+			if group == nil {
+				group = make(map[string]map[relation.TupleID]struct{})
+				byRule[xKey] = group
+			}
+			if group[bVal] == nil {
+				group[bVal] = make(map[relation.TupleID]struct{})
+			}
+			group[bVal][u.Tuple.ID] = struct{}{}
+
+		case relation.Delete:
+			if group == nil || group[bVal] == nil {
+				return nil, fmt.Errorf("centralized: tuple %d not indexed for rule %s", u.Tuple.ID, r.ID)
+			}
+			classSize := len(group[bVal])
+			distinct := len(group)
+			// Fig. 4 incVDel case analysis.
+			switch {
+			case classSize > 1:
+				if distinct >= 2 {
+					delta.Remove(u.Tuple.ID, r.ID)
+				}
+			case distinct-1 >= 2:
+				delta.Remove(u.Tuple.ID, r.ID)
+			case distinct-1 == 1:
+				delta.Remove(u.Tuple.ID, r.ID)
+				for b, cls := range group {
+					if b == bVal {
+						continue
+					}
+					for id := range cls {
+						delta.Remove(id, r.ID)
+					}
+				}
+			}
+			delete(group[bVal], u.Tuple.ID)
+			if len(group[bVal]) == 0 {
+				delete(group, bVal)
+			}
+			if len(group) == 0 {
+				delete(byRule, xKey)
+			}
+		}
+	}
+
+	if u.Kind == relation.Delete {
+		if _, err := inc.rel.Delete(u.Tuple.ID); err != nil {
+			return nil, err
+		}
+	}
+	return delta, nil
+}

@@ -1,0 +1,164 @@
+// Package cfd implements conditional functional dependencies (CFDs) as
+// defined by Fan et al. (TODS 2008) and used throughout the reproduced
+// paper: a CFD is an embedded FD X → B together with a pattern tuple over
+// X ∪ {B} whose entries are constants or the unnamed variable '_'.
+//
+// Rules with multiple right-hand-side attributes or multi-row pattern
+// tableaux are normalized at parse time into single-B, single-pattern
+// rules; a tableau (X → Y, Tp) is therefore represented by |Y| · |Tp|
+// internal rules sharing a name prefix.
+package cfd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Wildcard is the unnamed variable '_' of pattern tuples. It matches any
+// value under the ≍ operator.
+const Wildcard = "_"
+
+// CFD is a single normalized rule (X → B, tp) on a relation schema.
+type CFD struct {
+	// ID names the rule (e.g. "phi1" or "phi3#2" for tableau row 2).
+	ID string
+	// LHS is the attribute list X of the embedded FD.
+	LHS []string
+	// RHS is the single right-hand-side attribute B.
+	RHS string
+	// LHSPattern holds tp[X], positionally aligned with LHS; each entry
+	// is a constant or Wildcard.
+	LHSPattern []string
+	// RHSPattern holds tp[B]: a constant (constant CFD) or Wildcard
+	// (variable CFD).
+	RHSPattern string
+}
+
+// IsConstant reports whether the rule is a constant CFD (tp[B] is a
+// constant). Constant CFDs are violated by single tuples; variable CFDs
+// need a witnessing pair.
+func (c *CFD) IsConstant() bool { return c.RHSPattern != Wildcard }
+
+// Attrs returns X ∪ {B} without duplicates, preserving LHS order.
+func (c *CFD) Attrs() []string {
+	out := append([]string(nil), c.LHS...)
+	for _, a := range c.LHS {
+		if a == c.RHS {
+			return out
+		}
+	}
+	return append(out, c.RHS)
+}
+
+// ConstantLHS returns the attributes of X whose pattern entry is a
+// constant, with the constants, preserving order.
+func (c *CFD) ConstantLHS() (attrs, consts []string) {
+	for i, a := range c.LHS {
+		if c.LHSPattern[i] != Wildcard {
+			attrs = append(attrs, a)
+			consts = append(consts, c.LHSPattern[i])
+		}
+	}
+	return attrs, consts
+}
+
+// Validate checks the rule is well formed over schema s.
+func (c *CFD) Validate(s *relation.Schema) error {
+	if c.ID == "" {
+		return fmt.Errorf("cfd: rule with empty id")
+	}
+	if len(c.LHS) == 0 {
+		return fmt.Errorf("cfd: rule %s has empty LHS", c.ID)
+	}
+	if len(c.LHSPattern) != len(c.LHS) {
+		return fmt.Errorf("cfd: rule %s has %d LHS attributes but %d pattern entries",
+			c.ID, len(c.LHS), len(c.LHSPattern))
+	}
+	seen := make(map[string]bool, len(c.LHS))
+	for _, a := range c.LHS {
+		if !s.Has(a) {
+			return fmt.Errorf("cfd: rule %s: schema %q has no attribute %q", c.ID, s.Name, a)
+		}
+		if seen[a] {
+			return fmt.Errorf("cfd: rule %s: duplicate LHS attribute %q", c.ID, a)
+		}
+		seen[a] = true
+	}
+	if !s.Has(c.RHS) {
+		return fmt.Errorf("cfd: rule %s: schema %q has no attribute %q", c.ID, s.Name, c.RHS)
+	}
+	if seen[c.RHS] {
+		// X → B with B ∈ X is trivially satisfied; reject as a likely
+		// authoring mistake.
+		return fmt.Errorf("cfd: rule %s: RHS %q also appears in LHS", c.ID, c.RHS)
+	}
+	return nil
+}
+
+// MatchValue implements v ≍ p for a single pattern entry: true when p is
+// the wildcard or equals v.
+func MatchValue(v, p string) bool { return p == Wildcard || v == p }
+
+// MatchesLHS reports whether t[X] ≍ tp[X] under schema s.
+func (c *CFD) MatchesLHS(s *relation.Schema, t relation.Tuple) bool {
+	for i, a := range c.LHS {
+		if !MatchValue(t.Values[s.MustIndex(a)], c.LHSPattern[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SingleViolation reports whether t alone violates the rule: for constant
+// CFDs, t[X] ≍ tp[X] and t[B] ≠ tp[B]. Variable CFDs are never violated by
+// a single tuple.
+func (c *CFD) SingleViolation(s *relation.Schema, t relation.Tuple) bool {
+	if !c.IsConstant() {
+		return false
+	}
+	return c.MatchesLHS(s, t) && t.Values[s.MustIndex(c.RHS)] != c.RHSPattern
+}
+
+// PairViolation reports whether (t, t') jointly violate a variable CFD:
+// t[X] = t'[X] ≍ tp[X] and t[B] ≠ t'[B]. For constant CFDs it returns
+// false (their violations are single-tuple by the paper's Fig. 1
+// semantics).
+func (c *CFD) PairViolation(s *relation.Schema, t, u relation.Tuple) bool {
+	if c.IsConstant() {
+		return false
+	}
+	if !c.MatchesLHS(s, t) || !c.MatchesLHS(s, u) {
+		return false
+	}
+	for _, a := range c.LHS {
+		i := s.MustIndex(a)
+		if t.Values[i] != u.Values[i] {
+			return false
+		}
+	}
+	b := s.MustIndex(c.RHS)
+	return t.Values[b] != u.Values[b]
+}
+
+func (c *CFD) String() string {
+	pats := append(append([]string(nil), c.LHSPattern...), c.RHSPattern)
+	return fmt.Sprintf("%s: ([%s] -> [%s], (%s))",
+		c.ID, strings.Join(c.LHS, ", "), c.RHS, strings.Join(pats, ", "))
+}
+
+// ValidateAll validates every rule and checks id uniqueness.
+func ValidateAll(s *relation.Schema, rules []CFD) error {
+	ids := make(map[string]bool, len(rules))
+	for i := range rules {
+		if err := rules[i].Validate(s); err != nil {
+			return err
+		}
+		if ids[rules[i].ID] {
+			return fmt.Errorf("cfd: duplicate rule id %q", rules[i].ID)
+		}
+		ids[rules[i].ID] = true
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package cfd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads one rule definition in the paper's notation and returns the
+// normalized single-B rules it denotes. The grammar, by example:
+//
+//	phi1: ([CC, zip] -> [street], (44, _, _))
+//	phi2: ([CC, AC] -> [city], (44, 131, EDI))
+//	fd1:  ([zip] -> [city, street], (_, _, _))         // multi-B: split
+//	tab1: ([CC, AC] -> [city], (44, 131, EDI); (01, 908, MH))  // tableau
+//
+// The leading "name:" is optional; unnamed rules get "cfd<k>" where k is
+// the ordinal passed in. Pattern rows list entries for X then Y in order.
+// A rule with |Y| > 1 right-hand attributes is split into |Y| rules named
+// name/B; a tableau with r > 1 rows is split into r rules named name#i.
+func Parse(def string, ordinal int) ([]CFD, error) {
+	src := strings.TrimSpace(def)
+	name := fmt.Sprintf("cfd%d", ordinal)
+	// Optional "name:" prefix — a colon before the first '('.
+	if i := strings.Index(src, ":"); i >= 0 {
+		j := strings.Index(src, "(")
+		if j < 0 || i < j {
+			name = strings.TrimSpace(src[:i])
+			src = strings.TrimSpace(src[i+1:])
+		}
+	}
+	if name == "" {
+		return nil, fmt.Errorf("cfd: empty rule name in %q", def)
+	}
+	if !strings.HasPrefix(src, "(") || !strings.HasSuffix(src, ")") {
+		return nil, fmt.Errorf("cfd: rule %s: body must be parenthesized, got %q", name, src)
+	}
+	body := src[1 : len(src)-1]
+
+	arrow := strings.Index(body, "->")
+	if arrow < 0 {
+		return nil, fmt.Errorf("cfd: rule %s: missing \"->\"", name)
+	}
+	lhsPart := strings.TrimSpace(body[:arrow])
+	rest := strings.TrimSpace(body[arrow+2:])
+
+	lhs, err := parseAttrList(name, lhsPart)
+	if err != nil {
+		return nil, err
+	}
+	// The RHS may be a bracketed list containing commas: split at the
+	// first comma after the closing bracket (or the first comma when no
+	// brackets are used).
+	searchFrom := 0
+	if strings.HasPrefix(rest, "[") {
+		close := strings.Index(rest, "]")
+		if close < 0 {
+			return nil, fmt.Errorf("cfd: rule %s: unclosed RHS attribute list", name)
+		}
+		searchFrom = close
+	}
+	comma := strings.Index(rest[searchFrom:], ",")
+	if comma < 0 {
+		return nil, fmt.Errorf("cfd: rule %s: missing pattern tuple after RHS", name)
+	}
+	comma += searchFrom
+	rhs, err := parseAttrList(name, strings.TrimSpace(rest[:comma]))
+	if err != nil {
+		return nil, err
+	}
+	if len(rhs) == 0 {
+		return nil, fmt.Errorf("cfd: rule %s: empty RHS", name)
+	}
+	rows, err := parsePatternRows(name, strings.TrimSpace(rest[comma+1:]))
+	if err != nil {
+		return nil, err
+	}
+
+	var out []CFD
+	for ri, row := range rows {
+		if len(row) != len(lhs)+len(rhs) {
+			return nil, fmt.Errorf("cfd: rule %s: pattern row %d has %d entries, want %d (|X|+|Y|)",
+				name, ri+1, len(row), len(lhs)+len(rhs))
+		}
+		rowName := name
+		if len(rows) > 1 {
+			rowName = fmt.Sprintf("%s#%d", name, ri+1)
+		}
+		for bi, b := range rhs {
+			id := rowName
+			if len(rhs) > 1 {
+				id = fmt.Sprintf("%s/%s", rowName, b)
+			}
+			out = append(out, CFD{
+				ID:         id,
+				LHS:        append([]string(nil), lhs...),
+				RHS:        b,
+				LHSPattern: append([]string(nil), row[:len(lhs)]...),
+				RHSPattern: row[len(lhs)+bi],
+			})
+		}
+	}
+	return out, nil
+}
+
+// ParseAll parses a multi-line rule file: one rule per non-empty line,
+// '#'-prefixed lines are comments.
+func ParseAll(text string) ([]CFD, error) {
+	var out []CFD
+	ordinal := 1
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rules, err := Parse(line, ordinal)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, rules...)
+		ordinal++
+	}
+	return out, nil
+}
+
+// parseAttrList parses "[A, B, C]" (brackets optional for a single attr).
+func parseAttrList(rule, s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("cfd: rule %s: unclosed attribute list %q", rule, s)
+		}
+		s = s[1 : len(s)-1]
+	}
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cfd: rule %s: empty attribute list", rule)
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("cfd: rule %s: empty attribute in list %q", rule, s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parsePatternRows parses "(a, b, c); (d, e, f); ..." into rows of entries.
+func parsePatternRows(rule, s string) ([][]string, error) {
+	var rows [][]string
+	for _, chunk := range strings.Split(s, ";") {
+		chunk = strings.TrimSpace(chunk)
+		if !strings.HasPrefix(chunk, "(") || !strings.HasSuffix(chunk, ")") {
+			return nil, fmt.Errorf("cfd: rule %s: pattern row %q must be parenthesized", rule, chunk)
+		}
+		inner := chunk[1 : len(chunk)-1]
+		parts := strings.Split(inner, ",")
+		row := make([]string, 0, len(parts))
+		for _, p := range parts {
+			row = append(row, strings.TrimSpace(p))
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("cfd: rule %s: no pattern rows", rule)
+	}
+	return rows, nil
+}

@@ -1,0 +1,310 @@
+package cfd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Violations is V(Σ, D): the set of tuples violating at least one rule,
+// with each tuple tagged by the ids of the rules it violates (the paper:
+// "violations are marked with those CFDs that they violate").
+type Violations struct {
+	m map[relation.TupleID]map[string]struct{}
+}
+
+// NewViolations returns an empty violation set.
+func NewViolations() *Violations {
+	return &Violations{m: make(map[relation.TupleID]map[string]struct{})}
+}
+
+// Add records that tuple id violates rule.
+func (v *Violations) Add(id relation.TupleID, rule string) {
+	set, ok := v.m[id]
+	if !ok {
+		set = make(map[string]struct{})
+		v.m[id] = set
+	}
+	set[rule] = struct{}{}
+}
+
+// Remove clears the (id, rule) mark; the tuple leaves V when its last rule
+// mark is removed.
+func (v *Violations) Remove(id relation.TupleID, rule string) {
+	if set, ok := v.m[id]; ok {
+		delete(set, rule)
+		if len(set) == 0 {
+			delete(v.m, id)
+		}
+	}
+}
+
+// Has reports whether the tuple violates any rule.
+func (v *Violations) Has(id relation.TupleID) bool {
+	_, ok := v.m[id]
+	return ok
+}
+
+// HasRule reports whether the tuple violates the given rule.
+func (v *Violations) HasRule(id relation.TupleID, rule string) bool {
+	set, ok := v.m[id]
+	if !ok {
+		return false
+	}
+	_, ok = set[rule]
+	return ok
+}
+
+// Rules returns the sorted rule ids violated by the tuple.
+func (v *Violations) Rules(id relation.TupleID) []string {
+	set, ok := v.m[id]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tuples returns the violating tuple ids in ascending order.
+func (v *Violations) Tuples() []relation.TupleID {
+	out := make([]relation.TupleID, 0, len(v.m))
+	for id := range v.m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of violating tuples.
+func (v *Violations) Len() int { return len(v.m) }
+
+// Marks returns the total number of (tuple, rule) violation marks.
+func (v *Violations) Marks() int {
+	n := 0
+	for _, set := range v.m {
+		n += len(set)
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (v *Violations) Clone() *Violations {
+	c := NewViolations()
+	for id, set := range v.m {
+		cs := make(map[string]struct{}, len(set))
+		for r := range set {
+			cs[r] = struct{}{}
+		}
+		c.m[id] = cs
+	}
+	return c
+}
+
+// Equal reports whether two violation sets hold identical marks.
+func (v *Violations) Equal(o *Violations) bool {
+	if len(v.m) != len(o.m) {
+		return false
+	}
+	for id, set := range v.m {
+		oset, ok := o.m[id]
+		if !ok || len(set) != len(oset) {
+			return false
+		}
+		for r := range set {
+			if _, ok := oset[r]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff returns the marks present in v but not in o, as a map id → rules.
+func (v *Violations) Diff(o *Violations) map[relation.TupleID][]string {
+	out := make(map[relation.TupleID][]string)
+	for id, set := range v.m {
+		for r := range set {
+			if !o.HasRule(id, r) {
+				out[id] = append(out[id], r)
+			}
+		}
+	}
+	for id := range out {
+		sort.Strings(out[id])
+	}
+	return out
+}
+
+func (v *Violations) String() string {
+	var sb strings.Builder
+	for i, id := range v.Tuples() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "t%d{%s}", id, strings.Join(v.Rules(id), ","))
+	}
+	return "{" + sb.String() + "}"
+}
+
+// Delta is ∆V: the change to a violation set in response to ∆D, split into
+// added marks (∆V+) and removed marks (∆V−).
+type Delta struct {
+	added   map[relation.TupleID]map[string]struct{}
+	removed map[relation.TupleID]map[string]struct{}
+}
+
+// NewDelta returns an empty change set.
+func NewDelta() *Delta {
+	return &Delta{
+		added:   make(map[relation.TupleID]map[string]struct{}),
+		removed: make(map[relation.TupleID]map[string]struct{}),
+	}
+}
+
+func markAdd(m map[relation.TupleID]map[string]struct{}, id relation.TupleID, rule string) {
+	set, ok := m[id]
+	if !ok {
+		set = make(map[string]struct{})
+		m[id] = set
+	}
+	set[rule] = struct{}{}
+}
+
+func markDel(m map[relation.TupleID]map[string]struct{}, id relation.TupleID, rule string) {
+	if set, ok := m[id]; ok {
+		delete(set, rule)
+		if len(set) == 0 {
+			delete(m, id)
+		}
+	}
+}
+
+// Add records a new violation mark (∆V+). Mark operations are idempotent
+// set writes, so the last operation on a (tuple, rule) pair wins: a
+// pending removal of the same mark is replaced, not merely cancelled —
+// replaying the delta must reproduce the final state regardless of
+// whether the mark was present initially.
+func (d *Delta) Add(id relation.TupleID, rule string) {
+	markDel(d.removed, id, rule)
+	markAdd(d.added, id, rule)
+}
+
+// Remove records a removed violation mark (∆V−), replacing a pending add
+// of the same mark (last operation wins).
+func (d *Delta) Remove(id relation.TupleID, rule string) {
+	markDel(d.added, id, rule)
+	markAdd(d.removed, id, rule)
+}
+
+// Merge folds other into d.
+func (d *Delta) Merge(other *Delta) {
+	for id, set := range other.removed {
+		for r := range set {
+			d.Remove(id, r)
+		}
+	}
+	for id, set := range other.added {
+		for r := range set {
+			d.Add(id, r)
+		}
+	}
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *Delta) Empty() bool { return len(d.added) == 0 && len(d.removed) == 0 }
+
+// AddedMarks returns the number of (tuple, rule) marks in ∆V+.
+func (d *Delta) AddedMarks() int {
+	n := 0
+	for _, set := range d.added {
+		n += len(set)
+	}
+	return n
+}
+
+// RemovedMarks returns the number of (tuple, rule) marks in ∆V−.
+func (d *Delta) RemovedMarks() int {
+	n := 0
+	for _, set := range d.removed {
+		n += len(set)
+	}
+	return n
+}
+
+// Size returns |∆V| measured in marks.
+func (d *Delta) Size() int { return d.AddedMarks() + d.RemovedMarks() }
+
+// AddedTuples returns the ids with at least one added mark, ascending.
+func (d *Delta) AddedTuples() []relation.TupleID { return sortedIDs(d.added) }
+
+// RemovedTuples returns the ids with at least one removed mark, ascending.
+func (d *Delta) RemovedTuples() []relation.TupleID { return sortedIDs(d.removed) }
+
+// AddedRules returns the rules added for id, sorted.
+func (d *Delta) AddedRules(id relation.TupleID) []string { return sortedRules(d.added, id) }
+
+// RemovedRules returns the rules removed for id, sorted.
+func (d *Delta) RemovedRules(id relation.TupleID) []string { return sortedRules(d.removed, id) }
+
+func sortedIDs(m map[relation.TupleID]map[string]struct{}) []relation.TupleID {
+	out := make([]relation.TupleID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedRules(m map[relation.TupleID]map[string]struct{}, id relation.TupleID) []string {
+	set, ok := m[id]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply computes V ⊕ ∆V in place: removed marks are cleared, added marks
+// set.
+func (d *Delta) Apply(v *Violations) {
+	for id, set := range d.removed {
+		for r := range set {
+			v.Remove(id, r)
+		}
+	}
+	for id, set := range d.added {
+		for r := range set {
+			v.Add(id, r)
+		}
+	}
+}
+
+func (d *Delta) String() string {
+	var sb strings.Builder
+	sb.WriteString("∆V+={")
+	for i, id := range d.AddedTuples() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "t%d{%s}", id, strings.Join(d.AddedRules(id), ","))
+	}
+	sb.WriteString("} ∆V−={")
+	for i, id := range d.RemovedTuples() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "t%d{%s}", id, strings.Join(d.RemovedRules(id), ","))
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

@@ -1,0 +1,59 @@
+// Package core ties the paper's pieces into one façade: a Detector
+// interface satisfied by both partition styles, and constructors that go
+// from a relation + partition scheme + rule set to a running, seeded
+// incremental detection system. The root repro package re-exports this
+// API; examples, tools and the experiment harness all build on it.
+package core
+
+import (
+	"repro/internal/cfd"
+	"repro/internal/horizontal"
+	"repro/internal/network"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/vertical"
+)
+
+// Detector is a seeded, distributed CFD violation detection system over
+// one partitioned relation. Implementations maintain V(Σ, D) across
+// incremental batches and can recompute it batch-style for comparison.
+type Detector interface {
+	// ApplyBatch runs the incremental algorithm (incVer or incHor) on a
+	// batch update ∆D, maintaining V(Σ, D) and returning ∆V.
+	ApplyBatch(relation.UpdateList) (*cfd.Delta, error)
+	// BatchDetect recomputes the violations from the current fragments
+	// with the batch baseline (batVer or batHor).
+	BatchDetect() (*cfd.Violations, error)
+	// Violations returns the maintained violation set.
+	Violations() *cfd.Violations
+	// Stats returns the communication meters since the last reset.
+	Stats() network.Stats
+	// Cluster exposes the message fabric.
+	Cluster() *network.Cluster
+	// Rules returns the rule set in force.
+	Rules() []cfd.CFD
+}
+
+// Compile-time checks that both engines satisfy the façade.
+var (
+	_ Detector = (*vertical.System)(nil)
+	_ Detector = (*horizontal.System)(nil)
+)
+
+// VerticalOptions configures NewVertical.
+type VerticalOptions = vertical.Options
+
+// HorizontalOptions configures NewHorizontal.
+type HorizontalOptions = horizontal.Options
+
+// NewVertical partitions rel vertically under scheme and builds the §4
+// incremental detection system (optionally with §5's optimizer).
+func NewVertical(rel *relation.Relation, scheme *partition.VerticalScheme, rules []cfd.CFD, opts VerticalOptions) (*vertical.System, error) {
+	return vertical.NewSystem(rel, scheme, rules, opts)
+}
+
+// NewHorizontal partitions rel horizontally under scheme and builds the
+// §6 incremental detection system.
+func NewHorizontal(rel *relation.Relation, scheme *partition.HorizontalScheme, rules []cfd.CFD, opts HorizontalOptions) (*horizontal.System, error) {
+	return horizontal.NewSystem(rel, scheme, rules, opts)
+}

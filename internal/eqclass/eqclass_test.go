@@ -1,0 +1,196 @@
+package eqclass
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestBaseHEVAcquireRelease(t *testing.T) {
+	h := NewBaseHEV("A")
+	a1 := h.Acquire("x")
+	a2 := h.Acquire("x")
+	b := h.Acquire("y")
+	if a1 != a2 {
+		t.Error("same value, different eqids")
+	}
+	if a1 == b {
+		t.Error("different values share an eqid")
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	if err := h.Release("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Lookup("x"); !ok {
+		t.Error("x dropped while referenced")
+	}
+	if err := h.Release("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Lookup("x"); ok {
+		t.Error("x survived its last release")
+	}
+	if err := h.Release("x"); err == nil {
+		t.Error("releasing unknown value succeeded")
+	}
+}
+
+func TestHEVCompose(t *testing.T) {
+	h := NewHEV([]string{"A", "B"})
+	e1 := h.Acquire([]EqID{1, 2})
+	e2 := h.Acquire([]EqID{1, 2})
+	e3 := h.Acquire([]EqID{2, 1}) // order matters: different key
+	if e1 != e2 || e1 == e3 {
+		t.Errorf("compose keys broken: %d %d %d", e1, e2, e3)
+	}
+	if err := h.Release([]EqID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release([]EqID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Lookup([]EqID{1, 2}); ok {
+		t.Error("key survived releases")
+	}
+	if err := h.Release([]EqID{9, 9}); err == nil {
+		t.Error("releasing unknown key succeeded")
+	}
+}
+
+// Property: a base HEV with balanced acquire/release sequences ends empty,
+// and eqids stay stable for live values throughout.
+func TestBaseHEVBalancedProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		h := NewBaseHEV("A")
+		ref := make(map[string]int)
+		ids := make(map[string]EqID)
+		for _, op := range ops {
+			v := fmt.Sprint(op % 5)
+			if op%2 == 0 {
+				id := h.Acquire(v)
+				if prev, ok := ids[v]; ok && ref[v] > 0 && prev != id {
+					return false // eqid changed while class alive
+				}
+				ids[v] = id
+				ref[v]++
+			} else if ref[v] > 0 {
+				if err := h.Release(v); err != nil {
+					return false
+				}
+				ref[v]--
+			}
+		}
+		// Drain.
+		for v, n := range ref {
+			for ; n > 0; n-- {
+				if err := h.Release(v); err != nil {
+					return false
+				}
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDXGroupAccounting(t *testing.T) {
+	x := NewIDX()
+	x.Insert(1, 10, 100)
+	x.Insert(1, 10, 101)
+	x.Insert(1, 20, 102)
+	x.Insert(2, 30, 103)
+
+	if got := x.DistinctB(1); got != 2 {
+		t.Errorf("DistinctB(1) = %d", got)
+	}
+	if got := x.ClassSize(1, 10); got != 2 {
+		t.Errorf("ClassSize(1,10) = %d", got)
+	}
+	if got := x.ClassMembers(1, 10); len(got) != 2 || got[0] != 100 || got[1] != 101 {
+		t.Errorf("ClassMembers = %v", got)
+	}
+	if got := x.OtherClassMembers(1, 10); len(got) != 1 || got[0] != 102 {
+		t.Errorf("OtherClassMembers = %v", got)
+	}
+	if got := x.GroupMembers(1); len(got) != 3 {
+		t.Errorf("GroupMembers = %v", got)
+	}
+	if x.Len() != 4 || x.Groups() != 2 {
+		t.Errorf("Len=%d Groups=%d", x.Len(), x.Groups())
+	}
+
+	// Duplicate insert is idempotent.
+	x.Insert(1, 10, 100)
+	if x.Len() != 4 {
+		t.Error("duplicate insert changed size")
+	}
+
+	if err := x.Delete(1, 10, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Delete(1, 10, 100); err == nil {
+		t.Error("double delete succeeded")
+	}
+	if err := x.Delete(1, 10, 101); err != nil {
+		t.Fatal(err)
+	}
+	if x.DistinctB(1) != 1 {
+		t.Error("empty class not pruned")
+	}
+	if err := x.Delete(1, 20, 102); err != nil {
+		t.Fatal(err)
+	}
+	if x.Groups() != 1 {
+		t.Error("empty group not pruned")
+	}
+}
+
+// Property: IDX membership equals a reference map under random
+// insert/delete sequences.
+func TestIDXMatchesReference(t *testing.T) {
+	f := func(ops []uint16) bool {
+		x := NewIDX()
+		type key struct {
+			gx, gb EqID
+			id     relation.TupleID
+		}
+		ref := make(map[key]bool)
+		for _, op := range ops {
+			k := key{gx: EqID(op % 3), gb: EqID((op / 3) % 3), id: relation.TupleID((op / 9) % 7)}
+			if op%2 == 0 {
+				x.Insert(k.gx, k.gb, k.id)
+				ref[k] = true
+			} else if ref[k] {
+				if err := x.Delete(k.gx, k.gb, k.id); err != nil {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if x.Len() != len(ref) {
+			return false
+		}
+		// Distinct-B counts agree.
+		for gx := EqID(0); gx < 3; gx++ {
+			bs := make(map[EqID]bool)
+			for k := range ref {
+				if k.gx == gx {
+					bs[k.gb] = true
+				}
+			}
+			if x.DistinctB(gx) != len(bs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a Result as an aligned text table in the style of the
+// paper's figures (one row per x position).
+func (r *Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n%s\n", r.Name, r.Figure, r.Title)
+
+	header := append([]string{r.XLabel}, r.Columns...)
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		x := p.Label
+		if x == "" {
+			x = trimFloat(p.X)
+		}
+		row := []string{x}
+		for _, c := range r.Columns {
+			row = append(row, trimFloat(p.Values[c]))
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = runeLen(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if l := runeLen(cell); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			for pad := widths[i] - runeLen(cell); pad > 0; pad-- {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func trimFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func runeLen(s string) int { return len([]rune(s)) }

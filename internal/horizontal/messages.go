@@ -1,0 +1,257 @@
+// Package horizontal implements §6 of the paper: incremental detection of
+// CFD violations over horizontally partitioned data (incHor with its
+// per-update insertion and deletion protocols and local-check rules) plus
+// the batHor batch baseline of Fan et al., ICDE 2010.
+//
+// Constant CFDs are checked at the owning site with no shipment. For
+// variable CFDs, each site indexes its local tuples by (X values, B value)
+// digests with a per-class violation flag; an update ships (coded) tuples
+// to other sites only when its equivalence class [t]_{X∪{B}} is absent
+// locally — the shipment-avoidance short-circuits of §6. The MD5 tuple
+// coding of §6's optimization is the default wire format; it can be
+// switched off to measure its effect (EXPERIMENTS.md ablation).
+package horizontal
+
+import (
+	"crypto/md5"
+
+	"repro/internal/relation"
+)
+
+// OpKind distinguishes insertion from deletion processing.
+type OpKind int
+
+const (
+	// OpInsert processes a tuple insertion.
+	OpInsert OpKind = iota
+	// OpDelete processes a tuple deletion.
+	OpDelete
+)
+
+// keyRef identifies an equivalence key on the wire: either a 16-byte MD5
+// code (the §6 optimization) or the raw attribute values.
+type keyRef struct {
+	Digest []byte
+	Raw    []string
+}
+
+// digest canonicalizes the reference to the 16-byte index key.
+func (k keyRef) digest() string {
+	if k.Digest != nil {
+		return string(k.Digest)
+	}
+	return digestOf(k.Raw)
+}
+
+func digestOf(vals []string) string {
+	h := md5.New()
+	for _, v := range vals {
+		h.Write([]byte(v))
+		h.Write([]byte{0x1f})
+	}
+	return string(h.Sum(nil))
+}
+
+// makeKeyRef builds the wire form of a key under the chosen coding.
+func makeKeyRef(vals []string, useMD5 bool) keyRef {
+	if useMD5 {
+		sum := digestOf(vals)
+		return keyRef{Digest: []byte(sum)}
+	}
+	return keyRef{Raw: append([]string(nil), vals...)}
+}
+
+// applyReq stores or removes a tuple at its owning site.
+type applyReq struct {
+	Op     OpKind
+	ID     int64
+	Values []string
+}
+
+// insLocalReq runs the owner-local part of the insertion protocol.
+type insLocalReq struct {
+	Rule string
+	ID   int64
+	X    keyRef
+	B    keyRef
+}
+
+// insLocalResp reports the owner-local outcome. When Broadcast is false
+// the decision was fully local: TAdded says whether the inserted tuple is
+// a new violation, Added lists other local tuples that became violations.
+// When Broadcast is true the driver must probe the other sites and then
+// call finishIns; Added still lists locally flipped tuples and LocalDiff
+// whether a local disagreeing class exists.
+type insLocalResp struct {
+	Broadcast bool
+	TAdded    bool
+	Added     []int64
+	LocalDiff bool
+}
+
+// probeItem is one rule's entry inside a batched probe. With MD5 coding
+// (§6's optimization) it carries the 128-bit codes of t[X] and t[B];
+// without, it carries only the rule id and the receiving site derives the
+// keys from the full tuple shipped once in the request — "send the coding
+// of the tuple instead of the tuple". Each tuple is shipped to a peer at
+// most once per update, keeping the message count at O(|∆D| · n) as §6's
+// complexity analysis requires.
+type probeItem struct {
+	Rule string
+	X    keyRef
+	B    keyRef
+}
+
+// probeInsReq is the broadcast of a (coded) tuple to another site during
+// insertion: "each site Sj checks its local violations in parallel".
+// Tuple holds the full attribute values when MD5 coding is off.
+type probeInsReq struct {
+	Tuple []string
+	Items []probeItem
+}
+
+// probeInsItemResp reports what the probed site found for one rule: local
+// tuples newly violating because of the inserted tuple, whether a class
+// disagreeing on B exists, and whether the tuple's own class exists (with
+// its flag).
+type probeInsItemResp struct {
+	Rule    string
+	Added   []int64
+	HasDiff bool
+	HasSame bool
+	SameInV bool
+}
+
+// probeInsResp carries one response per probed item.
+type probeInsResp struct {
+	Items []probeInsItemResp
+}
+
+// finishInsReq completes a broadcast insertion at the owner with the
+// globally determined violation status of the new tuple.
+type finishInsReq struct {
+	Rule string
+	ID   int64
+	X    keyRef
+	B    keyRef
+	TInV bool
+}
+
+// delLocalReq runs the owner-local part of the deletion protocol.
+type delLocalReq struct {
+	Rule string
+	ID   int64
+	X    keyRef
+	B    keyRef
+}
+
+// delLocalResp reports the owner-local outcome: TRemoved says whether the
+// deleted tuple left V. Broadcast is set when the tuple's class became
+// locally extinct and at most one other local class remains, so remote
+// state may change; LocalOthers carries up to two distinct remaining local
+// class digests for the driver's aggregation.
+type delLocalResp struct {
+	TRemoved    bool
+	Broadcast   bool
+	LocalOthers [][]byte
+}
+
+// probeDelReq asks a site, for each item, whether the deleted tuple's
+// class survives there and which other classes it holds in the group.
+// Batched per (tuple, peer) like insertion probes; Tuple carries the full
+// values when MD5 coding is off.
+type probeDelReq struct {
+	Tuple []string
+	Items []probeItem
+}
+
+// probeDelItemResp carries one rule's survival answer: HasSame, plus up to
+// two distinct other-class digests.
+type probeDelItemResp struct {
+	Rule    string
+	HasSame bool
+	Others  [][]byte
+}
+
+// probeDelResp carries one response per probed item.
+type probeDelResp struct {
+	Items []probeDelItemResp
+}
+
+// demoteItem names one group whose surviving single class is no longer
+// violating.
+type demoteItem struct {
+	Rule string
+	X    keyRef
+}
+
+// demoteReq tells a site to clear the violation flags of the surviving
+// classes of the listed groups, batched per (tuple, peer); Tuple carries
+// the full values when MD5 coding is off.
+type demoteReq struct {
+	Tuple []string
+	Items []demoteItem
+}
+
+// demoteResp lists tuples that left V at the receiving site, tagged by
+// rule.
+type demoteItemResp struct {
+	Rule    string
+	Removed []int64
+}
+
+// demoteResp carries one response per demoted group.
+type demoteResp struct {
+	Items []demoteItemResp
+}
+
+// constCheckReq classifies a tuple against a constant rule at its owner.
+type constCheckReq struct {
+	Rule string
+	ID   int64
+}
+
+// constCheckResp reports whether the tuple violates the constant rule.
+type constCheckResp struct {
+	Violation bool
+}
+
+// shipMatchingReq asks a site for its tuples matching a rule's pattern
+// (batHor shipment).
+type shipMatchingReq struct {
+	Rule string
+}
+
+// matchRow is one shipped (partial) tuple: id, X values and B value.
+type matchRow struct {
+	ID int64
+	X  []string
+	B  string
+}
+
+// shipMatchingResp carries the matching rows.
+type shipMatchingResp struct {
+	Rows []matchRow
+}
+
+// localDetectReq asks a site for its local violations of a rule (used for
+// locally checkable rules, which never need shipment).
+type localDetectReq struct {
+	Rule string
+}
+
+// localDetectResp lists the site's local violations of the rule.
+type localDetectResp struct {
+	IDs []int64
+}
+
+// empty is the reply of fire-and-forget handlers.
+type empty struct{}
+
+func toInt64s(ids []relation.TupleID) []int64 {
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out
+}

@@ -1,0 +1,397 @@
+package horizontal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfd"
+	"repro/internal/network"
+	"repro/internal/relation"
+)
+
+// hClass is one equivalence class [t]_{X∪{B}} restricted to a site's
+// fragment, with its violation flag. All members share (X, B) values, so
+// they share violation status — the flag is per class, which is what makes
+// every protocol step O(1).
+type hClass struct {
+	members map[relation.TupleID]struct{}
+	inV     bool
+}
+
+// site is the per-fragment state of the horizontal detection system.
+type site struct {
+	id     network.SiteID
+	schema *relation.Schema
+	frag   *relation.Relation
+	rules  map[string]*cfd.CFD
+
+	// groups: rule id → X digest → B digest → class.
+	groups map[string]map[string]map[string]*hClass
+}
+
+func newSite(id network.SiteID, schema *relation.Schema, rules []cfd.CFD) *site {
+	s := &site{
+		id:     id,
+		schema: schema,
+		frag:   relation.New(schema),
+		rules:  make(map[string]*cfd.CFD, len(rules)),
+		groups: make(map[string]map[string]map[string]*hClass),
+	}
+	for i := range rules {
+		r := &rules[i]
+		s.rules[r.ID] = r
+		if !r.IsConstant() {
+			s.groups[r.ID] = make(map[string]map[string]*hClass)
+		}
+	}
+	return s
+}
+
+func (s *site) group(rule, dx string) map[string]*hClass {
+	return s.groups[rule][dx]
+}
+
+func (s *site) classOf(rule, dx, db string) *hClass {
+	return s.groups[rule][dx][db]
+}
+
+func (s *site) ensureClass(rule, dx, db string) *hClass {
+	g, ok := s.groups[rule][dx]
+	if !ok {
+		g = make(map[string]*hClass)
+		s.groups[rule][dx] = g
+	}
+	c, ok := g[db]
+	if !ok {
+		c = &hClass{members: make(map[relation.TupleID]struct{})}
+		g[db] = c
+	}
+	return c
+}
+
+func (s *site) dropIfEmpty(rule, dx, db string) {
+	g := s.groups[rule][dx]
+	if c, ok := g[db]; ok && len(c.members) == 0 {
+		delete(g, db)
+	}
+	if len(g) == 0 {
+		delete(s.groups[rule], dx)
+	}
+}
+
+// apply stores or removes a tuple in the fragment.
+func (s *site) apply(req applyReq) (empty, error) {
+	switch req.Op {
+	case OpInsert:
+		if err := s.frag.Insert(relation.Tuple{ID: relation.TupleID(req.ID), Values: req.Values}); err != nil {
+			return empty{}, err
+		}
+	case OpDelete:
+		if _, err := s.frag.Delete(relation.TupleID(req.ID)); err != nil {
+			return empty{}, err
+		}
+	}
+	return empty{}, nil
+}
+
+// insLocal is step (1) of the insertion protocol at the owning site.
+func (s *site) insLocal(req insLocalReq) (insLocalResp, error) {
+	dx, db := req.X.digest(), req.B.digest()
+	tid := relation.TupleID(req.ID)
+	g := s.group(req.Rule, dx)
+
+	if c, ok := g[db]; ok {
+		// [t]_{X∪{B}} is non-empty locally: t inherits the class's
+		// status, nothing else changes, no shipment (§6 case (1)(a)(i) /
+		// (1)(b)(i)).
+		c.members[tid] = struct{}{}
+		return insLocalResp{TAdded: c.inV}, nil
+	}
+
+	// t's class is new here. Every local class in the group disagrees
+	// with t on B, so all of them gain t as a violation partner: any
+	// unflagged class flips now.
+	var added []int64
+	anyFlagged := false
+	for _, c := range g {
+		if c.inV {
+			anyFlagged = true
+			continue
+		}
+		c.inV = true
+		added = append(added, toInt64s(sortedMembers(c))...)
+	}
+	sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
+	if len(g) >= 2 || anyFlagged {
+		// Fully local (the paper's Example 9 reasoning): a disagreeing
+		// local class that was already a violation — or two local
+		// classes keeping each other violating — implies, by flag
+		// consistency, that every unflagged tuple anywhere in the group
+		// shares that class's B value and therefore already had a
+		// disagreeing partner; no remote status can change, and t
+		// itself is a violation. No shipment.
+		c := s.ensureClass(req.Rule, dx, db)
+		c.members[tid] = struct{}{}
+		c.inV = true
+		return insLocalResp{TAdded: true, Added: added}, nil
+	}
+	// 0 unflagged-or-no local classes: remote state determines t's status
+	// and remote unflagged classes may flip — the driver must broadcast.
+	return insLocalResp{Broadcast: true, Added: added, LocalDiff: len(g) >= 1}, nil
+}
+
+// itemKeys resolves a probe item's index keys: from its MD5 codes when
+// present, otherwise derived from the full tuple shipped in the request.
+func (s *site) itemKeys(item probeItem, tuple []string) (dx, db string, err error) {
+	if len(item.X.Digest) > 0 || len(item.X.Raw) > 0 {
+		return item.X.digest(), item.B.digest(), nil
+	}
+	rule, ok := s.rules[item.Rule]
+	if !ok {
+		return "", "", fmt.Errorf("horizontal: site %d: unknown rule %s", s.id, item.Rule)
+	}
+	if len(tuple) != s.schema.Width() {
+		return "", "", fmt.Errorf("horizontal: site %d: probe for rule %s lacks both codes and tuple", s.id, item.Rule)
+	}
+	t := relation.Tuple{Values: tuple}
+	return digestOf(t.Project(s.schema, rule.LHS)), digestOf([]string{t.Get(s.schema, rule.RHS)}), nil
+}
+
+// probeIns is step (2): a probed site checks the shipped (coded) tuple
+// against its local classes, for every rule in the batch.
+func (s *site) probeIns(req probeInsReq) (probeInsResp, error) {
+	resp := probeInsResp{Items: make([]probeInsItemResp, 0, len(req.Items))}
+	for _, item := range req.Items {
+		dx, db, err := s.itemKeys(item, req.Tuple)
+		if err != nil {
+			return probeInsResp{}, err
+		}
+		ir := probeInsItemResp{Rule: item.Rule}
+		for bd, c := range s.group(item.Rule, dx) {
+			if bd == db {
+				ir.HasSame = true
+				ir.SameInV = c.inV
+				continue
+			}
+			ir.HasDiff = true
+			if !c.inV {
+				c.inV = true
+				ir.Added = append(ir.Added, toInt64s(sortedMembers(c))...)
+			}
+		}
+		sort.Slice(ir.Added, func(i, j int) bool { return ir.Added[i] < ir.Added[j] })
+		resp.Items = append(resp.Items, ir)
+	}
+	return resp, nil
+}
+
+// finishIns completes a broadcast insertion with t's global status.
+func (s *site) finishIns(req finishInsReq) (empty, error) {
+	c := s.ensureClass(req.Rule, req.X.digest(), req.B.digest())
+	c.members[relation.TupleID(req.ID)] = struct{}{}
+	if req.TInV {
+		c.inV = true
+	}
+	return empty{}, nil
+}
+
+// delLocal is step (1) of the deletion protocol at the owning site.
+func (s *site) delLocal(req delLocalReq) (delLocalResp, error) {
+	dx, db := req.X.digest(), req.B.digest()
+	tid := relation.TupleID(req.ID)
+	c := s.classOf(req.Rule, dx, db)
+	if c == nil {
+		return delLocalResp{}, fmt.Errorf("horizontal: site %d: delete of unindexed tuple %d (rule %s)", s.id, req.ID, req.Rule)
+	}
+	if _, ok := c.members[tid]; !ok {
+		return delLocalResp{}, fmt.Errorf("horizontal: site %d: tuple %d not in its class (rule %s)", s.id, req.ID, req.Rule)
+	}
+	delete(c.members, tid)
+	wasInV := c.inV
+	classEmpty := len(c.members) == 0
+	s.dropIfEmpty(req.Rule, dx, db)
+
+	if !wasInV {
+		// t was not a violation: nothing changes anywhere (deleting a
+		// tuple with no disagreeing partner affects nobody).
+		return delLocalResp{}, nil
+	}
+	resp := delLocalResp{TRemoved: true}
+	if !classEmpty {
+		// Tuples equal to t on X and B remain here: every other tuple
+		// keeps its partners. No shipment (§6 case (1)(a)).
+		return resp, nil
+	}
+	// t's class is locally extinct. If ≥ 2 distinct local classes
+	// remain they keep each other violating — and any remote class
+	// disagrees with at least one of them — so nothing else changes.
+	g := s.group(req.Rule, dx)
+	if len(g) >= 2 {
+		return resp, nil
+	}
+	resp.Broadcast = true
+	for bd := range g {
+		resp.LocalOthers = append(resp.LocalOthers, []byte(bd))
+	}
+	return resp, nil
+}
+
+// probeDel answers a deletion probe for every rule in the batch: does
+// t's class survive here, and which other classes exist in the group (two
+// distinct digests suffice for the driver to decide).
+func (s *site) probeDel(req probeDelReq) (probeDelResp, error) {
+	resp := probeDelResp{Items: make([]probeDelItemResp, 0, len(req.Items))}
+	for _, item := range req.Items {
+		dx, db, err := s.itemKeys(item, req.Tuple)
+		if err != nil {
+			return probeDelResp{}, err
+		}
+		ir := probeDelItemResp{Rule: item.Rule}
+		digests := make([]string, 0, 2)
+		for bd := range s.group(item.Rule, dx) {
+			if bd == db {
+				ir.HasSame = true
+				continue
+			}
+			digests = append(digests, bd)
+		}
+		sort.Strings(digests)
+		if len(digests) > 2 {
+			digests = digests[:2]
+		}
+		for _, d := range digests {
+			ir.Others = append(ir.Others, []byte(d))
+		}
+		resp.Items = append(resp.Items, ir)
+	}
+	return resp, nil
+}
+
+// demote clears the violation flags of the surviving class(es) of each
+// listed group, after the driver determined only one distinct B value
+// remains globally.
+func (s *site) demote(req demoteReq) (demoteResp, error) {
+	resp := demoteResp{Items: make([]demoteItemResp, 0, len(req.Items))}
+	for _, item := range req.Items {
+		dx, _, err := s.itemKeys(probeItem{Rule: item.Rule, X: item.X}, req.Tuple)
+		if err != nil {
+			return demoteResp{}, err
+		}
+		ir := demoteItemResp{Rule: item.Rule}
+		for _, c := range s.group(item.Rule, dx) {
+			if c.inV {
+				c.inV = false
+				ir.Removed = append(ir.Removed, toInt64s(sortedMembers(c))...)
+			}
+		}
+		sort.Slice(ir.Removed, func(i, j int) bool { return ir.Removed[i] < ir.Removed[j] })
+		resp.Items = append(resp.Items, ir)
+	}
+	return resp, nil
+}
+
+// constCheck classifies a stored tuple against a constant rule.
+func (s *site) constCheck(req constCheckReq) (constCheckResp, error) {
+	rule, ok := s.rules[req.Rule]
+	if !ok {
+		return constCheckResp{}, fmt.Errorf("horizontal: site %d: unknown rule %s", s.id, req.Rule)
+	}
+	t, ok := s.frag.Get(relation.TupleID(req.ID))
+	if !ok {
+		return constCheckResp{}, fmt.Errorf("horizontal: site %d: constCheck on missing tuple %d", s.id, req.ID)
+	}
+	return constCheckResp{Violation: rule.SingleViolation(s.schema, t)}, nil
+}
+
+// shipMatching returns the site's (partial) tuples for a rule: the batHor
+// shipment unit. Sites project each tuple onto X ∪ {B}; the coordinator
+// evaluates the pattern, as in the batch baseline of Fan et al. (ICDE
+// 2010) whose shipment is Θ(|D|) per rule.
+func (s *site) shipMatching(req shipMatchingReq) (shipMatchingResp, error) {
+	rule, ok := s.rules[req.Rule]
+	if !ok {
+		return shipMatchingResp{}, fmt.Errorf("horizontal: site %d: unknown rule %s", s.id, req.Rule)
+	}
+	bIdx := s.schema.MustIndex(rule.RHS)
+	var resp shipMatchingResp
+	s.frag.Each(func(t relation.Tuple) bool {
+		resp.Rows = append(resp.Rows, matchRow{
+			ID: int64(t.ID),
+			X:  t.Project(s.schema, rule.LHS),
+			B:  t.Values[bIdx],
+		})
+		return true
+	})
+	return resp, nil
+}
+
+// localDetect finds the site-local violations of one rule: used by batHor
+// for rules that are locally checkable under the partition predicates.
+func (s *site) localDetect(req localDetectReq) (localDetectResp, error) {
+	rule, ok := s.rules[req.Rule]
+	if !ok {
+		return localDetectResp{}, fmt.Errorf("horizontal: site %d: unknown rule %s", s.id, req.Rule)
+	}
+	var resp localDetectResp
+	if rule.IsConstant() {
+		s.frag.Each(func(t relation.Tuple) bool {
+			if rule.SingleViolation(s.schema, t) {
+				resp.IDs = append(resp.IDs, int64(t.ID))
+			}
+			return true
+		})
+		return resp, nil
+	}
+	bIdx := s.schema.MustIndex(rule.RHS)
+	type group struct {
+		members   []int64
+		firstB    string
+		distinctB int
+	}
+	groups := make(map[string]*group)
+	s.frag.Each(func(t relation.Tuple) bool {
+		if !rule.MatchesLHS(s.schema, t) {
+			return true
+		}
+		key := t.Key(s.schema, rule.LHS)
+		g, ok := groups[key]
+		if !ok {
+			groups[key] = &group{members: []int64{int64(t.ID)}, firstB: t.Values[bIdx], distinctB: 1}
+			return true
+		}
+		if g.distinctB == 1 && t.Values[bIdx] != g.firstB {
+			g.distinctB = 2
+		}
+		g.members = append(g.members, int64(t.ID))
+		return true
+	})
+	for _, g := range groups {
+		if g.distinctB > 1 {
+			resp.IDs = append(resp.IDs, g.members...)
+		}
+	}
+	sort.Slice(resp.IDs, func(i, j int) bool { return resp.IDs[i] < resp.IDs[j] })
+	return resp, nil
+}
+
+func (s *site) register(c *network.Cluster) {
+	network.RegisterFunc(c, s.id, "h.apply", s.apply)
+	network.RegisterFunc(c, s.id, "h.insLocal", s.insLocal)
+	network.RegisterFunc(c, s.id, "h.probeIns", s.probeIns)
+	network.RegisterFunc(c, s.id, "h.finishIns", s.finishIns)
+	network.RegisterFunc(c, s.id, "h.delLocal", s.delLocal)
+	network.RegisterFunc(c, s.id, "h.probeDel", s.probeDel)
+	network.RegisterFunc(c, s.id, "h.demote", s.demote)
+	network.RegisterFunc(c, s.id, "h.constCheck", s.constCheck)
+	network.RegisterFunc(c, s.id, "h.shipMatching", s.shipMatching)
+	network.RegisterFunc(c, s.id, "h.localDetect", s.localDetect)
+}
+
+func sortedMembers(c *hClass) []relation.TupleID {
+	out := make([]relation.TupleID, 0, len(c.members))
+	for id := range c.members {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

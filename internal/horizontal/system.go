@@ -1,0 +1,510 @@
+package horizontal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfd"
+	"repro/internal/network"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Options configures a horizontal detection system.
+type Options struct {
+	// DisableMD5 ships raw values instead of 128-bit MD5 tuple codes in
+	// the per-update protocols, turning §6's optimization off (for the
+	// shipment ablation).
+	DisableMD5 bool
+	// NoIndexes loads the fragments only; the system serves batHor
+	// (BatchDetect) but rejects ApplyBatch.
+	NoIndexes bool
+}
+
+// System is a horizontally partitioned database with incremental CFD
+// violation detection (incHor) and the batHor baseline.
+type System struct {
+	schema *relation.Schema
+	scheme *partition.HorizontalScheme
+	rules  []cfd.CFD
+
+	cluster *network.Cluster
+	sites   []*site
+
+	// localCheck marks rules needing no shipment ever: constant rules
+	// and variable rules with X_Fi ⊆ X for every fragment (§6 local
+	// checking (1) and (2)(a)).
+	localCheck map[string]bool
+	// excluded[rule][site] marks fragments whose predicate contradicts
+	// the rule's pattern constants: Fi ∧ Fφ unsatisfiable (§6 (2)(b)).
+	excluded map[string][]bool
+
+	useMD5    bool
+	v         *cfd.Violations
+	direct    bool
+	noIndexes bool
+}
+
+// NewSystem partitions rel under scheme, builds the per-site indices for
+// rules, seeds them and computes the initial V(Σ, D). Traffic meters are
+// zero on return.
+func NewSystem(rel *relation.Relation, scheme *partition.HorizontalScheme, rules []cfd.CFD, opts Options) (*System, error) {
+	if err := cfd.ValidateAll(rel.Schema, rules); err != nil {
+		return nil, err
+	}
+	sys := &System{
+		schema:     rel.Schema,
+		scheme:     scheme,
+		rules:      append([]cfd.CFD(nil), rules...),
+		localCheck: make(map[string]bool),
+		excluded:   make(map[string][]bool),
+		useMD5:     !opts.DisableMD5,
+		v:          cfd.NewViolations(),
+	}
+	n := scheme.NumSites()
+	sys.cluster = network.NewCluster(n)
+	for i := 0; i < n; i++ {
+		st := newSite(network.SiteID(i), rel.Schema, sys.rules)
+		sys.sites = append(sys.sites, st)
+		st.register(sys.cluster)
+	}
+	for i := range sys.rules {
+		r := &sys.rules[i]
+		sys.localCheck[r.ID] = r.IsConstant() || scheme.LocallyCheckable(r)
+		ex := make([]bool, n)
+		attrs, vals := r.ConstantLHS()
+		for si, p := range scheme.Preds {
+			ex[si] = p.ExcludesConstants(attrs, vals)
+		}
+		sys.excluded[r.ID] = ex
+	}
+
+	sys.noIndexes = opts.NoIndexes
+	sys.direct = true
+	var seedErr error
+	rel.Each(func(t relation.Tuple) bool {
+		if sys.noIndexes {
+			owner, err := sys.scheme.SiteFor(sys.schema, t)
+			if err == nil {
+				err = sys.send(network.SiteID(owner), network.SiteID(owner), "h.apply",
+					applyReq{Op: OpInsert, ID: int64(t.ID), Values: t.Values}, nil)
+			}
+			seedErr = err
+			return seedErr == nil
+		}
+		delta, err := sys.applyUnit(relation.Update{Kind: relation.Insert, Tuple: t})
+		if err != nil {
+			seedErr = err
+			return false
+		}
+		delta.Apply(sys.v)
+		return true
+	})
+	sys.direct = false
+	if seedErr != nil {
+		return nil, seedErr
+	}
+	sys.cluster.ResetStats()
+	return sys, nil
+}
+
+// Cluster exposes the message fabric.
+func (sys *System) Cluster() *network.Cluster { return sys.cluster }
+
+// Stats returns the traffic meters.
+func (sys *System) Stats() network.Stats { return sys.cluster.Stats() }
+
+// Violations returns the maintained violation set V(Σ, D).
+func (sys *System) Violations() *cfd.Violations { return sys.v }
+
+// Rules returns the rule set.
+func (sys *System) Rules() []cfd.CFD { return sys.rules }
+
+func (sys *System) send(from, to network.SiteID, method string, args, reply any) error {
+	if sys.direct {
+		from = to
+	}
+	return sys.cluster.Call(from, to, method, args, reply)
+}
+
+// ApplyBatch runs incHor (Fig. 8): normalizes ∆D, routes every unit update
+// to its owning fragment's protocol, maintains V and returns ∆V.
+func (sys *System) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
+	if sys.noIndexes {
+		return nil, fmt.Errorf("horizontal: system built with NoIndexes cannot apply incremental updates")
+	}
+	delta := cfd.NewDelta()
+	for _, u := range updates.Normalize() {
+		ud, err := sys.applyUnit(u)
+		if err != nil {
+			return nil, err
+		}
+		ud.Apply(sys.v)
+		delta.Merge(ud)
+	}
+	return delta, nil
+}
+
+// peers returns the broadcast targets for a rule from the given owner:
+// every other site whose predicate does not contradict the rule's pattern
+// constants. Locally checkable rules have no targets.
+func (sys *System) peers(rule string, owner network.SiteID) []network.SiteID {
+	if sys.localCheck[rule] {
+		return nil
+	}
+	ex := sys.excluded[rule]
+	var out []network.SiteID
+	for i := range sys.sites {
+		id := network.SiteID(i)
+		if id == owner || ex[i] {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+func (sys *System) applyUnit(u relation.Update) (*cfd.Delta, error) {
+	ownerInt, err := sys.scheme.SiteFor(sys.schema, u.Tuple)
+	if err != nil {
+		return nil, err
+	}
+	owner := network.SiteID(ownerInt)
+	tid := int64(u.Tuple.ID)
+	delta := cfd.NewDelta()
+
+	if u.Kind == relation.Insert {
+		req := applyReq{Op: OpInsert, ID: tid, Values: u.Tuple.Values}
+		if err := sys.send(owner, owner, "h.apply", req, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// Constant CFDs: single-tuple checks at the owner, no shipment.
+	for i := range sys.rules {
+		r := &sys.rules[i]
+		if !r.IsConstant() || !r.MatchesLHS(sys.schema, u.Tuple) {
+			continue
+		}
+		var resp constCheckResp
+		if err := sys.send(owner, owner, "h.constCheck", constCheckReq{Rule: r.ID, ID: tid}, &resp); err != nil {
+			return nil, err
+		}
+		if resp.Violation {
+			if u.Kind == relation.Insert {
+				delta.Add(u.Tuple.ID, r.ID)
+			} else {
+				delta.Remove(u.Tuple.ID, r.ID)
+			}
+		}
+	}
+
+	// Variable CFDs, with the broadcast phases batched so each tuple is
+	// shipped to a peer at most once per update (O(|∆D| · n) messages).
+	var err2 error
+	switch u.Kind {
+	case relation.Insert:
+		err2 = sys.insertVariable(u.Tuple, owner, delta)
+	case relation.Delete:
+		err2 = sys.deleteVariable(u.Tuple, owner, delta)
+	}
+	if err2 != nil {
+		return nil, err2
+	}
+
+	if u.Kind == relation.Delete {
+		req := applyReq{Op: OpDelete, ID: tid, Values: u.Tuple.Values}
+		if err := sys.send(owner, owner, "h.apply", req, nil); err != nil {
+			return nil, err
+		}
+	}
+	return delta, nil
+}
+
+// keysFor computes the MD5-coded X and B keys of a tuple under a rule,
+// used by the owner's local index operations (never on the wire).
+func (sys *System) keysFor(r *cfd.CFD, t relation.Tuple) (keyRef, keyRef) {
+	x := makeKeyRef(t.Project(sys.schema, r.LHS), true)
+	b := makeKeyRef([]string{t.Get(sys.schema, r.RHS)}, true)
+	return x, b
+}
+
+// probeItemFor builds the wire form of one rule's probe entry: MD5 codes
+// when the optimization is on, a bare rule id otherwise (the full tuple
+// rides in the request and the receiver derives the keys).
+func (sys *System) probeItemFor(r *cfd.CFD, x, b keyRef) probeItem {
+	if sys.useMD5 {
+		return probeItem{Rule: r.ID, X: x, B: b}
+	}
+	return probeItem{Rule: r.ID}
+}
+
+// probeTuple returns the raw tuple values for probe requests when MD5
+// coding is off, nil otherwise.
+func (sys *System) probeTuple(t relation.Tuple) []string {
+	if sys.useMD5 {
+		return nil
+	}
+	return t.Values
+}
+
+func (sys *System) insertVariable(t relation.Tuple, owner network.SiteID, delta *cfd.Delta) error {
+	tid := int64(t.ID)
+	type pending struct {
+		rule *cfd.CFD
+		x, b keyRef
+		tInV bool
+	}
+	var pend []*pending
+	for i := range sys.rules {
+		r := &sys.rules[i]
+		if r.IsConstant() || !r.MatchesLHS(sys.schema, t) {
+			continue
+		}
+		x, b := sys.keysFor(r, t)
+		var local insLocalResp
+		if err := sys.send(owner, owner, "h.insLocal", insLocalReq{Rule: r.ID, ID: tid, X: x, B: b}, &local); err != nil {
+			return err
+		}
+		for _, id := range local.Added {
+			delta.Add(relation.TupleID(id), r.ID)
+		}
+		if !local.Broadcast {
+			if local.TAdded {
+				delta.Add(t.ID, r.ID)
+			}
+			continue
+		}
+		pend = append(pend, &pending{rule: r, x: x, b: b, tInV: local.LocalDiff})
+	}
+	if len(pend) == 0 {
+		return nil
+	}
+
+	// One probe message per peer, carrying every rule needing it.
+	peerItems := make(map[network.SiteID][]probeItem)
+	peerPend := make(map[network.SiteID][]*pending)
+	for _, p := range pend {
+		for _, peer := range sys.peers(p.rule.ID, owner) {
+			peerItems[peer] = append(peerItems[peer], sys.probeItemFor(p.rule, p.x, p.b))
+			peerPend[peer] = append(peerPend[peer], p)
+		}
+	}
+	for _, peer := range sortedSites(peerItems) {
+		var resp probeInsResp
+		req := probeInsReq{Tuple: sys.probeTuple(t), Items: peerItems[peer]}
+		if err := sys.send(owner, peer, "h.probeIns", req, &resp); err != nil {
+			return err
+		}
+		if len(resp.Items) != len(peerItems[peer]) {
+			return errResponseShape("h.probeIns", peer)
+		}
+		for k, ir := range resp.Items {
+			p := peerPend[peer][k]
+			for _, id := range ir.Added {
+				delta.Add(relation.TupleID(id), p.rule.ID)
+			}
+			if ir.HasDiff || ir.SameInV {
+				p.tInV = true
+			}
+		}
+	}
+	for _, p := range pend {
+		req := finishInsReq{Rule: p.rule.ID, ID: tid, X: p.x, B: p.b, TInV: p.tInV}
+		if err := sys.send(owner, owner, "h.finishIns", req, nil); err != nil {
+			return err
+		}
+		if p.tInV {
+			delta.Add(t.ID, p.rule.ID)
+		}
+	}
+	return nil
+}
+
+func (sys *System) deleteVariable(t relation.Tuple, owner network.SiteID, delta *cfd.Delta) error {
+	tid := int64(t.ID)
+	type pending struct {
+		rule          *cfd.CFD
+		x, b          keyRef
+		sameElsewhere bool
+		others        map[string]bool
+	}
+	var pend []*pending
+	for i := range sys.rules {
+		r := &sys.rules[i]
+		if r.IsConstant() || !r.MatchesLHS(sys.schema, t) {
+			continue
+		}
+		x, b := sys.keysFor(r, t)
+		var local delLocalResp
+		if err := sys.send(owner, owner, "h.delLocal", delLocalReq{Rule: r.ID, ID: tid, X: x, B: b}, &local); err != nil {
+			return err
+		}
+		if local.TRemoved {
+			delta.Remove(t.ID, r.ID)
+		}
+		if !local.Broadcast {
+			continue
+		}
+		p := &pending{rule: r, x: x, b: b, others: make(map[string]bool)}
+		for _, d := range local.LocalOthers {
+			p.others[string(d)] = true
+		}
+		pend = append(pend, p)
+	}
+	if len(pend) == 0 {
+		return nil
+	}
+
+	peerItems := make(map[network.SiteID][]probeItem)
+	peerPend := make(map[network.SiteID][]*pending)
+	for _, p := range pend {
+		for _, peer := range sys.peers(p.rule.ID, owner) {
+			peerItems[peer] = append(peerItems[peer], sys.probeItemFor(p.rule, p.x, p.b))
+			peerPend[peer] = append(peerPend[peer], p)
+		}
+	}
+	for _, peer := range sortedSites(peerItems) {
+		var resp probeDelResp
+		req := probeDelReq{Tuple: sys.probeTuple(t), Items: peerItems[peer]}
+		if err := sys.send(owner, peer, "h.probeDel", req, &resp); err != nil {
+			return err
+		}
+		if len(resp.Items) != len(peerItems[peer]) {
+			return errResponseShape("h.probeDel", peer)
+		}
+		for k, ir := range resp.Items {
+			p := peerPend[peer][k]
+			if ir.HasSame {
+				p.sameElsewhere = true
+			}
+			for _, d := range ir.Others {
+				p.others[string(d)] = true
+			}
+		}
+	}
+
+	// Rules whose group collapsed to a single surviving class get a
+	// demote round, again batched per peer.
+	demoteSiteItems := make(map[network.SiteID][]demoteItem)
+	demotePend := make(map[network.SiteID][]*pending)
+	for _, p := range pend {
+		if p.sameElsewhere || len(p.others) != 1 {
+			continue
+		}
+		item := demoteItem{Rule: p.rule.ID}
+		if sys.useMD5 {
+			item.X = p.x
+		}
+		sites := append([]network.SiteID{owner}, sys.peers(p.rule.ID, owner)...)
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		for _, s := range sites {
+			demoteSiteItems[s] = append(demoteSiteItems[s], item)
+			demotePend[s] = append(demotePend[s], p)
+		}
+	}
+	for _, s := range sortedSites(demoteSiteItems) {
+		var resp demoteResp
+		req := demoteReq{Tuple: sys.probeTuple(t), Items: demoteSiteItems[s]}
+		if err := sys.send(owner, s, "h.demote", req, &resp); err != nil {
+			return err
+		}
+		if len(resp.Items) != len(demoteSiteItems[s]) {
+			return errResponseShape("h.demote", s)
+		}
+		for k, ir := range resp.Items {
+			p := demotePend[s][k]
+			for _, id := range ir.Removed {
+				delta.Remove(relation.TupleID(id), p.rule.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func sortedSites[T any](m map[network.SiteID]T) []network.SiteID {
+	out := make([]network.SiteID, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func errResponseShape(method string, site network.SiteID) error {
+	return fmt.Errorf("horizontal: %s: malformed batch response from site %d", method, site)
+}
+
+// BatchDetect is batHor: for every rule, pattern-matching (partial) tuples
+// are shipped to a per-rule coordinator that checks the rule centrally —
+// except constant and locally checkable rules, which each site checks
+// itself with no shipment (the pre-checks of Fan et al., ICDE 2010).
+func (sys *System) BatchDetect() (*cfd.Violations, error) {
+	v := cfd.NewViolations()
+	for i := range sys.rules {
+		r := &sys.rules[i]
+		if sys.localCheck[r.ID] {
+			for _, st := range sys.sites {
+				if sys.excluded[r.ID][st.id] {
+					continue
+				}
+				var resp localDetectResp
+				if err := sys.cluster.Call(st.id, st.id, "h.localDetect", localDetectReq{Rule: r.ID}, &resp); err != nil {
+					return nil, err
+				}
+				for _, id := range resp.IDs {
+					v.Add(relation.TupleID(id), r.ID)
+				}
+			}
+			continue
+		}
+
+		// Like batVer, batHor uses one designated coordinator site; its
+		// assembly work is what degrades the batch baseline's scaleup.
+		coord := network.SiteID(0)
+		type group struct {
+			members   []int64
+			firstB    string
+			distinctB int
+		}
+		groups := make(map[string]*group)
+		addRow := func(row matchRow) {
+			// The coordinator evaluates tp[X] on the shipped projection.
+			for li := range r.LHS {
+				if !cfd.MatchValue(row.X[li], r.LHSPattern[li]) {
+					return
+				}
+			}
+			key := relation.JoinKey(row.X)
+			g, ok := groups[key]
+			if !ok {
+				groups[key] = &group{members: []int64{row.ID}, firstB: row.B, distinctB: 1}
+				return
+			}
+			if g.distinctB == 1 && row.B != g.firstB {
+				g.distinctB = 2
+			}
+			g.members = append(g.members, row.ID)
+		}
+		for _, st := range sys.sites {
+			if sys.excluded[r.ID][st.id] {
+				continue
+			}
+			var resp shipMatchingResp
+			if err := sys.cluster.Call(coord, st.id, "h.shipMatching", shipMatchingReq{Rule: r.ID}, &resp); err != nil {
+				return nil, err
+			}
+			for _, row := range resp.Rows {
+				addRow(row)
+			}
+		}
+		for _, g := range groups {
+			if g.distinctB > 1 {
+				for _, id := range g.members {
+					v.Add(relation.TupleID(id), r.ID)
+				}
+			}
+		}
+	}
+	return v, nil
+}

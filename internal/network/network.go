@@ -1,0 +1,460 @@
+// Package network is the distributed substrate the detection algorithms
+// run on. The paper evaluates on an Amazon EC2 cluster; here each site is
+// an isolated state container and every cross-site byte flows through a
+// Cluster, which meters messages, payload bytes and shipped eqids — the
+// quantities behind the paper's Figs. 9(c), 9(h) and 10.
+//
+// Two transports are provided: an in-process loopback (deterministic,
+// used by tests and benchmarks) and a real net/rpc-over-TCP transport in
+// which every site runs its own RPC server goroutine, exercising an
+// actual network stack. Both marshal payloads with encoding/gob, so the
+// byte accounting is identical and honest in either mode.
+package network
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SiteID identifies a site (fragment host) in [0, n).
+type SiteID int
+
+// RawHandler is a registered message handler: gob-encoded request bytes
+// in, gob-encoded reply bytes out.
+type RawHandler func(data []byte) ([]byte, error)
+
+// NativeHandler is the unserialized twin of a RawHandler, used for
+// same-site calls where no bytes cross the wire: no marshalling cost, no
+// metering (a site talking to itself is local computation).
+type NativeHandler func(args any) (any, error)
+
+// Transport delivers a request to a site's handler and returns the reply.
+type Transport interface {
+	Invoke(to SiteID, method string, data []byte) ([]byte, error)
+	Close() error
+}
+
+// Stats is a snapshot of the traffic meters.
+type Stats struct {
+	// Messages counts cross-site request messages.
+	Messages int64
+	// Bytes counts cross-site payload bytes (requests plus replies).
+	Bytes int64
+	// Eqids counts equivalence-class ids shipped cross-site (§4/§5).
+	Eqids int64
+	// PerPair maps "from→to" to request bytes shipped on that edge,
+	// the paper's M(i,j).
+	PerPair map[string]int64
+	// BusyNanos is per-site handler execution time: the compute each
+	// site performed. The scaleup experiments (§7 Exp-4/Exp-9) derive a
+	// simulated parallel elapsed time from it.
+	BusyNanos []int64
+	// RecvBytes is per-site received payload bytes (requests arriving
+	// plus replies returning), for the same parallel model.
+	RecvBytes []int64
+}
+
+// Sub returns s minus o, for measuring a window between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	d := Stats{
+		Messages: s.Messages - o.Messages,
+		Bytes:    s.Bytes - o.Bytes,
+		Eqids:    s.Eqids - o.Eqids,
+		PerPair:  make(map[string]int64),
+	}
+	for k, v := range s.PerPair {
+		if dv := v - o.PerPair[k]; dv != 0 {
+			d.PerPair[k] = dv
+		}
+	}
+	d.BusyNanos = make([]int64, len(s.BusyNanos))
+	d.RecvBytes = make([]int64, len(s.RecvBytes))
+	for i := range s.BusyNanos {
+		d.BusyNanos[i] = s.BusyNanos[i]
+		if i < len(o.BusyNanos) {
+			d.BusyNanos[i] -= o.BusyNanos[i]
+		}
+	}
+	for i := range s.RecvBytes {
+		d.RecvBytes[i] = s.RecvBytes[i]
+		if i < len(o.RecvBytes) {
+			d.RecvBytes[i] -= o.RecvBytes[i]
+		}
+	}
+	return d
+}
+
+// SimParallelSeconds models the elapsed time of a perfectly overlapped
+// distributed execution: the busiest site's compute plus its inbound
+// traffic at the given per-byte cost (≈1 ns/byte for the gigabit NICs of
+// the paper's EC2 era).
+func (s Stats) SimParallelSeconds(nsPerByte float64) float64 {
+	var max float64
+	for i := range s.BusyNanos {
+		v := float64(s.BusyNanos[i])
+		if i < len(s.RecvBytes) {
+			v += float64(s.RecvBytes[i]) * nsPerByte
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max / 1e9
+}
+
+// Pairs returns the PerPair keys sorted, for deterministic reporting.
+func (s Stats) Pairs() []string {
+	out := make([]string, 0, len(s.PerPair))
+	for k := range s.PerPair {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cluster is a set of sites plus the metered message fabric between them.
+type Cluster struct {
+	n int
+
+	mu       sync.Mutex
+	registry []map[string]RawHandler
+	native   []map[string]NativeHandler
+	siteMu   []sync.Mutex
+
+	transport Transport
+
+	statMu sync.Mutex
+	stats  Stats
+
+	// meterMu guards the per-pair metering streams. Each (from, to)
+	// pair has a long-lived gob stream, so type descriptors are paid
+	// once per pair — the amortized cost of gob over a real connection,
+	// not a per-message artifact.
+	meterMu sync.Mutex
+	meters  map[[2]SiteID]*meterStream
+}
+
+// meterStream measures the wire size of payloads on one directed pair.
+type meterStream struct {
+	cw  countWriter
+	enc *gob.Encoder
+}
+
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// meterEncode returns the number of bytes payload would occupy on the
+// (from, to) gob stream.
+func (c *Cluster) meterEncode(from, to SiteID, payload any) (int, error) {
+	c.meterMu.Lock()
+	defer c.meterMu.Unlock()
+	key := [2]SiteID{from, to}
+	ms, ok := c.meters[key]
+	if !ok {
+		ms = &meterStream{}
+		ms.enc = gob.NewEncoder(&ms.cw)
+		c.meters[key] = ms
+	}
+	before := ms.cw.n
+	if err := ms.enc.Encode(payload); err != nil {
+		return 0, err
+	}
+	return int(ms.cw.n - before), nil
+}
+
+// NewCluster creates a cluster of n sites wired to the in-process
+// loopback transport.
+func NewCluster(n int) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("network: cluster needs at least one site, got %d", n))
+	}
+	c := &Cluster{
+		n:        n,
+		registry: make([]map[string]RawHandler, n),
+		native:   make([]map[string]NativeHandler, n),
+		siteMu:   make([]sync.Mutex, n),
+		stats:    Stats{PerPair: make(map[string]int64), BusyNanos: make([]int64, n), RecvBytes: make([]int64, n)},
+	}
+	for i := range c.registry {
+		c.registry[i] = make(map[string]RawHandler)
+		c.native[i] = make(map[string]NativeHandler)
+	}
+	c.meters = make(map[[2]SiteID]*meterStream)
+	c.transport = &loopback{c: c}
+	return c
+}
+
+// NumSites returns n.
+func (c *Cluster) NumSites() int { return c.n }
+
+// Register installs a handler for (site, method). Protocol packages call
+// this while wiring their per-site state.
+func (c *Cluster) Register(site SiteID, method string, h RawHandler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.registry[site][method]; dup {
+		panic(fmt.Sprintf("network: site %d already has handler %q", site, method))
+	}
+	c.registry[site][method] = h
+}
+
+// dispatch runs the registered handler under the site's lock; it is the
+// single entry point used by every transport.
+func (c *Cluster) dispatch(to SiteID, method string, data []byte) ([]byte, error) {
+	if int(to) < 0 || int(to) >= c.n {
+		return nil, fmt.Errorf("network: no site %d", to)
+	}
+	c.mu.Lock()
+	h, ok := c.registry[to][method]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("network: site %d has no handler %q", to, method)
+	}
+	c.siteMu[to].Lock()
+	start := time.Now()
+	resp, err := h(data)
+	elapsed := time.Since(start)
+	c.siteMu[to].Unlock()
+	c.statMu.Lock()
+	c.stats.BusyNanos[to] += elapsed.Nanoseconds()
+	c.statMu.Unlock()
+	return resp, err
+}
+
+// UseTransport swaps the transport (e.g. for RPC mode). The caller owns
+// closing the previous transport.
+func (c *Cluster) UseTransport(t Transport) { c.transport = t }
+
+// callNative dispatches to a registered native handler under the site's
+// lock, charging the site's busy meter. ok is false when no native
+// handler exists for (to, method).
+func (c *Cluster) callNative(to SiteID, method string, args any) (resp any, ok bool, err error) {
+	c.mu.Lock()
+	h, found := c.native[to][method]
+	c.mu.Unlock()
+	if !found {
+		return nil, false, nil
+	}
+	c.siteMu[to].Lock()
+	start := time.Now()
+	resp, err = h(args)
+	elapsed := time.Since(start)
+	c.siteMu[to].Unlock()
+	c.statMu.Lock()
+	c.stats.BusyNanos[to] += elapsed.Nanoseconds()
+	c.statMu.Unlock()
+	return resp, true, err
+}
+
+func setReply(reply, resp any) {
+	if reply != nil {
+		reflect.ValueOf(reply).Elem().Set(reflect.ValueOf(resp))
+	}
+}
+
+// Call sends a request from one site to another through the transport,
+// metering it, and decodes the reply into reply (a pointer). A call with
+// from == to is local computation: dispatched directly via the native
+// handler when one exists, never metered. Cross-site calls on the
+// loopback transport dispatch natively too, with payload sizes measured
+// on long-lived per-pair gob streams — the same bytes a persistent TCP
+// connection would carry.
+func (c *Cluster) Call(from, to SiteID, method string, args, reply any) error {
+	if from == to {
+		if resp, ok, err := c.callNative(to, method, args); ok {
+			if err != nil {
+				return err
+			}
+			setReply(reply, resp)
+			return nil
+		}
+		data, err := Marshal(args)
+		if err != nil {
+			return fmt.Errorf("network: marshal %s args: %w", method, err)
+		}
+		respData, err := c.dispatch(to, method, data)
+		if err != nil {
+			return err
+		}
+		if reply == nil {
+			return nil
+		}
+		return Unmarshal(respData, reply)
+	}
+
+	if _, isLoop := c.transport.(*loopback); isLoop {
+		if resp, ok, err := c.nativeMetered(from, to, method, args); ok {
+			if err != nil {
+				return err
+			}
+			setReply(reply, resp)
+			return nil
+		}
+	}
+
+	data, err := Marshal(args)
+	if err != nil {
+		return fmt.Errorf("network: marshal %s args: %w", method, err)
+	}
+	respData, err := c.transport.Invoke(to, method, data)
+	if err != nil {
+		return err
+	}
+	c.meter(from, to, len(data), len(respData))
+	if reply == nil {
+		return nil
+	}
+	if err := Unmarshal(respData, reply); err != nil {
+		return fmt.Errorf("network: unmarshal %s reply: %w", method, err)
+	}
+	return nil
+}
+
+// nativeMetered performs a cross-site call without serializing the
+// payload for transport (loopback), while still measuring its exact wire
+// size on the pair's gob stream.
+func (c *Cluster) nativeMetered(from, to SiteID, method string, args any) (any, bool, error) {
+	reqBytes, err := c.meterEncode(from, to, args)
+	if err != nil {
+		return nil, false, nil // fall back to the raw path
+	}
+	resp, ok, err := c.callNative(to, method, args)
+	if !ok {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	respBytes := 0
+	if resp != nil {
+		if rb, err := c.meterEncode(to, from, resp); err == nil {
+			respBytes = rb
+		}
+	}
+	c.meter(from, to, reqBytes, respBytes)
+	return resp, true, nil
+}
+
+func (c *Cluster) meter(from, to SiteID, reqBytes, respBytes int) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	c.stats.Messages++
+	c.stats.Bytes += int64(reqBytes) + int64(respBytes)
+	c.stats.PerPair[pairKey(from, to)] += int64(reqBytes)
+	c.stats.RecvBytes[to] += int64(reqBytes)
+	if respBytes > 0 {
+		c.stats.PerPair[pairKey(to, from)] += int64(respBytes)
+		c.stats.RecvBytes[from] += int64(respBytes)
+	}
+}
+
+func pairKey(from, to SiteID) string { return fmt.Sprintf("%d→%d", from, to) }
+
+// AddEqids notes that n equivalence-class ids were shipped cross-site; the
+// §4/§5 algorithms call it alongside the messages carrying them.
+func (c *Cluster) AddEqids(n int) {
+	c.statMu.Lock()
+	c.stats.Eqids += int64(n)
+	c.statMu.Unlock()
+}
+
+// Stats returns a snapshot of the meters.
+func (c *Cluster) Stats() Stats {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	snap := c.stats
+	snap.PerPair = make(map[string]int64, len(c.stats.PerPair))
+	for k, v := range c.stats.PerPair {
+		snap.PerPair[k] = v
+	}
+	snap.BusyNanos = append([]int64(nil), c.stats.BusyNanos...)
+	snap.RecvBytes = append([]int64(nil), c.stats.RecvBytes...)
+	return snap
+}
+
+// ResetStats zeroes the meters.
+func (c *Cluster) ResetStats() {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	c.stats = Stats{
+		PerPair:   make(map[string]int64),
+		BusyNanos: make([]int64, c.n),
+		RecvBytes: make([]int64, c.n),
+	}
+}
+
+// Close shuts the transport down.
+func (c *Cluster) Close() error { return c.transport.Close() }
+
+// loopback is the in-process transport: dispatch without leaving the
+// address space. Payloads are still gob bytes, so accounting matches the
+// RPC transport exactly.
+type loopback struct{ c *Cluster }
+
+func (l *loopback) Invoke(to SiteID, method string, data []byte) ([]byte, error) {
+	return l.c.dispatch(to, method, data)
+}
+
+func (l *loopback) Close() error { return nil }
+
+// Marshal gob-encodes a value.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes into v (a pointer).
+func Unmarshal(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// Handler adapts a typed request/response function into a RawHandler.
+func Handler[Req, Resp any](f func(Req) (Resp, error)) RawHandler {
+	return func(data []byte) ([]byte, error) {
+		var req Req
+		if err := Unmarshal(data, &req); err != nil {
+			return nil, err
+		}
+		resp, err := f(req)
+		if err != nil {
+			return nil, err
+		}
+		return Marshal(resp)
+	}
+}
+
+// RegisterFunc installs a typed handler for (site, method) on both the
+// serialized path (cross-site transport) and the native path (same-site
+// calls). Handlers must not retain or mutate their arguments: on the
+// native path they are shared with the caller.
+func RegisterFunc[Req, Resp any](c *Cluster, site SiteID, method string, f func(Req) (Resp, error)) {
+	c.Register(site, method, Handler(f))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.native[site][method] = func(args any) (any, error) {
+		req, ok := args.(Req)
+		if !ok {
+			return nil, fmt.Errorf("network: %s: native call got %T", method, args)
+		}
+		return f(req)
+	}
+}
+
+// Ask is a typed convenience wrapper around Cluster.Call.
+func Ask[Resp any, Req any](c *Cluster, from, to SiteID, method string, req Req) (Resp, error) {
+	var resp Resp
+	err := c.Call(from, to, method, req, &resp)
+	return resp, err
+}

@@ -1,0 +1,158 @@
+package network
+
+import (
+	"strings"
+	"testing"
+)
+
+type echoReq struct {
+	Text string
+	N    int
+}
+
+type echoResp struct {
+	Text string
+}
+
+func wireEcho(c *Cluster) {
+	for i := 0; i < c.NumSites(); i++ {
+		site := SiteID(i)
+		network := c
+		RegisterFunc(network, site, "echo", func(req echoReq) (echoResp, error) {
+			return echoResp{Text: strings.Repeat(req.Text, req.N)}, nil
+		})
+	}
+}
+
+func TestLocalCallsAreUnmetered(t *testing.T) {
+	c := NewCluster(3)
+	wireEcho(c)
+	var resp echoResp
+	if err := c.Call(1, 1, "echo", echoReq{Text: "ab", N: 2}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "abab" {
+		t.Errorf("echo = %q", resp.Text)
+	}
+	if st := c.Stats(); st.Messages != 0 || st.Bytes != 0 {
+		t.Errorf("same-site call was metered: %+v", st)
+	}
+}
+
+func TestCrossSiteCallsAreMetered(t *testing.T) {
+	c := NewCluster(3)
+	wireEcho(c)
+	var resp echoResp
+	for i := 0; i < 5; i++ {
+		if err := c.Call(0, 2, "echo", echoReq{Text: "hello", N: 3}, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Messages != 5 {
+		t.Errorf("Messages = %d, want 5", st.Messages)
+	}
+	if st.Bytes <= 0 {
+		t.Error("no bytes metered")
+	}
+	if st.PerPair["0→2"] <= 0 || st.PerPair["2→0"] <= 0 {
+		t.Errorf("per-pair accounting missing: %v", st.PerPair)
+	}
+	if st.RecvBytes[2] <= 0 || st.RecvBytes[0] <= 0 {
+		t.Errorf("recv accounting missing: %v", st.RecvBytes)
+	}
+	c.AddEqids(7)
+	if got := c.Stats().Eqids; got != 7 {
+		t.Errorf("Eqids = %d", got)
+	}
+	c.ResetStats()
+	if st := c.Stats(); st.Messages != 0 || st.Bytes != 0 || len(st.BusyNanos) != 3 {
+		t.Errorf("ResetStats left %+v", st)
+	}
+}
+
+// The long-lived meter streams amortize gob type descriptors: after the
+// first message of a type on a pair, subsequent identical messages cost
+// far fewer bytes — the cost of a persistent connection, not a
+// per-message artifact.
+func TestMeterAmortizesTypeDescriptors(t *testing.T) {
+	c := NewCluster(2)
+	wireEcho(c)
+	var resp echoResp
+	if err := c.Call(0, 1, "echo", echoReq{Text: "x", N: 1}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	first := c.Stats().Bytes
+	if err := c.Call(0, 1, "echo", echoReq{Text: "x", N: 1}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	second := c.Stats().Bytes - first
+	if second >= first {
+		t.Errorf("second message cost %d bytes, first %d: no amortization", second, first)
+	}
+}
+
+func TestStatsSubAndSim(t *testing.T) {
+	c := NewCluster(2)
+	wireEcho(c)
+	var resp echoResp
+	if err := c.Call(0, 1, "echo", echoReq{Text: "abc", N: 100}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats()
+	if err := c.Call(0, 1, "echo", echoReq{Text: "abc", N: 100}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	window := c.Stats().Sub(before)
+	if window.Messages != 1 {
+		t.Errorf("window Messages = %d", window.Messages)
+	}
+	if s := c.Stats().SimParallelSeconds(1e6); s <= 0 {
+		t.Error("SimParallelSeconds = 0 with byte cost")
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	c := NewCluster(2)
+	if err := c.Call(0, 1, "nope", echoReq{}, nil); err == nil {
+		t.Error("unknown handler succeeded")
+	}
+	if err := c.Call(0, 0, "nope", echoReq{}, nil); err == nil {
+		t.Error("unknown local handler succeeded")
+	}
+}
+
+// TestRPCTransportParity runs the same calls over real TCP sockets and
+// checks the results match the loopback transport.
+func TestRPCTransportParity(t *testing.T) {
+	c := NewCluster(3)
+	wireEcho(c)
+
+	var loop echoResp
+	if err := c.Call(0, 2, "echo", echoReq{Text: "par", N: 4}, &loop); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := NewRPCTransport(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	c.UseTransport(tr)
+	defer c.UseTransport(&loopback{c: c})
+
+	var rpc echoResp
+	if err := c.Call(0, 2, "echo", echoReq{Text: "par", N: 4}, &rpc); err != nil {
+		t.Fatal(err)
+	}
+	if rpc.Text != loop.Text {
+		t.Errorf("rpc %q != loopback %q", rpc.Text, loop.Text)
+	}
+	if len(tr.Addrs()) != 3 {
+		t.Errorf("Addrs = %v", tr.Addrs())
+	}
+	// Cross-site bytes over RPC are metered too.
+	if st := c.Stats(); st.Messages < 2 {
+		t.Errorf("Messages = %d", st.Messages)
+	}
+}

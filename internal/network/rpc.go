@@ -1,0 +1,126 @@
+package network
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// Envelope is the wire format of the RPC transport: a method name plus
+// gob-encoded payload bytes. Each site runs its own rpc.Server; Invoke
+// delivers the envelope to the registered handler on that site.
+type Envelope struct {
+	Method string
+	Data   []byte
+}
+
+// siteService is the RPC-exported receiver for one site.
+type siteService struct {
+	c    *Cluster
+	site SiteID
+}
+
+// Invoke is the single RPC method: it routes the envelope into the
+// cluster's handler registry for this site.
+func (s *siteService) Invoke(req Envelope, resp *Envelope) error {
+	data, err := s.c.dispatch(s.site, req.Method, req.Data)
+	if err != nil {
+		return err
+	}
+	resp.Method = req.Method
+	resp.Data = data
+	return nil
+}
+
+// RPCTransport runs one net/rpc TCP server per site on 127.0.0.1 and
+// routes Invoke calls through real sockets. It simulates a multi-node
+// deployment within one process: site state is only reachable via RPC.
+type RPCTransport struct {
+	mu        sync.Mutex
+	listeners []net.Listener
+	clients   []*rpc.Client
+	addrs     []string
+}
+
+// NewRPCTransport starts n servers (one per cluster site) on ephemeral
+// localhost ports and connects a client to each. The caller must Close it.
+func NewRPCTransport(c *Cluster) (*RPCTransport, error) {
+	t := &RPCTransport{
+		listeners: make([]net.Listener, c.n),
+		clients:   make([]*rpc.Client, c.n),
+		addrs:     make([]string, c.n),
+	}
+	for i := 0; i < c.n; i++ {
+		srv := rpc.NewServer()
+		if err := srv.RegisterName("Site", &siteService{c: c, site: SiteID(i)}); err != nil {
+			t.Close()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("network: listening for site %d: %w", i, err)
+		}
+		t.listeners[i] = ln
+		t.addrs[i] = ln.Addr().String()
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go srv.ServeConn(conn)
+			}
+		}()
+	}
+	for i := 0; i < c.n; i++ {
+		client, err := rpc.Dial("tcp", t.addrs[i])
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("network: dialing site %d: %w", i, err)
+		}
+		t.clients[i] = client
+	}
+	return t, nil
+}
+
+// Addrs returns the listen addresses, one per site.
+func (t *RPCTransport) Addrs() []string { return append([]string(nil), t.addrs...) }
+
+// Invoke sends the envelope to the target site over TCP.
+func (t *RPCTransport) Invoke(to SiteID, method string, data []byte) ([]byte, error) {
+	t.mu.Lock()
+	client := t.clients[to]
+	t.mu.Unlock()
+	if client == nil {
+		return nil, fmt.Errorf("network: rpc transport has no client for site %d", to)
+	}
+	var resp Envelope
+	if err := client.Call("Site.Invoke", Envelope{Method: method, Data: data}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Close shuts down all clients and listeners.
+func (t *RPCTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	for _, cl := range t.clients {
+		if cl != nil {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	for _, ln := range t.listeners {
+		if ln != nil {
+			if err := ln.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,277 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RuleSpec is the optimizer's view of one normalized CFD: its id, the LHS
+// attribute list (author order preserved — the naive chain follows it) and
+// the single RHS attribute.
+type RuleSpec struct {
+	ID  string
+	LHS []string
+	RHS string
+}
+
+// Input describes a planning problem: the vertical partition (with
+// replication) and the rules to support.
+type Input struct {
+	NumSites  int
+	AttrSites map[string][]int // attribute → sorted sites holding it
+	Rules     []RuleSpec
+}
+
+func (in Input) sitesOf(attr string) []int { return in.AttrSites[attr] }
+
+func (in Input) holdsAt(attr string, site int) bool {
+	for _, s := range in.AttrSites[attr] {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// builder incrementally materializes a Plan from a set of available
+// composed-HEV placements.
+type builder struct {
+	in Input
+	// avail maps attrKey → site for composed HEVs the plan may use.
+	avail map[string]int
+	// availBase maps attr → sorted sites where a base HEV may be built.
+	availBase map[string][]int
+
+	plan      *Plan
+	nodeByKey map[string]NodeID // "b:attr:site" or "c:attrKey"
+	building  map[string]bool   // cycle guard (cannot happen; defensive)
+}
+
+func newBuilder(in Input, avail map[string]int, availBase map[string][]int) *builder {
+	return &builder{
+		in:        in,
+		avail:     avail,
+		availBase: availBase,
+		plan:      &Plan{Bindings: make(map[string]RuleBinding), edges: make(map[edge]struct{})},
+		nodeByKey: make(map[string]NodeID),
+		building:  make(map[string]bool),
+	}
+}
+
+func (b *builder) baseNode(attr string, site int) (NodeID, error) {
+	ok := false
+	for _, s := range b.availBase[attr] {
+		if s == site {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return 0, fmt.Errorf("optimizer: no base HEV available for %s at site %d", attr, site)
+	}
+	key := fmt.Sprintf("b:%s:%d", attr, site)
+	if id, ok := b.nodeByKey[key]; ok {
+		return id, nil
+	}
+	id := NodeID(len(b.plan.Nodes))
+	b.plan.Nodes = append(b.plan.Nodes, Node{ID: id, Kind: Base, Attrs: []string{attr}, Site: site})
+	b.nodeByKey[key] = id
+	return id, nil
+}
+
+// chooseBaseSite picks the site of the base HEV serving attr to a consumer
+// at consumerSite: the consumer's own site when a replica lives there
+// (zero shipment), otherwise the lowest available site.
+func (b *builder) chooseBaseSite(attr string, consumerSite int) (int, error) {
+	sites := b.availBase[attr]
+	if len(sites) == 0 {
+		return 0, fmt.Errorf("optimizer: attribute %s has no available base HEV site", attr)
+	}
+	for _, s := range sites {
+		if s == consumerSite {
+			return s, nil
+		}
+	}
+	return sites[0], nil
+}
+
+// buildComposed materializes the composed HEV for attrs (which must be in
+// avail), recursively building its inputs via greedy cover: repeatedly
+// take the available strict-subset HEV covering the most uncovered
+// attributes (ties: local to this HEV's site first, then lexicographic),
+// as long as it covers at least two; remaining attributes come from base
+// HEVs.
+func (b *builder) buildComposed(attrs []string) (NodeID, error) {
+	key := attrKey(attrs)
+	ck := "c:" + key
+	if id, ok := b.nodeByKey[ck]; ok {
+		return id, nil
+	}
+	if b.building[ck] {
+		return 0, fmt.Errorf("optimizer: cyclic HEV dependency on %v", attrs)
+	}
+	b.building[ck] = true
+	defer delete(b.building, ck)
+
+	site, ok := b.avail[key]
+	if !ok {
+		return 0, fmt.Errorf("optimizer: composed HEV %v not in available set", attrs)
+	}
+
+	want := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		want[a] = true
+	}
+	uncovered := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		uncovered[a] = true
+	}
+
+	var inputs []NodeID
+	for {
+		bestKey := ""
+		bestCover := 0
+		bestLocal := false
+		for candKey, candSite := range b.avail {
+			if candKey == key {
+				continue
+			}
+			candAttrs := splitKey(candKey)
+			subset := true
+			cover := 0
+			for _, a := range candAttrs {
+				if !want[a] {
+					subset = false
+					break
+				}
+				if uncovered[a] {
+					cover++
+				}
+			}
+			if !subset || len(candAttrs) >= len(attrs) || cover < 2 {
+				continue
+			}
+			local := candSite == site
+			if cover > bestCover ||
+				(cover == bestCover && local && !bestLocal) ||
+				(cover == bestCover && local == bestLocal && (bestKey == "" || candKey < bestKey)) {
+				bestKey, bestCover, bestLocal = candKey, cover, local
+			}
+		}
+		if bestKey == "" {
+			break
+		}
+		id, err := b.buildComposed(splitKey(bestKey))
+		if err != nil {
+			return 0, err
+		}
+		inputs = append(inputs, id)
+		for _, a := range splitKey(bestKey) {
+			delete(uncovered, a)
+		}
+	}
+	rest := make([]string, 0, len(uncovered))
+	for a := range uncovered {
+		rest = append(rest, a)
+	}
+	sort.Strings(rest)
+	for _, a := range rest {
+		bs, err := b.chooseBaseSite(a, site)
+		if err != nil {
+			return 0, err
+		}
+		id, err := b.baseNode(a, bs)
+		if err != nil {
+			return 0, err
+		}
+		inputs = append(inputs, id)
+	}
+
+	id := NodeID(len(b.plan.Nodes))
+	b.plan.Nodes = append(b.plan.Nodes, Node{ID: id, Kind: Composed, Attrs: sortedAttrs(attrs), Site: site, Inputs: inputs})
+	b.nodeByKey[ck] = id
+	for _, in := range inputs {
+		if b.plan.Nodes[in].Site != site {
+			b.plan.edges[edge{src: in, dest: site}] = struct{}{}
+		}
+	}
+	return id, nil
+}
+
+// bindRule attaches a rule to the plan: builds/locates its X node, its B
+// base node, picks the IDX site and records attachment shipments.
+func (b *builder) bindRule(r RuleSpec) error {
+	var xNode NodeID
+	var err error
+	if len(r.LHS) == 1 {
+		// eqid_X comes straight from a base HEV; the IDX lives with it.
+		site, err2 := b.chooseBaseSite(r.LHS[0], -1)
+		if err2 != nil {
+			return err2
+		}
+		xNode, err = b.baseNode(r.LHS[0], site)
+	} else {
+		xNode, err = b.buildComposed(r.LHS)
+	}
+	if err != nil {
+		return err
+	}
+	idxSite := b.plan.Nodes[xNode].Site
+
+	bSite, err := b.chooseBaseSite(r.RHS, idxSite)
+	if err != nil {
+		return err
+	}
+	bNode, err := b.baseNode(r.RHS, bSite)
+	if err != nil {
+		return err
+	}
+	if b.plan.Nodes[bNode].Site != idxSite {
+		b.plan.edges[edge{src: bNode, dest: idxSite}] = struct{}{}
+	}
+	if b.plan.Nodes[xNode].Site != idxSite {
+		b.plan.edges[edge{src: xNode, dest: idxSite}] = struct{}{}
+	}
+	b.plan.Bindings[r.ID] = RuleBinding{RuleID: r.ID, XNode: xNode, BNode: bNode, IDXSite: idxSite}
+	return nil
+}
+
+// BuildPlan materializes a plan from an available composed-HEV placement
+// set. Every rule's X set with |X| ≥ 2 must be present in avail.
+func BuildPlan(in Input, avail map[string]int, availBase map[string][]int) (*Plan, error) {
+	bld := newBuilder(in, avail, availBase)
+	// Deterministic rule order.
+	rules := append([]RuleSpec(nil), in.Rules...)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	for _, r := range rules {
+		if err := bld.bindRule(r); err != nil {
+			return nil, err
+		}
+	}
+	return bld.plan, nil
+}
+
+// allBaseSites returns the full replication map restricted to the
+// attributes the rules touch: every replica site may host a base HEV.
+func allBaseSites(in Input) map[string][]int {
+	out := make(map[string][]int)
+	for _, r := range in.Rules {
+		for _, a := range r.LHS {
+			out[a] = in.sitesOf(a)
+		}
+		out[r.RHS] = in.sitesOf(r.RHS)
+	}
+	return out
+}
+
+func splitKey(key string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\x1f' {
+			out = append(out, key[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, key[start:])
+}

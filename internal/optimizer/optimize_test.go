@@ -1,0 +1,105 @@
+package optimizer
+
+import (
+	"testing"
+)
+
+// example7 builds the topology of the paper's Example 7: relation
+// Re(A..K) over 8 sites — S1(A), S2(B), S3(C), S4(D), S5(E,F), S6(G,H),
+// S7(I), S8(J,K) — with CFDs ϕ1: ABC→E, ϕ2: ACD→F, ϕ3: AG→H, ϕ4: AIJ→K.
+// Sites here are 0-indexed.
+func example7(replicateI bool) Input {
+	attrSites := map[string][]int{
+		"A": {0}, "B": {1}, "C": {2}, "D": {3},
+		"E": {4}, "F": {4}, "G": {5}, "H": {5},
+		"I": {6}, "J": {7}, "K": {7},
+	}
+	if replicateI {
+		attrSites["I"] = []int{5, 6}
+	}
+	return Input{
+		NumSites:  8,
+		AttrSites: attrSites,
+		Rules: []RuleSpec{
+			{ID: "phi1", LHS: []string{"A", "B", "C"}, RHS: "E"},
+			{ID: "phi2", LHS: []string{"A", "C", "D"}, RHS: "F"},
+			{ID: "phi3", LHS: []string{"A", "G"}, RHS: "H"},
+			{ID: "phi4", LHS: []string{"A", "I", "J"}, RHS: "K"},
+		},
+	}
+}
+
+func TestNaiveChainPlanExample7NoReplication(t *testing.T) {
+	p, err := NaiveChainPlan(example7(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Neqid(); got != 9 {
+		t.Errorf("Fig 6(a): naive plan ships %d eqids, paper reports 9\n%s", got, p.Describe())
+	}
+}
+
+func TestNaiveChainPlanExample7WithReplication(t *testing.T) {
+	p, err := NaiveChainPlan(example7(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Neqid(); got != 8 {
+		t.Errorf("Fig 6(b): naive plan with replica ships %d eqids, paper reports 8\n%s", got, p.Describe())
+	}
+}
+
+func TestOptimizeExample7WithReplication(t *testing.T) {
+	p, err := Optimize(example7(true), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Neqid(); got != 7 {
+		t.Errorf("Fig 6(c): optVer ships %d eqids, paper reports 7\n%s", got, p.Describe())
+	}
+}
+
+func TestOptimizeNeverWorseThanNaive(t *testing.T) {
+	for _, repl := range []bool{false, true} {
+		in := example7(repl)
+		naive, err := NaiveChainPlan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Optimize(in, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Neqid() > naive.Neqid() {
+			t.Errorf("replication=%v: optVer %d eqids > naive %d", repl, opt.Neqid(), naive.Neqid())
+		}
+	}
+}
+
+func TestOptimizeMatchesExhaustiveOnTinyInstance(t *testing.T) {
+	in := Input{
+		NumSites: 3,
+		AttrSites: map[string][]int{
+			"A": {0}, "B": {1}, "C": {2}, "D": {1},
+		},
+		Rules: []RuleSpec{
+			{ID: "r1", LHS: []string{"A", "B"}, RHS: "C"},
+			{ID: "r2", LHS: []string{"A", "B", "C"}, RHS: "D"},
+		},
+	}
+	opt, err := Optimize(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExhaustiveOptimal(in, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Neqid() > exact.Neqid() {
+		t.Errorf("optVer %d eqids, exhaustive optimum %d\noptVer:\n%s\nexact:\n%s",
+			opt.Neqid(), exact.Neqid(), opt.Describe(), exact.Describe())
+	}
+	if opt.Neqid() < exact.Neqid() {
+		t.Errorf("optVer %d beat 'exhaustive' %d: exhaustive search is broken", opt.Neqid(), exact.Neqid())
+	}
+}

@@ -1,0 +1,210 @@
+// Package optimizer implements §5 of the paper: deciding which HEV indices
+// to build, where to place them, and how they feed each other, so that
+// validating all CFDs for a unit update ships as few eqids as possible.
+//
+// The central object is the Plan: a DAG of base nodes (one attribute at one
+// site) and HEV nodes (an attribute set at one site, composed from input
+// nodes whose attribute sets union to it). The number of eqids shipped per
+// unit update, Neqid, is the number of distinct (source node → destination
+// site) cross-site edges — distinct because an eqid arriving at a site is
+// shared by every consumer there ("this eqid is shipped only once").
+//
+// Three planners are provided:
+//
+//   - NaiveChainPlan: the per-CFD prefix chains of §4 with no sharing
+//     (Fig. 6(a) of the paper);
+//   - Optimize: the optVer beam-search heuristic (Fig. 7);
+//   - ExhaustiveOptimal: brute force over candidate subsets, usable only
+//     on tiny instances, kept as a test oracle for the NP-complete
+//     minimum-eqid-shipment problem (Theorem 7).
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID indexes a node within a Plan.
+type NodeID int
+
+// NodeKind distinguishes base HEVs from composed HEVs.
+type NodeKind int
+
+const (
+	// Base nodes map one attribute's values to eqids at one site.
+	Base NodeKind = iota
+	// Composed nodes implement eq(): input eqids to the eqid of the
+	// attribute union.
+	Composed
+)
+
+// Node is one HEV in the plan.
+type Node struct {
+	ID    NodeID
+	Kind  NodeKind
+	Attrs []string // sorted; len 1 for base nodes
+	Site  int
+	// Inputs are the nodes whose eqids feed this node (Composed only).
+	// Their attribute sets union to Attrs.
+	Inputs []NodeID
+}
+
+// RuleBinding says how one CFD uses the plan: the node producing eqid_X,
+// the base node producing eqid_B, and the site holding the rule's IDX.
+type RuleBinding struct {
+	RuleID  string
+	XNode   NodeID
+	BNode   NodeID
+	IDXSite int
+}
+
+// Plan is a complete HEV build plan for a rule set over a vertical
+// partition.
+type Plan struct {
+	Nodes    []Node
+	Bindings map[string]RuleBinding
+
+	// edges is the deduplicated set of cross-site shipments
+	// (source node → destination site) a unit update incurs.
+	edges map[edge]struct{}
+}
+
+type edge struct {
+	src  NodeID
+	dest int
+}
+
+// Neqid returns the number of eqids shipped per unit update under this
+// plan: the paper's objective function (Fig. 10 reports it directly).
+func (p *Plan) Neqid() int { return len(p.edges) }
+
+// Edges returns the cross-site shipments sorted for deterministic output.
+func (p *Plan) Edges() []string {
+	out := make([]string, 0, len(p.edges))
+	for e := range p.edges {
+		n := p.Nodes[e.src]
+		out = append(out, fmt.Sprintf("%s@S%d→S%d", strings.Join(n.Attrs, ""), n.Site, e.dest))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Node returns the node with the given id.
+func (p *Plan) Node(id NodeID) Node { return p.Nodes[id] }
+
+// TopoOrder returns node ids such that inputs precede consumers. Plans are
+// built bottom-up so the natural order already satisfies this.
+func (p *Plan) TopoOrder() []NodeID {
+	out := make([]NodeID, len(p.Nodes))
+	for i := range p.Nodes {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// Consumers returns, for every node, the set of sites that need its output
+// eqid delivered (consumer HEV nodes at other sites plus IDX attachments).
+// Same-site consumption needs no delivery.
+func (p *Plan) Consumers() map[NodeID][]int {
+	dests := make(map[NodeID]map[int]struct{})
+	add := func(src NodeID, site int) {
+		if p.Nodes[src].Site == site {
+			return
+		}
+		m, ok := dests[src]
+		if !ok {
+			m = make(map[int]struct{})
+			dests[src] = m
+		}
+		m[site] = struct{}{}
+	}
+	for _, n := range p.Nodes {
+		for _, in := range n.Inputs {
+			add(in, n.Site)
+		}
+	}
+	for _, b := range p.Bindings {
+		add(b.XNode, b.IDXSite)
+		add(b.BNode, b.IDXSite)
+	}
+	out := make(map[NodeID][]int, len(dests))
+	for src, m := range dests {
+		sites := make([]int, 0, len(m))
+		for s := range m {
+			sites = append(sites, s)
+		}
+		sort.Ints(sites)
+		out[src] = sites
+	}
+	return out
+}
+
+// RuleNodes returns the transitive node closure a rule needs, in
+// topological (bottom-up) order.
+func (p *Plan) RuleNodes(ruleID string) []NodeID {
+	b, ok := p.Bindings[ruleID]
+	if !ok {
+		return nil
+	}
+	seen := make(map[NodeID]bool)
+	var order []NodeID
+	var visit func(NodeID)
+	visit = func(id NodeID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		for _, in := range p.Nodes[id].Inputs {
+			visit(in)
+		}
+		order = append(order, id)
+	}
+	visit(b.XNode)
+	visit(b.BNode)
+	return order
+}
+
+// Describe renders the plan for humans: one line per node plus bindings.
+func (p *Plan) Describe() string {
+	var sb strings.Builder
+	for _, n := range p.Nodes {
+		if n.Kind == Base {
+			fmt.Fprintf(&sb, "  base  H[%s] @S%d\n", n.Attrs[0], n.Site)
+			continue
+		}
+		ins := make([]string, len(n.Inputs))
+		for i, in := range n.Inputs {
+			ins[i] = strings.Join(p.Nodes[in].Attrs, "")
+		}
+		fmt.Fprintf(&sb, "  hev   H[%s] @S%d ← %s\n", strings.Join(n.Attrs, ""), n.Site, strings.Join(ins, " + "))
+	}
+	ruleIDs := make([]string, 0, len(p.Bindings))
+	for id := range p.Bindings {
+		ruleIDs = append(ruleIDs, id)
+	}
+	sort.Strings(ruleIDs)
+	for _, id := range ruleIDs {
+		b := p.Bindings[id]
+		fmt.Fprintf(&sb, "  rule  %s: X=H[%s]@S%d, B=H[%s]@S%d, IDX @S%d\n",
+			id,
+			strings.Join(p.Nodes[b.XNode].Attrs, ""), p.Nodes[b.XNode].Site,
+			strings.Join(p.Nodes[b.BNode].Attrs, ""), p.Nodes[b.BNode].Site,
+			b.IDXSite)
+	}
+	fmt.Fprintf(&sb, "  Neqid per unit update: %d\n", p.Neqid())
+	return sb.String()
+}
+
+// attrKey canonicalizes an attribute set.
+func attrKey(attrs []string) string {
+	s := append([]string(nil), attrs...)
+	sort.Strings(s)
+	return strings.Join(s, "\x1f")
+}
+
+func sortedAttrs(attrs []string) []string {
+	s := append([]string(nil), attrs...)
+	sort.Strings(s)
+	return s
+}

@@ -1,0 +1,189 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+func randomRelation(seed int64, n int) *relation.Relation {
+	s := relation.MustSchema("R", "A", "B", "C", "D", "E")
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(s)
+	for i := 1; i <= n; i++ {
+		vals := make([]string, 5)
+		for j := range vals {
+			vals[j] = fmt.Sprint(rng.Intn(4))
+		}
+		r.MustInsert(relation.Tuple{ID: relation.TupleID(i), Values: vals})
+	}
+	return r
+}
+
+// Property: vertical partition followed by reconstruction is the identity
+// (the paper: D = ⋈ᵢ Dᵢ on the key), for round-robin and replicated
+// schemes alike.
+func TestVerticalRoundTrip(t *testing.T) {
+	f := func(seed int64, sites uint8, rows uint8) bool {
+		n := int(sites%4) + 2
+		rel := randomRelation(seed, int(rows%40)+1)
+		vs := RoundRobinVertical(rel.Schema, n)
+		// Replicate one attribute everywhere to exercise replica checks.
+		vs.AttrSites["A"] = allSites(n)
+		frags, err := PartitionVertical(rel, vs)
+		if err != nil {
+			return false
+		}
+		back, err := ReconstructVertical(rel.Schema, frags)
+		if err != nil {
+			return false
+		}
+		return back.Equal(rel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func allSites(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestVerticalSchemeValidation(t *testing.T) {
+	s := relation.MustSchema("R", "A", "B")
+	if _, err := NewVerticalScheme(s, 0, nil); err == nil {
+		t.Error("zero sites accepted")
+	}
+	if _, err := NewVerticalScheme(s, 2, map[string][]int{"A": {0}}); err == nil {
+		t.Error("unassigned attribute accepted")
+	}
+	if _, err := NewVerticalScheme(s, 2, map[string][]int{"A": {0}, "B": {5}}); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	if _, err := NewVerticalScheme(s, 2, map[string][]int{"A": {0}, "B": {1}, "Z": {0}}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	vs, err := NewVerticalScheme(s, 2, map[string][]int{"A": {1, 0, 1}, "B": {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vs.SitesOf("A"); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("SitesOf(A) = %v (want deduped, sorted)", got)
+	}
+	if p, _ := vs.PrimarySiteOf("A"); p != 0 {
+		t.Errorf("PrimarySiteOf(A) = %d", p)
+	}
+}
+
+func TestReconstructVerticalDetectsDrift(t *testing.T) {
+	rel := randomRelation(3, 5)
+	vs := RoundRobinVertical(rel.Schema, 2)
+	vs.AttrSites["A"] = []int{0, 1} // replicated
+	frags, err := PartitionVertical(rel, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one replica of A.
+	tp, _ := frags[1].Get(1)
+	tp.Values[frags[1].Schema.MustIndex("A")] = "corrupt"
+	frags[1].Delete(1)
+	frags[1].MustInsert(tp)
+	if _, err := ReconstructVertical(rel.Schema, frags); err == nil {
+		t.Error("replica disagreement not detected")
+	}
+}
+
+// Property: horizontal partition is disjoint and covering, and union
+// reconstructs D, for all three predicate kinds.
+func TestHorizontalRoundTrip(t *testing.T) {
+	f := func(seed int64, sites uint8, rows uint8, kind uint8) bool {
+		n := int(sites%4) + 2
+		rel := randomRelation(seed, int(rows%40)+1)
+		var hs *HorizontalScheme
+		switch kind % 3 {
+		case 0:
+			hs = IDHorizontal(n)
+		case 1:
+			hs = HashHorizontal("B", n)
+		default:
+			hs = BySetHorizontal("A", [][]string{{"0"}, {"1"}, {"2"}, {"3"}})
+		}
+		frags, err := PartitionHorizontal(rel, hs)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, f := range frags {
+			total += f.Len()
+		}
+		if total != rel.Len() {
+			return false
+		}
+		back, err := ReconstructHorizontal(rel.Schema, frags)
+		if err != nil {
+			return false
+		}
+		return back.Equal(rel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSiteForRejectsNonCovering(t *testing.T) {
+	rel := randomRelation(1, 3)
+	hs := BySetHorizontal("A", [][]string{{"0"}}) // misses values 1..3
+	covered := true
+	rel.Each(func(tp relation.Tuple) bool {
+		if _, err := hs.SiteFor(rel.Schema, tp); err != nil {
+			covered = false
+			return false
+		}
+		return true
+	})
+	if covered {
+		t.Skip("random data happened to be covered")
+	}
+}
+
+func TestLocallyCheckable(t *testing.T) {
+	ruleAB := &cfd.CFD{ID: "r", LHS: []string{"A", "B"}, RHS: "C",
+		LHSPattern: []string{"_", "_"}, RHSPattern: "_"}
+	if !HashHorizontal("A", 3).LocallyCheckable(ruleAB) {
+		t.Error("partition attr in LHS should be locally checkable")
+	}
+	if HashHorizontal("C", 3).LocallyCheckable(ruleAB) {
+		t.Error("partition attr outside LHS should not be locally checkable")
+	}
+	if IDHorizontal(3).LocallyCheckable(ruleAB) {
+		t.Error("id partitioning is never locally checkable")
+	}
+}
+
+func TestExcludesConstants(t *testing.T) {
+	p := Predicate{Kind: PredInSet, Attr: "grade", Values: []string{"A"}}
+	if !p.ExcludesConstants([]string{"grade"}, []string{"B"}) {
+		t.Error("grade=B should be excluded from the grade∈{A} fragment")
+	}
+	if p.ExcludesConstants([]string{"grade"}, []string{"A"}) {
+		t.Error("grade=A should not be excluded")
+	}
+	if p.ExcludesConstants([]string{"city"}, []string{"EDI"}) {
+		t.Error("constants on other attributes never exclude")
+	}
+	h := Predicate{Kind: PredHashMod, Attr: "g", Mod: 2, Rem: 0}
+	v := "x"
+	excl := h.ExcludesConstants([]string{"g"}, []string{v})
+	match := h.Match(relation.MustSchema("R", "g"), relation.Tuple{Values: []string{v}})
+	if excl == match {
+		t.Error("hash predicate exclusion must complement matching")
+	}
+}

@@ -1,0 +1,198 @@
+// Package partition implements the two fragmentation styles of §2.2 of the
+// paper: vertical partitions Di = π_Xi(D) (every fragment carrying the key,
+// here the TupleID) and horizontal partitions Di = σ_Fi(D) (disjoint
+// selections covering D). Vertical schemes may replicate attributes across
+// fragments, which §5's optimizer exploits.
+package partition
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// VerticalScheme assigns every attribute of a schema to one or more sites.
+// Fragment i holds the attributes whose site set contains i (plus,
+// implicitly, the tuple id key).
+type VerticalScheme struct {
+	// NumSites is n, the number of fragments/sites.
+	NumSites int
+	// AttrSites maps each attribute to the sorted list of sites holding
+	// it. Length-1 lists mean no replication.
+	AttrSites map[string][]int
+}
+
+// NewVerticalScheme validates and normalizes a scheme over schema s: every
+// attribute of s must be assigned to at least one site in [0, numSites).
+func NewVerticalScheme(s *relation.Schema, numSites int, attrSites map[string][]int) (*VerticalScheme, error) {
+	if numSites <= 0 {
+		return nil, fmt.Errorf("partition: vertical scheme needs at least one site, got %d", numSites)
+	}
+	vs := &VerticalScheme{NumSites: numSites, AttrSites: make(map[string][]int, len(attrSites))}
+	for _, a := range s.Attrs {
+		sites, ok := attrSites[a]
+		if !ok || len(sites) == 0 {
+			return nil, fmt.Errorf("partition: attribute %q assigned to no site", a)
+		}
+		seen := make(map[int]bool, len(sites))
+		norm := make([]int, 0, len(sites))
+		for _, site := range sites {
+			if site < 0 || site >= numSites {
+				return nil, fmt.Errorf("partition: attribute %q assigned to site %d, want [0,%d)", a, site, numSites)
+			}
+			if !seen[site] {
+				seen[site] = true
+				norm = append(norm, site)
+			}
+		}
+		sort.Ints(norm)
+		vs.AttrSites[a] = norm
+	}
+	for a := range attrSites {
+		if !s.Has(a) {
+			return nil, fmt.Errorf("partition: scheme assigns unknown attribute %q", a)
+		}
+	}
+	return vs, nil
+}
+
+// RoundRobinVertical spreads the attributes of s across numSites fragments
+// in schema order, with no replication. It is the default scheme used by
+// the experiment harness.
+func RoundRobinVertical(s *relation.Schema, numSites int) *VerticalScheme {
+	attrSites := make(map[string][]int, s.Width())
+	for i, a := range s.Attrs {
+		attrSites[a] = []int{i % numSites}
+	}
+	vs, err := NewVerticalScheme(s, numSites, attrSites)
+	if err != nil {
+		panic(err) // correct by construction
+	}
+	return vs
+}
+
+// SitesOf returns the sites holding attr (sorted). Empty if unknown.
+func (vs *VerticalScheme) SitesOf(attr string) []int {
+	return vs.AttrSites[attr]
+}
+
+// PrimarySiteOf returns the lowest site holding attr.
+func (vs *VerticalScheme) PrimarySiteOf(attr string) (int, bool) {
+	sites := vs.AttrSites[attr]
+	if len(sites) == 0 {
+		return 0, false
+	}
+	return sites[0], true
+}
+
+// HoldsAt reports whether site holds attr.
+func (vs *VerticalScheme) HoldsAt(attr string, site int) bool {
+	for _, s := range vs.AttrSites[attr] {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// FragmentAttrs returns the attributes stored at site, in the order of the
+// base schema s.
+func (vs *VerticalScheme) FragmentAttrs(s *relation.Schema, site int) []string {
+	var out []string
+	for _, a := range s.Attrs {
+		if vs.HoldsAt(a, site) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// FragmentSchema returns the schema of fragment site.
+func (vs *VerticalScheme) FragmentSchema(s *relation.Schema, site int) (*relation.Schema, error) {
+	attrs := vs.FragmentAttrs(s, site)
+	if len(attrs) == 0 {
+		// A site may legitimately hold no attribute under adversarial
+		// schemes; give it an empty marker schema with no columns is not
+		// representable, so surface it to the caller.
+		return nil, fmt.Errorf("partition: site %d holds no attributes", site)
+	}
+	return s.Project(fmt.Sprintf("%s_v%d", s.Name, site), attrs)
+}
+
+// PartitionVertical splits rel into fragment relations, one per site.
+// Every fragment contains every tuple id (projection keeps the key).
+func PartitionVertical(rel *relation.Relation, vs *VerticalScheme) ([]*relation.Relation, error) {
+	frags := make([]*relation.Relation, vs.NumSites)
+	schemas := make([]*relation.Schema, vs.NumSites)
+	for i := 0; i < vs.NumSites; i++ {
+		fs, err := vs.FragmentSchema(rel.Schema, i)
+		if err != nil {
+			return nil, err
+		}
+		schemas[i] = fs
+		frags[i] = relation.New(fs)
+	}
+	var insertErr error
+	rel.Each(func(t relation.Tuple) bool {
+		for i := 0; i < vs.NumSites; i++ {
+			if err := frags[i].Insert(t.ProjectTuple(rel.Schema, schemas[i])); err != nil {
+				insertErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if insertErr != nil {
+		return nil, insertErr
+	}
+	return frags, nil
+}
+
+// ReconstructVertical joins fragments back on TupleID into a relation over
+// base schema s; the inverse of PartitionVertical (replicated attributes
+// must agree across fragments — disagreement is an error, as it would mean
+// fragments drifted apart).
+func ReconstructVertical(s *relation.Schema, frags []*relation.Relation) (*relation.Relation, error) {
+	out := relation.New(s)
+	if len(frags) == 0 {
+		return out, nil
+	}
+	for _, id := range frags[0].IDs() {
+		values := make([]string, s.Width())
+		filled := make([]bool, s.Width())
+		for fi, f := range frags {
+			t, ok := f.Get(id)
+			if !ok {
+				return nil, fmt.Errorf("partition: tuple %d missing from fragment %d", id, fi)
+			}
+			for ai, a := range f.Schema.Attrs {
+				idx := s.MustIndex(a)
+				if filled[idx] && values[idx] != t.Values[ai] {
+					return nil, fmt.Errorf("partition: tuple %d attribute %q: replicas disagree (%q vs %q)",
+						id, a, values[idx], t.Values[ai])
+				}
+				values[idx] = t.Values[ai]
+				filled[idx] = true
+			}
+		}
+		for ai := range filled {
+			if !filled[ai] {
+				return nil, fmt.Errorf("partition: tuple %d attribute %q not covered by any fragment", id, s.Attrs[ai])
+			}
+		}
+		if err := out.Insert(relation.Tuple{ID: id, Values: values}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// hashString gives a stable 32-bit hash used by hash-based horizontal
+// placement.
+func hashString(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}

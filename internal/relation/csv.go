@@ -1,0 +1,67 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the relation as CSV: a header row of "id" plus the
+// attribute names, then one row per tuple in ascending TupleID order.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"id"}, r.Schema.Attrs...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, t := range r.Tuples() {
+		row := make([]string, 0, 1+len(t.Values))
+		row = append(row, strconv.FormatInt(int64(t.ID), 10))
+		row = append(row, t.Values...)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation written by WriteCSV. The schema is derived from
+// the header (first column must be "id") and the given relation name.
+func ReadCSV(rd io.Reader, name string) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "id" {
+		return nil, fmt.Errorf("relation: CSV header must start with \"id\", got %v", header)
+	}
+	schema, err := NewSchema(name, header[1:])
+	if err != nil {
+		return nil, err
+	}
+	rel := New(schema)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: bad id %q: %w", line, row[0], err)
+		}
+		t, err := NewTuple(schema, TupleID(id), row[1:])
+		if err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+		if err := rel.Insert(t); err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+	}
+	return rel, nil
+}

@@ -1,0 +1,130 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is an in-memory instance of a schema: a set of tuples keyed by
+// TupleID. Iteration order is by ascending TupleID so every run of every
+// algorithm is deterministic.
+type Relation struct {
+	Schema *Schema
+	tuples map[TupleID]Tuple
+}
+
+// New returns an empty relation over schema s.
+func New(s *Schema) *Relation {
+	return &Relation{Schema: s, tuples: make(map[TupleID]Tuple)}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Has reports whether a tuple with the given id is present.
+func (r *Relation) Has(id TupleID) bool {
+	_, ok := r.tuples[id]
+	return ok
+}
+
+// Get returns the tuple with the given id.
+func (r *Relation) Get(id TupleID) (Tuple, bool) {
+	t, ok := r.tuples[id]
+	return t, ok
+}
+
+// Insert adds a tuple; inserting an existing id is an error (the paper
+// treats modification as deletion followed by insertion).
+func (r *Relation) Insert(t Tuple) error {
+	if len(t.Values) != r.Schema.Width() {
+		return fmt.Errorf("relation: insert into %q: tuple %d has %d values, want %d",
+			r.Schema.Name, t.ID, len(t.Values), r.Schema.Width())
+	}
+	if _, dup := r.tuples[t.ID]; dup {
+		return fmt.Errorf("relation: insert into %q: duplicate tuple id %d", r.Schema.Name, t.ID)
+	}
+	r.tuples[t.ID] = t
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (r *Relation) MustInsert(t Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// Delete removes the tuple with the given id, returning it.
+func (r *Relation) Delete(id TupleID) (Tuple, error) {
+	t, ok := r.tuples[id]
+	if !ok {
+		return Tuple{}, fmt.Errorf("relation: delete from %q: no tuple id %d", r.Schema.Name, id)
+	}
+	delete(r.tuples, id)
+	return t, nil
+}
+
+// IDs returns all tuple ids in ascending order.
+func (r *Relation) IDs() []TupleID {
+	ids := make([]TupleID, 0, len(r.tuples))
+	for id := range r.tuples {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Tuples returns all tuples in ascending TupleID order.
+func (r *Relation) Tuples() []Tuple {
+	ids := r.IDs()
+	out := make([]Tuple, len(ids))
+	for i, id := range ids {
+		out[i] = r.tuples[id]
+	}
+	return out
+}
+
+// Each calls fn for every tuple in ascending TupleID order, stopping early
+// if fn returns false.
+func (r *Relation) Each(fn func(Tuple) bool) {
+	for _, id := range r.IDs() {
+		if !fn(r.tuples[id]) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := New(r.Schema)
+	for id, t := range r.tuples {
+		c.tuples[id] = t.Clone()
+	}
+	return c
+}
+
+// MaxID returns the largest TupleID present, or 0 for an empty relation.
+func (r *Relation) MaxID() TupleID {
+	var max TupleID
+	for id := range r.tuples {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// Equal reports whether two relations contain exactly the same tuples
+// (ids and values) over equal schemas.
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.Schema.Equal(o.Schema) || len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	for id, t := range r.tuples {
+		ot, ok := o.tuples[id]
+		if !ok || !t.EqualValues(ot) {
+			return false
+		}
+	}
+	return true
+}

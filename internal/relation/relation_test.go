@@ -1,0 +1,216 @@
+package relation
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("R", nil); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSchema("R", []string{"a", "a"}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewSchema("R", []string{"a", ""}); err == nil {
+		t.Error("empty attribute name accepted")
+	}
+	s := MustSchema("R", "a", "b", "c")
+	if i := s.MustIndex("b"); i != 1 {
+		t.Errorf("MustIndex(b) = %d, want 1", i)
+	}
+	if s.Has("z") {
+		t.Error("Has(z) = true")
+	}
+	if !s.HasAll([]string{"a", "c"}) {
+		t.Error("HasAll(a,c) = false")
+	}
+	p, err := s.Project("P", []string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Attrs, []string{"c", "a"}) {
+		t.Errorf("projection attrs = %v", p.Attrs)
+	}
+	if _, err := s.Project("P", []string{"nope"}); err == nil {
+		t.Error("projection of unknown attribute accepted")
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	s := MustSchema("R", "a", "b", "c")
+	tp, err := NewTuple(s, 7, []string{"1", "2", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTuple(s, 7, []string{"1"}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if got := tp.Get(s, "b"); got != "2" {
+		t.Errorf("Get(b) = %q", got)
+	}
+	if got := tp.Project(s, []string{"c", "a"}); !reflect.DeepEqual(got, []string{"3", "1"}) {
+		t.Errorf("Project = %v", got)
+	}
+	ps, _ := s.Project("P", []string{"b"})
+	pt := tp.ProjectTuple(s, ps)
+	if pt.ID != 7 || !reflect.DeepEqual(pt.Values, []string{"2"}) {
+		t.Errorf("ProjectTuple = %+v", pt)
+	}
+	cl := tp.Clone()
+	cl.Values[0] = "x"
+	if tp.Values[0] != "1" {
+		t.Error("Clone shares storage")
+	}
+	if tp.Key(s, []string{"a", "b"}) != JoinKey([]string{"1", "2"}) {
+		t.Error("Key and JoinKey disagree")
+	}
+}
+
+func TestRelationInsertDelete(t *testing.T) {
+	s := MustSchema("R", "a")
+	r := New(s)
+	r.MustInsert(Tuple{ID: 1, Values: []string{"x"}})
+	if err := r.Insert(Tuple{ID: 1, Values: []string{"y"}}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := r.Insert(Tuple{ID: 2, Values: []string{"y", "z"}}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := r.Delete(99); err == nil {
+		t.Error("deleting missing id succeeded")
+	}
+	got, err := r.Delete(1)
+	if err != nil || got.Values[0] != "x" {
+		t.Errorf("Delete returned %v, %v", got, err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d after delete", r.Len())
+	}
+}
+
+func TestRelationDeterministicOrder(t *testing.T) {
+	s := MustSchema("R", "a")
+	r := New(s)
+	for _, id := range []TupleID{5, 1, 9, 3} {
+		r.MustInsert(Tuple{ID: id, Values: []string{"v"}})
+	}
+	want := []TupleID{1, 3, 5, 9}
+	if !reflect.DeepEqual(r.IDs(), want) {
+		t.Errorf("IDs = %v, want %v", r.IDs(), want)
+	}
+	var seen []TupleID
+	r.Each(func(tp Tuple) bool {
+		seen = append(seen, tp.ID)
+		return tp.ID < 5 // stop early
+	})
+	if !reflect.DeepEqual(seen, []TupleID{1, 3, 5}) {
+		t.Errorf("Each visited %v", seen)
+	}
+}
+
+func TestUpdateNormalize(t *testing.T) {
+	s := MustSchema("R", "a")
+	tup := func(id TupleID) Tuple { return Tuple{ID: id, Values: []string{"v"}} }
+
+	// insert(1) then delete(1) cancel; delete(2) then insert(2) is a
+	// modification and survives.
+	ul := UpdateList{
+		{Kind: Insert, Tuple: tup(1)},
+		{Kind: Delete, Tuple: tup(2)},
+		{Kind: Insert, Tuple: tup(2)},
+		{Kind: Delete, Tuple: tup(1)},
+	}
+	norm := ul.Normalize()
+	if len(norm) != 2 {
+		t.Fatalf("Normalize kept %d updates, want 2: %v", len(norm), norm)
+	}
+	if norm[0].Kind != Delete || norm[0].Tuple.ID != 2 || norm[1].Kind != Insert || norm[1].Tuple.ID != 2 {
+		t.Errorf("Normalize = %v", norm)
+	}
+
+	r := New(s)
+	r.MustInsert(tup(2))
+	if err := ul.Validate(r); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	bad := UpdateList{{Kind: Delete, Tuple: tup(9)}}
+	if err := bad.Validate(r); err == nil {
+		t.Error("Validate accepted delete of missing id")
+	}
+}
+
+// Property: applying ∆D and applying Normalize(∆D) produce the same
+// relation, for random interleavings of inserts and deletes.
+func TestNormalizePreservesEffect(t *testing.T) {
+	s := MustSchema("R", "a")
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := New(s)
+		for i := 1; i <= 10; i++ {
+			base.MustInsert(Tuple{ID: TupleID(i), Values: []string{fmt.Sprint(rng.Intn(3))}})
+		}
+		live := base.IDs()
+		next := TupleID(11)
+		var ul UpdateList
+		for i := 0; i < int(steps%40); i++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				tp := Tuple{ID: next, Values: []string{fmt.Sprint(rng.Intn(3))}}
+				next++
+				ul = append(ul, Update{Kind: Insert, Tuple: tp})
+				live = append(live, tp.ID)
+			} else {
+				k := rng.Intn(len(live))
+				id := live[k]
+				live = append(live[:k], live[k+1:]...)
+				ul = append(ul, Update{Kind: Delete, Tuple: Tuple{ID: id, Values: []string{"?"}}})
+			}
+		}
+		a, b := base.Clone(), base.Clone()
+		if err := ul.Apply(a); err != nil {
+			return false
+		}
+		if err := ul.Normalize().Apply(b); err != nil {
+			return false
+		}
+		// Compare ids only: cancelled pairs never materialize values.
+		return reflect.DeepEqual(a.IDs(), b.IDs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CSV round-trips any relation over a fixed schema with digit
+// values.
+func TestCSVRoundTrip(t *testing.T) {
+	s := MustSchema("R", "a", "b")
+	f := func(rows []uint8) bool {
+		r := New(s)
+		for i, v := range rows {
+			r.MustInsert(Tuple{ID: TupleID(i + 1), Values: []string{fmt.Sprint(v), fmt.Sprint(int(v) * 2)}})
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, r); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf, "R")
+		if err != nil {
+			return false
+		}
+		return back.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,2\n"), "R"); err == nil {
+		t.Error("header without id accepted")
+	}
+}

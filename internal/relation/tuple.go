@@ -1,0 +1,87 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TupleID uniquely identifies a tuple across the whole (distributed)
+// database. It corresponds to the "id" key attribute of the paper's EMP
+// example: vertical fragments all carry it, and reconstruction joins on it.
+type TupleID int64
+
+// Tuple is a row: an ID plus positional values aligned with a Schema.
+type Tuple struct {
+	ID     TupleID
+	Values []string
+}
+
+// NewTuple builds a tuple over schema s, checking arity.
+func NewTuple(s *Schema, id TupleID, values []string) (Tuple, error) {
+	if len(values) != s.Width() {
+		return Tuple{}, fmt.Errorf("relation: tuple %d has %d values, schema %q has %d attributes",
+			id, len(values), s.Name, s.Width())
+	}
+	return Tuple{ID: id, Values: append([]string(nil), values...)}, nil
+}
+
+// Get returns the value of attr under schema s.
+func (t Tuple) Get(s *Schema, attr string) string {
+	return t.Values[s.MustIndex(attr)]
+}
+
+// Project returns the values of attrs (in order) under schema s.
+func (t Tuple) Project(s *Schema, attrs []string) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = t.Values[s.MustIndex(a)]
+	}
+	return out
+}
+
+// ProjectTuple returns a tuple over the projected schema ps whose
+// attributes must all exist in s. The ID is preserved.
+func (t Tuple) ProjectTuple(s, ps *Schema) Tuple {
+	vals := make([]string, ps.Width())
+	for i, a := range ps.Attrs {
+		vals[i] = t.Values[s.MustIndex(a)]
+	}
+	return Tuple{ID: t.ID, Values: vals}
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	return Tuple{ID: t.ID, Values: append([]string(nil), t.Values...)}
+}
+
+// EqualValues reports whether two tuples have identical value lists
+// (IDs are not compared).
+func (t Tuple) EqualValues(o Tuple) bool {
+	if len(t.Values) != len(o.Values) {
+		return false
+	}
+	for i := range t.Values {
+		if t.Values[i] != o.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key joins the values of attrs with an unprintable separator, producing a
+// canonical map key for grouping. The separator cannot appear in CSV-safe
+// data; values containing it would need escaping, which the workload
+// generators never produce.
+func (t Tuple) Key(s *Schema, attrs []string) string {
+	parts := t.Project(s, attrs)
+	return strings.Join(parts, "\x1f")
+}
+
+// JoinKey builds the same canonical key from raw values.
+func JoinKey(values []string) string {
+	return strings.Join(values, "\x1f")
+}
+
+func (t Tuple) String() string {
+	return fmt.Sprintf("t%d(%s)", t.ID, strings.Join(t.Values, ", "))
+}

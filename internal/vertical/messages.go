@@ -1,0 +1,147 @@
+// Package vertical implements §4 of the paper: incremental detection of
+// CFD violations over vertically partitioned data (algorithms incVIns,
+// incVDel and the batch/multi-CFD driver incVer), plus the batVer batch
+// baseline in the style of Fan et al., ICDE 2010.
+//
+// Execution model. Every fragment lives at a site; all site state is only
+// touched through handlers dispatched by a network.Cluster, so every
+// cross-site byte is metered. The driver (System) orchestrates the
+// message flow a data-driven implementation would have: eqids travel hop
+// by hop along the HEV plan's edges, and the per-rule IDX site decides
+// ∆V locally, exactly as in the paper's Figs. 4 and 5.
+package vertical
+
+import "repro/internal/relation"
+
+// OpKind says whether a unit update is an insertion or a deletion.
+type OpKind int
+
+const (
+	// OpInsert is a tuple insertion.
+	OpInsert OpKind = iota
+	// OpDelete is a tuple deletion.
+	OpDelete
+)
+
+// applyReq delivers a tuple's fragment projection to a site (the arrival
+// of ∆Di itself, not detection traffic).
+type applyReq struct {
+	Op     OpKind
+	ID     int64
+	Values []string // aligned with the fragment schema
+}
+
+// evalConstsReq asks a site to check the pattern constants it owns.
+type evalConstsReq struct {
+	ID int64
+}
+
+// evalConstsResp lists the rules whose local constants failed.
+type evalConstsResp struct {
+	Failed []string
+}
+
+// resolveReq asks the site owning a plan node to compute the node's eqid
+// for a tuple. Acquire allocates classes and bumps refcounts (insertion);
+// plain resolution only looks up (deletion).
+type resolveReq struct {
+	ID      int64
+	Node    int
+	Acquire bool
+}
+
+// resolveResp returns the computed eqid.
+type resolveResp struct {
+	Eq int64
+}
+
+// deliverReq ships an eqid from the site owning a plan node to a consumer
+// site: the metered message of §4 ("only eqids are sent").
+type deliverReq struct {
+	ID   int64
+	Node int
+	Eq   int64
+}
+
+// applyRuleReq asks a rule's IDX site to run the incVIns/incVDel case
+// analysis of Fig. 4 and maintain the IDX.
+type applyRuleReq struct {
+	Rule string
+	ID   int64
+	Op   OpKind
+}
+
+// applyRuleResp is the rule's local ∆V contribution: tuple ids that become
+// violations (∆V+) or stop being violations (∆V−) of this rule.
+type applyRuleResp struct {
+	Added   []int64
+	Removed []int64
+}
+
+// releaseReq undoes the reference counts a deleted tuple held on a node.
+type releaseReq struct {
+	ID   int64
+	Node int
+}
+
+// endUpdateReq clears a tuple's per-update eqid buffer at a site.
+type endUpdateReq struct {
+	ID int64
+}
+
+// voteReq tells a constant rule coordinator (the site owning B) that the
+// tuple matched the pattern constants held at the sending site, for every
+// listed rule (Fig. 5 lines 5–6: shipping the matching tuple ids). Rules
+// sharing the (checker, coordinator) pair ride in one message. A
+// push-based implementation detects batch completion with a per-batch
+// barrier (O(n²) empty messages per ∆D, not per tuple), which the driver
+// emits at the end of ApplyBatch.
+type voteReq struct {
+	Rules []string
+	ID    int64
+}
+
+// barrierReq is the end-of-batch marker exchanged between sites.
+type barrierReq struct{}
+
+// applyConstReq asks the coordinator of a constant CFD to classify a fully
+// pattern-matching tuple (Fig. 5 lines 8–10, with the paper's line-9 typo
+// fixed: a tuple is a violation iff t[B] ≠ tp[B]).
+type applyConstReq struct {
+	Rule string
+	ID   int64
+	Op   OpKind
+}
+
+// applyConstResp reports whether the tuple violates the constant rule.
+type applyConstResp struct {
+	Violation bool
+}
+
+// shipColsReq asks a site for its columns relevant to one rule (batVer).
+type shipColsReq struct {
+	Rule string
+}
+
+// colRow is one tuple's projection onto a site's rule-relevant attributes.
+type colRow struct {
+	ID   int64
+	Vals []string
+}
+
+// shipColsResp carries the (pre-filtered) column data to the coordinator.
+type shipColsResp struct {
+	Attrs []string
+	Rows  []colRow
+}
+
+// empty is the reply type of fire-and-forget handlers.
+type empty struct{}
+
+func toInt64s(ids []relation.TupleID) []int64 {
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+package vertical
+
+import (
+	"fmt"
+
+	"repro/internal/cfd"
+	"repro/internal/eqclass"
+	"repro/internal/network"
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+)
+
+// constCheck is one pattern constant a site is responsible for checking.
+type constCheck struct {
+	ruleID string
+	col    int // column index in the fragment schema
+	value  string
+}
+
+// site is the per-fragment state of the vertical detection system. All
+// access goes through the methods below, dispatched by the cluster.
+type site struct {
+	id     network.SiteID
+	schema *relation.Schema // fragment schema
+	frag   *relation.Relation
+
+	plan  *optimizer.Plan
+	rules map[string]*cfd.CFD
+
+	base   map[string]*eqclass.BaseHEV          // one per locally hosted base node attr
+	hevs   map[optimizer.NodeID]*eqclass.HEV    // composed nodes hosted here
+	idx    map[string]*eqclass.IDX              // rule id → IDX hosted here
+	checks []constCheck                         // local pattern-constant checks
+	buf    map[int64]map[optimizer.NodeID]int64 // per-tuple eqid buffer
+}
+
+func newSite(id network.SiteID, schema *relation.Schema, plan *optimizer.Plan, rules []cfd.CFD) *site {
+	s := &site{
+		id:     id,
+		schema: schema,
+		frag:   relation.New(schema),
+		plan:   plan,
+		rules:  make(map[string]*cfd.CFD, len(rules)),
+		base:   make(map[string]*eqclass.BaseHEV),
+		hevs:   make(map[optimizer.NodeID]*eqclass.HEV),
+		idx:    make(map[string]*eqclass.IDX),
+		buf:    make(map[int64]map[optimizer.NodeID]int64),
+	}
+	for i := range rules {
+		r := &rules[i]
+		s.rules[r.ID] = r
+		for li, a := range r.LHS {
+			if r.LHSPattern[li] == cfd.Wildcard {
+				continue
+			}
+			if col, ok := schema.Index(a); ok {
+				s.checks = append(s.checks, constCheck{ruleID: r.ID, col: col, value: r.LHSPattern[li]})
+			}
+		}
+	}
+	for _, n := range plan.Nodes {
+		if int(n.Site) != int(id) {
+			continue
+		}
+		switch n.Kind {
+		case optimizer.Base:
+			if _, ok := s.base[n.Attrs[0]]; !ok {
+				s.base[n.Attrs[0]] = eqclass.NewBaseHEV(n.Attrs[0])
+			}
+		case optimizer.Composed:
+			s.hevs[n.ID] = eqclass.NewHEV(n.Attrs)
+		}
+	}
+	for rid, b := range plan.Bindings {
+		if int(b.IDXSite) == int(id) {
+			s.idx[rid] = eqclass.NewIDX()
+		}
+	}
+	return s
+}
+
+// apply stores or removes the tuple's projection in the fragment.
+func (s *site) apply(req applyReq) (empty, error) {
+	switch req.Op {
+	case OpInsert:
+		if err := s.frag.Insert(relation.Tuple{ID: relation.TupleID(req.ID), Values: req.Values}); err != nil {
+			return empty{}, err
+		}
+	case OpDelete:
+		if _, err := s.frag.Delete(relation.TupleID(req.ID)); err != nil {
+			return empty{}, err
+		}
+	}
+	return empty{}, nil
+}
+
+// evalConsts checks the locally held pattern constants for every rule and
+// returns the rules that fail.
+func (s *site) evalConsts(req evalConstsReq) (evalConstsResp, error) {
+	if len(s.checks) == 0 {
+		return evalConstsResp{}, nil
+	}
+	t, ok := s.frag.Get(relation.TupleID(req.ID))
+	if !ok {
+		return evalConstsResp{}, fmt.Errorf("vertical: site %d: evalConsts on missing tuple %d", s.id, req.ID)
+	}
+	var failed []string
+	seen := make(map[string]bool)
+	for _, c := range s.checks {
+		if seen[c.ruleID] {
+			continue
+		}
+		if t.Values[c.col] != c.value {
+			failed = append(failed, c.ruleID)
+			seen[c.ruleID] = true
+		}
+	}
+	return evalConstsResp{Failed: failed}, nil
+}
+
+// resolve computes a plan node's eqid for a tuple. Base nodes read the
+// attribute value from the fragment; composed nodes combine the buffered
+// input eqids (locally computed or delivered). The result is buffered for
+// downstream consumers at this site.
+func (s *site) resolve(req resolveReq) (resolveResp, error) {
+	node := s.plan.Node(optimizer.NodeID(req.Node))
+	if int(node.Site) != int(s.id) {
+		return resolveResp{}, fmt.Errorf("vertical: site %d asked to resolve node %d owned by site %d", s.id, req.Node, node.Site)
+	}
+	var eq eqclass.EqID
+	switch node.Kind {
+	case optimizer.Base:
+		t, ok := s.frag.Get(relation.TupleID(req.ID))
+		if !ok {
+			return resolveResp{}, fmt.Errorf("vertical: site %d: resolve base %s on missing tuple %d", s.id, node.Attrs[0], req.ID)
+		}
+		v := t.Values[s.schema.MustIndex(node.Attrs[0])]
+		h := s.base[node.Attrs[0]]
+		if req.Acquire {
+			eq = h.Acquire(v)
+		} else {
+			id, ok := h.Lookup(v)
+			if !ok {
+				return resolveResp{}, fmt.Errorf("vertical: site %d: base %s has no class for %q", s.id, node.Attrs[0], v)
+			}
+			eq = id
+		}
+	case optimizer.Composed:
+		inputs, err := s.inputEqids(req.ID, node)
+		if err != nil {
+			return resolveResp{}, err
+		}
+		h := s.hevs[node.ID]
+		if req.Acquire {
+			eq = h.Acquire(inputs)
+		} else {
+			id, ok := h.Lookup(inputs)
+			if !ok {
+				return resolveResp{}, fmt.Errorf("vertical: site %d: HEV %v has no class for tuple %d", s.id, node.Attrs, req.ID)
+			}
+			eq = id
+		}
+	}
+	s.bufPut(req.ID, node.ID, int64(eq))
+	return resolveResp{Eq: int64(eq)}, nil
+}
+
+func (s *site) inputEqids(tid int64, node optimizer.Node) ([]eqclass.EqID, error) {
+	inputs := make([]eqclass.EqID, len(node.Inputs))
+	m := s.buf[tid]
+	for i, in := range node.Inputs {
+		v, ok := m[in]
+		if !ok {
+			return nil, fmt.Errorf("vertical: site %d: node %d missing input eqid from node %d for tuple %d",
+				s.id, node.ID, in, tid)
+		}
+		inputs[i] = eqclass.EqID(v)
+	}
+	return inputs, nil
+}
+
+// deliver buffers an eqid shipped from another site.
+func (s *site) deliver(req deliverReq) (empty, error) {
+	s.bufPut(req.ID, optimizer.NodeID(req.Node), req.Eq)
+	return empty{}, nil
+}
+
+func (s *site) bufPut(tid int64, node optimizer.NodeID, eq int64) {
+	m, ok := s.buf[tid]
+	if !ok {
+		m = make(map[optimizer.NodeID]int64, 4)
+		s.buf[tid] = m
+	}
+	m[node] = eq
+}
+
+// applyRule runs the Fig. 4 case analysis at the rule's IDX site and
+// maintains the IDX. For insertions the analysis precedes the IDX update;
+// for deletions it precedes the removal — both exactly as in the paper.
+func (s *site) applyRule(req applyRuleReq) (applyRuleResp, error) {
+	x, ok := s.idx[req.Rule]
+	if !ok {
+		return applyRuleResp{}, fmt.Errorf("vertical: site %d holds no IDX for rule %s", s.id, req.Rule)
+	}
+	binding := s.plan.Bindings[req.Rule]
+	m := s.buf[req.ID]
+	eqXRaw, okX := m[binding.XNode]
+	eqBRaw, okB := m[binding.BNode]
+	if !okX || !okB {
+		return applyRuleResp{}, fmt.Errorf("vertical: site %d: rule %s missing eqids for tuple %d (X:%v B:%v)",
+			s.id, req.Rule, req.ID, okX, okB)
+	}
+	eqX, eqB := eqclass.EqID(eqXRaw), eqclass.EqID(eqBRaw)
+	tid := relation.TupleID(req.ID)
+
+	var resp applyRuleResp
+	switch req.Op {
+	case OpInsert:
+		distinct := x.DistinctB(eqX)
+		classSize := x.ClassSize(eqX, eqB)
+		switch {
+		case classSize > 0:
+			// t joins an existing class: it is a violation iff the
+			// group already had ≥ 2 distinct B values (incVIns line 2;
+			// line 5 otherwise).
+			if distinct >= 2 {
+				resp.Added = []int64{req.ID}
+			}
+		case distinct >= 2:
+			// Group already violating: t is the only new violation.
+			resp.Added = []int64{req.ID}
+		case distinct == 1:
+			// t disagrees with the single existing class: t and the
+			// whole class become violations (incVIns line 4).
+			resp.Added = append([]int64{req.ID}, toInt64s(x.OtherClassMembers(eqX, eqB))...)
+		}
+		x.Insert(eqX, eqB, tid)
+	case OpDelete:
+		distinct := x.DistinctB(eqX)
+		classSize := x.ClassSize(eqX, eqB)
+		switch {
+		case classSize > 1:
+			// Tuples equal to t on X and B remain: only t's status can
+			// change (incVDel lines 2–4).
+			if distinct >= 2 {
+				resp.Removed = []int64{req.ID}
+			}
+		case distinct-1 >= 2:
+			// t's class disappears but ≥ 2 classes remain violating.
+			resp.Removed = []int64{req.ID}
+		case distinct-1 == 1:
+			// One class remains: its members lose their last
+			// disagreeing partner (incVDel line 7).
+			resp.Removed = append([]int64{req.ID}, toInt64s(x.OtherClassMembers(eqX, eqB))...)
+		}
+		if err := x.Delete(eqX, eqB, tid); err != nil {
+			return applyRuleResp{}, err
+		}
+	}
+	return resp, nil
+}
+
+// release drops the reference counts a deleted tuple held on a node.
+func (s *site) release(req releaseReq) (empty, error) {
+	node := s.plan.Node(optimizer.NodeID(req.Node))
+	switch node.Kind {
+	case optimizer.Base:
+		t, ok := s.frag.Get(relation.TupleID(req.ID))
+		if !ok {
+			return empty{}, fmt.Errorf("vertical: site %d: release base %s on missing tuple %d", s.id, node.Attrs[0], req.ID)
+		}
+		if err := s.base[node.Attrs[0]].Release(t.Values[s.schema.MustIndex(node.Attrs[0])]); err != nil {
+			return empty{}, err
+		}
+	case optimizer.Composed:
+		inputs, err := s.inputEqids(req.ID, node)
+		if err != nil {
+			return empty{}, err
+		}
+		if err := s.hevs[node.ID].Release(inputs); err != nil {
+			return empty{}, err
+		}
+	}
+	return empty{}, nil
+}
+
+// endUpdate clears the tuple's eqid buffer.
+func (s *site) endUpdate(req endUpdateReq) (empty, error) {
+	delete(s.buf, req.ID)
+	return empty{}, nil
+}
+
+// vote is the receipt of a constant-rule match notice (Fig. 5 line 6);
+// state-free: the coordinator's applyConst decides from its own fragment.
+func (s *site) vote(voteReq) (empty, error) { return empty{}, nil }
+
+// barrier is the end-of-batch marker; state-free.
+func (s *site) barrier(barrierReq) (empty, error) { return empty{}, nil }
+
+// applyConst classifies a tuple against a constant rule at the site
+// owning B. The driver only calls it once every constant-owning site has
+// confirmed the tuple matches tp[X].
+func (s *site) applyConst(req applyConstReq) (applyConstResp, error) {
+	rule, ok := s.rules[req.Rule]
+	if !ok {
+		return applyConstResp{}, fmt.Errorf("vertical: site %d: unknown rule %s", s.id, req.Rule)
+	}
+	t, ok := s.frag.Get(relation.TupleID(req.ID))
+	if !ok {
+		return applyConstResp{}, fmt.Errorf("vertical: site %d: applyConst on missing tuple %d", s.id, req.ID)
+	}
+	b := t.Values[s.schema.MustIndex(rule.RHS)]
+	return applyConstResp{Violation: b != rule.RHSPattern}, nil
+}
+
+// shipCols returns the site's columns relevant to a rule for batVer: the
+// tuple id plus every locally held attribute of X ∪ {B}. The shipping
+// site only projects columns — pattern evaluation happens at the
+// coordinator, as in the batch baseline's "copy the relevant attributes
+// to a coordinator site" step.
+func (s *site) shipCols(req shipColsReq) (shipColsResp, error) {
+	rule, ok := s.rules[req.Rule]
+	if !ok {
+		return shipColsResp{}, fmt.Errorf("vertical: site %d: unknown rule %s", s.id, req.Rule)
+	}
+	var attrs []string
+	var cols []int
+	for _, a := range rule.Attrs() {
+		if col, ok := s.schema.Index(a); ok {
+			attrs = append(attrs, a)
+			cols = append(cols, col)
+		}
+	}
+	resp := shipColsResp{Attrs: attrs}
+	if len(attrs) == 0 {
+		return resp, nil
+	}
+	s.frag.Each(func(t relation.Tuple) bool {
+		vals := make([]string, len(cols))
+		for i, col := range cols {
+			vals[i] = t.Values[col]
+		}
+		resp.Rows = append(resp.Rows, colRow{ID: int64(t.ID), Vals: vals})
+		return true
+	})
+	return resp, nil
+}
+
+// register wires every handler into the cluster.
+func (s *site) register(c *network.Cluster) {
+	network.RegisterFunc(c, s.id, "v.apply", s.apply)
+	network.RegisterFunc(c, s.id, "v.evalConsts", s.evalConsts)
+	network.RegisterFunc(c, s.id, "v.resolve", s.resolve)
+	network.RegisterFunc(c, s.id, "v.deliver", s.deliver)
+	network.RegisterFunc(c, s.id, "v.applyRule", s.applyRule)
+	network.RegisterFunc(c, s.id, "v.release", s.release)
+	network.RegisterFunc(c, s.id, "v.endUpdate", s.endUpdate)
+	network.RegisterFunc(c, s.id, "v.vote", s.vote)
+	network.RegisterFunc(c, s.id, "v.barrier", s.barrier)
+	network.RegisterFunc(c, s.id, "v.applyConst", s.applyConst)
+	network.RegisterFunc(c, s.id, "v.shipCols", s.shipCols)
+}

@@ -1,0 +1,477 @@
+package vertical
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfd"
+	"repro/internal/network"
+	"repro/internal/optimizer"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Options configures a vertical detection system.
+type Options struct {
+	// UseOptimizer builds HEVs with §5's optVer (taking the naive chain
+	// plan instead if it happens to ship fewer eqids); otherwise the
+	// per-rule chains of §4 are used.
+	UseOptimizer bool
+	// BeamWidth is optVer's k (0 = default).
+	BeamWidth int
+	// Plan overrides planning entirely (used by ablations and tests).
+	Plan *optimizer.Plan
+	// NoIndexes loads the fragments only, skipping HEV/IDX construction
+	// and initial violation detection. Such a system serves batVer
+	// (BatchDetect) but rejects ApplyBatch. Used when measuring the
+	// batch baseline, whose setup the paper does not charge for.
+	NoIndexes bool
+}
+
+// System is a vertically partitioned database with incremental CFD
+// violation detection: the paper's incVer machinery (Figs. 4 and 5) plus
+// the batVer baseline.
+type System struct {
+	schema *relation.Schema
+	scheme *partition.VerticalScheme
+	rules  []cfd.CFD
+
+	varRules   []*cfd.CFD
+	constRules []*cfd.CFD
+
+	plan    *optimizer.Plan
+	cluster *network.Cluster
+	sites   []*site
+	fragSch []*relation.Schema
+
+	// constSites lists, per constant rule, the sites owning at least one
+	// pattern-constant attribute; constCoord is the rule's coordinator
+	// (the site owning B).
+	constSites map[string][]network.SiteID
+	constCoord map[string]network.SiteID
+
+	v *cfd.Violations
+
+	// direct makes every call same-site (unmetered, unmarshalled); used
+	// while seeding the initial database, whose index build is not part
+	// of any measured detection.
+	direct    bool
+	noIndexes bool
+}
+
+// NewSystem partitions rel under scheme, plans and builds the HEV/IDX
+// indices for rules, seeds them with rel's data and computes the initial
+// V(Σ, D). Traffic meters are zero on return.
+func NewSystem(rel *relation.Relation, scheme *partition.VerticalScheme, rules []cfd.CFD, opts Options) (*System, error) {
+	if err := cfd.ValidateAll(rel.Schema, rules); err != nil {
+		return nil, err
+	}
+	sys := &System{
+		schema:     rel.Schema,
+		scheme:     scheme,
+		rules:      append([]cfd.CFD(nil), rules...),
+		constSites: make(map[string][]network.SiteID),
+		constCoord: make(map[string]network.SiteID),
+		v:          cfd.NewViolations(),
+	}
+	for i := range sys.rules {
+		r := &sys.rules[i]
+		if r.IsConstant() {
+			sys.constRules = append(sys.constRules, r)
+		} else {
+			sys.varRules = append(sys.varRules, r)
+		}
+	}
+
+	plan, err := buildPlan(sys.varRules, scheme, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys.plan = plan
+
+	sys.cluster = network.NewCluster(scheme.NumSites)
+	sys.fragSch = make([]*relation.Schema, scheme.NumSites)
+	for i := 0; i < scheme.NumSites; i++ {
+		fs, err := scheme.FragmentSchema(rel.Schema, i)
+		if err != nil {
+			return nil, err
+		}
+		sys.fragSch[i] = fs
+		st := newSite(network.SiteID(i), fs, plan, sys.rules)
+		sys.sites = append(sys.sites, st)
+		st.register(sys.cluster)
+	}
+
+	for _, r := range sys.constRules {
+		coord, ok := scheme.PrimarySiteOf(r.RHS)
+		if !ok {
+			return nil, fmt.Errorf("vertical: rule %s: RHS %q not assigned to a site", r.ID, r.RHS)
+		}
+		sys.constCoord[r.ID] = network.SiteID(coord)
+		attrs, _ := r.ConstantLHS()
+		seen := make(map[network.SiteID]bool)
+		for _, a := range attrs {
+			// Every replica site can check the constant locally; the
+			// primary is responsible for the match vote.
+			p, ok := scheme.PrimarySiteOf(a)
+			if !ok {
+				return nil, fmt.Errorf("vertical: rule %s: attribute %q not assigned to a site", r.ID, a)
+			}
+			if !seen[network.SiteID(p)] {
+				seen[network.SiteID(p)] = true
+				sys.constSites[r.ID] = append(sys.constSites[r.ID], network.SiteID(p))
+			}
+		}
+		sort.Slice(sys.constSites[r.ID], func(a, b int) bool {
+			return sys.constSites[r.ID][a] < sys.constSites[r.ID][b]
+		})
+	}
+
+	// Seed: replay the initial database through the same insertion logic
+	// in direct (unmetered) mode; V(Σ, D) accumulates on the way. With
+	// NoIndexes only the fragments are loaded.
+	sys.noIndexes = opts.NoIndexes
+	sys.direct = true
+	var seedErr error
+	rel.Each(func(t relation.Tuple) bool {
+		if sys.noIndexes {
+			seedErr = sys.applyFragments(t, OpInsert)
+			return seedErr == nil
+		}
+		delta, err := sys.applyUnit(relation.Update{Kind: relation.Insert, Tuple: t})
+		if err != nil {
+			seedErr = err
+			return false
+		}
+		delta.Apply(sys.v)
+		return true
+	})
+	sys.direct = false
+	if seedErr != nil {
+		return nil, seedErr
+	}
+	sys.cluster.ResetStats()
+	return sys, nil
+}
+
+func buildPlan(varRules []*cfd.CFD, scheme *partition.VerticalScheme, opts Options) (*optimizer.Plan, error) {
+	if opts.Plan != nil {
+		return opts.Plan, nil
+	}
+	in := optimizer.Input{
+		NumSites:  scheme.NumSites,
+		AttrSites: scheme.AttrSites,
+	}
+	for _, r := range varRules {
+		in.Rules = append(in.Rules, optimizer.RuleSpec{ID: r.ID, LHS: r.LHS, RHS: r.RHS})
+	}
+	naive, err := optimizer.NaiveChainPlan(in)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.UseOptimizer {
+		return naive, nil
+	}
+	opt, err := optimizer.Optimize(in, opts.BeamWidth)
+	if err != nil {
+		return nil, err
+	}
+	if naive.Neqid() < opt.Neqid() {
+		return naive, nil
+	}
+	return opt, nil
+}
+
+// Plan returns the HEV plan in use.
+func (sys *System) Plan() *optimizer.Plan { return sys.plan }
+
+// Cluster exposes the message fabric (stats, transport swapping).
+func (sys *System) Cluster() *network.Cluster { return sys.cluster }
+
+// Stats returns the cluster's traffic meters.
+func (sys *System) Stats() network.Stats { return sys.cluster.Stats() }
+
+// Violations returns the maintained violation set V(Σ, D).
+func (sys *System) Violations() *cfd.Violations { return sys.v }
+
+// Rules returns the rule set.
+func (sys *System) Rules() []cfd.CFD { return sys.rules }
+
+// send routes a possibly-cross-site call; in direct (seeding) mode every
+// call is dispatched locally and unmetered.
+func (sys *System) send(from, to network.SiteID, method string, args, reply any) error {
+	if sys.direct {
+		from = to
+	}
+	return sys.cluster.Call(from, to, method, args, reply)
+}
+
+// ApplyBatch runs incVer (Fig. 5): it normalizes ∆D, processes each unit
+// update through the incremental machinery, maintains V(Σ, D) and returns
+// the accumulated ∆V.
+func (sys *System) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
+	if sys.noIndexes {
+		return nil, fmt.Errorf("vertical: system built with NoIndexes cannot apply incremental updates")
+	}
+	delta := cfd.NewDelta()
+	for _, u := range updates.Normalize() {
+		ud, err := sys.applyUnit(u)
+		if err != nil {
+			return nil, err
+		}
+		ud.Apply(sys.v)
+		delta.Merge(ud)
+	}
+	if err := sys.barrier(); err != nil {
+		return nil, err
+	}
+	return delta, nil
+}
+
+// barrier emits the end-of-batch markers a push-based implementation
+// needs so every site knows no more eqids will arrive for this ∆D: one
+// empty message per site pair, per batch — O(n²) per ∆D, independent of
+// |∆D|.
+func (sys *System) barrier() error {
+	for i := range sys.sites {
+		for j := range sys.sites {
+			if i == j {
+				continue
+			}
+			if err := sys.send(network.SiteID(i), network.SiteID(j), "v.barrier", barrierReq{}, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyUnit processes one insertion or deletion through incVIns/incVDel
+// for every rule, sharing eqid resolution and shipment across rules.
+func (sys *System) applyUnit(u relation.Update) (*cfd.Delta, error) {
+	tid := int64(u.Tuple.ID)
+	op := OpInsert
+	if u.Kind == relation.Delete {
+		op = OpDelete
+	}
+
+	// 1. Insertions reach the fragments first (∆Di delivery).
+	if op == OpInsert {
+		if err := sys.applyFragments(u.Tuple, OpInsert); err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Each site checks the pattern constants it owns.
+	failedAt := make(map[string]network.SiteID)
+	for _, st := range sys.sites {
+		if len(st.checks) == 0 {
+			continue
+		}
+		var resp evalConstsResp
+		if err := sys.send(st.id, st.id, "v.evalConsts", evalConstsReq{ID: tid}, &resp); err != nil {
+			return nil, err
+		}
+		for _, rid := range resp.Failed {
+			if prev, ok := failedAt[rid]; !ok || st.id < prev {
+				failedAt[rid] = st.id
+			}
+		}
+	}
+
+	delta := cfd.NewDelta()
+
+	// 3. Constant CFDs (Fig. 5 lines 4–10): matching sites vote to the
+	// coordinator owning B, which classifies the tuple locally. Votes
+	// sharing a (checker, coordinator) pair ride one message.
+	votes := make(map[[2]network.SiteID][]string)
+	for _, r := range sys.constRules {
+		if _, dead := failedAt[r.ID]; dead {
+			continue // non-matching tuples ship nothing
+		}
+		coord := sys.constCoord[r.ID]
+		for _, s := range sys.constSites[r.ID] {
+			if s != coord {
+				key := [2]network.SiteID{s, coord}
+				votes[key] = append(votes[key], r.ID)
+			}
+		}
+	}
+	pairs := make([][2]network.SiteID, 0, len(votes))
+	for k := range votes {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, k := range pairs {
+		if err := sys.send(k[0], k[1], "v.vote", voteReq{Rules: votes[k], ID: tid}, nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range sys.constRules {
+		if _, dead := failedAt[r.ID]; dead {
+			continue
+		}
+		coord := sys.constCoord[r.ID]
+		var resp applyConstResp
+		if err := sys.send(coord, coord, "v.applyConst", applyConstReq{Rule: r.ID, ID: tid, Op: op}, &resp); err != nil {
+			return nil, err
+		}
+		if resp.Violation {
+			if op == OpInsert {
+				delta.Add(u.Tuple.ID, r.ID)
+			} else {
+				delta.Remove(u.Tuple.ID, r.ID)
+			}
+		}
+	}
+
+	// 4. Variable CFDs: determine the alive set. A tuple failing a
+	// rule's constants ships nothing for it: in the push-based flow no
+	// eqids are emitted, and the per-batch barrier (end of ApplyBatch)
+	// tells IDX sites the batch is complete.
+	var alive []*cfd.CFD
+	for _, r := range sys.varRules {
+		if _, dead := failedAt[r.ID]; !dead {
+			alive = append(alive, r)
+		}
+	}
+
+	if len(alive) > 0 {
+		if err := sys.runPlan(tid, op, alive, delta); err != nil {
+			return nil, err
+		}
+	}
+
+	// 7. Deletions leave the fragments last (values were needed above).
+	if op == OpDelete {
+		if err := sys.applyFragments(u.Tuple, OpDelete); err != nil {
+			return nil, err
+		}
+	}
+	return delta, nil
+}
+
+// runPlan resolves the needed plan nodes in topological order, ships their
+// eqids to consumer sites, applies Fig. 4 at each alive rule's IDX site
+// and, for deletions, releases reference counts.
+func (sys *System) runPlan(tid int64, op OpKind, alive []*cfd.CFD, delta *cfd.Delta) error {
+	needed := make(map[optimizer.NodeID]bool)
+	var order []optimizer.NodeID
+	for _, r := range alive {
+		for _, n := range sys.plan.RuleNodes(r.ID) {
+			if !needed[n] {
+				needed[n] = true
+				order = append(order, n)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] }) // plan ids are topo-ordered
+
+	// Destination sites per node, restricted to what the alive rules use.
+	dests := make(map[optimizer.NodeID]map[network.SiteID]bool)
+	addDest := func(n optimizer.NodeID, site network.SiteID) {
+		if network.SiteID(sys.plan.Node(n).Site) == site {
+			return
+		}
+		m, ok := dests[n]
+		if !ok {
+			m = make(map[network.SiteID]bool, 2)
+			dests[n] = m
+		}
+		m[site] = true
+	}
+	for _, n := range order {
+		node := sys.plan.Node(n)
+		for _, in := range node.Inputs {
+			addDest(in, network.SiteID(node.Site))
+		}
+	}
+	for _, r := range alive {
+		b := sys.plan.Bindings[r.ID]
+		addDest(b.XNode, network.SiteID(b.IDXSite))
+		addDest(b.BNode, network.SiteID(b.IDXSite))
+	}
+
+	involved := make(map[network.SiteID]bool)
+
+	// 5. Resolve and ship eqids bottom-up.
+	for _, n := range order {
+		node := sys.plan.Node(n)
+		src := network.SiteID(node.Site)
+		involved[src] = true
+		var resp resolveResp
+		if err := sys.send(src, src, "v.resolve", resolveReq{ID: tid, Node: int(n), Acquire: op == OpInsert}, &resp); err != nil {
+			return err
+		}
+		destSites := make([]network.SiteID, 0, len(dests[n]))
+		for d := range dests[n] {
+			destSites = append(destSites, d)
+		}
+		sort.Slice(destSites, func(i, j int) bool { return destSites[i] < destSites[j] })
+		for _, d := range destSites {
+			if err := sys.send(src, d, "v.deliver", deliverReq{ID: tid, Node: int(n), Eq: resp.Eq}, nil); err != nil {
+				return err
+			}
+			if !sys.direct {
+				sys.cluster.AddEqids(1)
+			}
+			involved[d] = true
+		}
+	}
+
+	// 6. Fig. 4 at each alive rule's IDX site.
+	for _, r := range alive {
+		b := sys.plan.Bindings[r.ID]
+		idxSite := network.SiteID(b.IDXSite)
+		var resp applyRuleResp
+		if err := sys.send(idxSite, idxSite, "v.applyRule", applyRuleReq{Rule: r.ID, ID: tid, Op: op}, &resp); err != nil {
+			return err
+		}
+		for _, id := range resp.Added {
+			delta.Add(relation.TupleID(id), r.ID)
+		}
+		for _, id := range resp.Removed {
+			delta.Remove(relation.TupleID(id), r.ID)
+		}
+	}
+
+	// Deletions release reference counts top-down.
+	if op == OpDelete {
+		for i := len(order) - 1; i >= 0; i-- {
+			n := order[i]
+			src := network.SiteID(sys.plan.Node(n).Site)
+			if err := sys.send(src, src, "v.release", releaseReq{ID: tid, Node: int(n)}, nil); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Clear per-update buffers.
+	sites := make([]network.SiteID, 0, len(involved))
+	for s := range involved {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, s := range sites {
+		if err := sys.send(s, s, "v.endUpdate", endUpdateReq{ID: tid}, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sys *System) applyFragments(t relation.Tuple, op OpKind) error {
+	for i, st := range sys.sites {
+		proj := t.ProjectTuple(sys.schema, sys.fragSch[i])
+		req := applyReq{Op: op, ID: int64(t.ID), Values: proj.Values}
+		if err := sys.send(st.id, st.id, "v.apply", req, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

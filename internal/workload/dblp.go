@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// dblpPub is one publication entity; the generator may emit several rows
+// per publication (citations/mirrors), creating natural equivalence
+// groups the CFDs range over.
+type dblpPub struct {
+	title, author, venue, year, volume, pages string
+}
+
+// initDBLP builds the 10-attribute publication schema:
+//
+//	title author venue vtype publisher year volume pages source ee
+//
+// with embedded FDs venue → vtype, venue → publisher,
+// (venue, volume) → year, title → author and title → pages.
+func (g *Generator) initDBLP() {
+	rng := g.rng
+	venues := pool("venue", 60)
+	vtypes := []string{"conference", "journal", "workshop"}
+	publishers := pool("pub", 12)
+	vtypeOf := make(map[string]string, len(venues))
+	publisherOf := make(map[string]string, len(venues))
+	for i, v := range venues {
+		vtypeOf[v] = vtypes[i%len(vtypes)]
+		publisherOf[v] = publishers[i%len(publishers)]
+	}
+	authors := pool("author", 800)
+	years := pool("20", 15)
+	sources := []string{"dblp", "crossref", "scholar"}
+
+	var pubs []dblpPub
+	nPubs := g.sizeHint / 20
+	if nPubs < 150 {
+		nPubs = 150
+	}
+	yearOfVol := make(map[string]string) // venue\x1fvolume → year
+	for i := 0; i < nPubs; i++ {
+		venue := venues[rng.Intn(len(venues))]
+		volume := fmt.Sprintf("v%d", rng.Intn(40))
+		key := venue + "\x1f" + volume
+		year, ok := yearOfVol[key]
+		if !ok {
+			year = pick(rng, years)
+			yearOfVol[key] = year
+		}
+		pubs = append(pubs, dblpPub{
+			title:  fmt.Sprintf("title%05d", i),
+			author: pick(rng, authors),
+			venue:  venue,
+			year:   year,
+			volume: volume,
+			pages:  fmt.Sprintf("%d-%d", rng.Intn(400), 400+rng.Intn(400)),
+		})
+	}
+
+	g.schema = mustSchema("DBLP",
+		"title", "author", "venue", "vtype", "publisher",
+		"year", "volume", "pages", "source", "ee")
+
+	g.row = func() []string {
+		p := pubs[rng.Intn(len(pubs))]
+		row := []string{
+			p.title, p.author, p.venue, vtypeOf[p.venue], publisherOf[p.venue],
+			p.year, p.volume, p.pages, pick(rng, sources),
+			fmt.Sprintf("ee/%s/%s", p.venue, p.title),
+		}
+		if rng.Float64() < g.ErrRate {
+			switch rng.Intn(4) {
+			case 0:
+				row[g.schema.MustIndex("publisher")] = pick(rng, publishers)
+			case 1:
+				row[g.schema.MustIndex("vtype")] = pick(rng, vtypes)
+			case 2:
+				row[g.schema.MustIndex("year")] = pick(rng, years)
+			case 3:
+				row[g.schema.MustIndex("pages")] = fmt.Sprintf("%d-%d", rng.Intn(400), 400+rng.Intn(400))
+			}
+		}
+		return row
+	}
+
+	g.templates = []fdTemplate{
+		{LHS: []string{"venue"}, RHS: "publisher", patternAttr: "venue", patternVals: venues, rhsVals: publishers},
+		{LHS: []string{"venue"}, RHS: "vtype", patternAttr: "venue", patternVals: venues, rhsVals: vtypes},
+		{LHS: []string{"venue", "volume"}, RHS: "year", patternAttr: "venue", patternVals: venues},
+		{LHS: []string{"title"}, RHS: "author", patternAttr: "title", patternVals: titlesOf(pubs)},
+		{LHS: []string{"title"}, RHS: "pages", patternAttr: "title", patternVals: titlesOf(pubs)},
+		{LHS: []string{"title", "venue"}, RHS: "year", patternAttr: "venue", patternVals: venues},
+		{LHS: []string{"ee"}, RHS: "title"},
+		{LHS: []string{"venue", "year"}, RHS: "publisher", patternAttr: "venue", patternVals: venues},
+	}
+}
+
+func titlesOf(pubs []dblpPub) []string {
+	out := make([]string, len(pubs))
+	for i, p := range pubs {
+		out[i] = p.title
+	}
+	return out
+}
+
+func mustSchema(name string, attrs ...string) *relation.Schema {
+	return relation.MustSchema(name, attrs...)
+}

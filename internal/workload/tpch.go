@@ -1,0 +1,211 @@
+package workload
+
+import "fmt"
+
+// tpchEntities are the joined-table entity pools: customers, parts and
+// suppliers with functionally dependent attributes, mirroring how the
+// paper's single joined TPCH table carries dependencies such as
+// nation → region.
+type tpchEntities struct {
+	nations  []string
+	regions  map[string]string // nation → region
+	ccOf     map[string]string // nation → phone country code
+	custs    []tpchCustomer
+	parts    []tpchPart
+	supps    []tpchSupplier
+	clerks   []string
+	statuses []string
+	prios    []string
+	modes    []string
+	flags    []string // return flag → line status dependency
+	flagSt   map[string]string
+	segments []string
+	years    []string
+	months   []string
+}
+
+type tpchCustomer struct {
+	name, nation, city, segment, phonecc string
+}
+
+type tpchPart struct {
+	name, brand, mfgr, ptype, size string
+}
+
+type tpchSupplier struct {
+	name, nation string
+}
+
+// initTPCH builds the entity pools and the 26-attribute joined schema:
+//
+//	c_name c_nation c_region c_segment c_phonecc c_city
+//	o_status o_priority o_clerk o_year o_month
+//	l_qty l_extprice l_disc l_tax l_flag l_status l_shipmode
+//	p_name p_brand p_mfgr p_type p_size
+//	s_name s_nation s_region
+func (g *Generator) initTPCH() {
+	rng := g.rng
+	e := &tpchEntities{
+		nations:  pool("nation", 25),
+		regions:  make(map[string]string),
+		ccOf:     make(map[string]string),
+		clerks:   pool("clerk", 100),
+		statuses: []string{"O", "F", "P"},
+		prios:    []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-LOW", "5-NONE"},
+		modes:    []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL"},
+		flags:    []string{"A", "N", "R"},
+		flagSt:   map[string]string{"A": "F", "N": "O", "R": "F"},
+		segments: []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"},
+		years:    pool("199", 8),
+		months:   pool("m", 12),
+	}
+	regionPool := pool("region", 5)
+	for i, n := range e.nations {
+		e.regions[n] = regionPool[i%len(regionPool)]
+		e.ccOf[n] = fmt.Sprintf("%02d", 10+i)
+	}
+	// Pool sizes track the expected data size so equivalence groups stay
+	// around 100–150 rows regardless of scale (the paper's real TPCH
+	// joined rows repeat each customer/part/supplier far more often).
+	nCust, nPart, nSupp := g.sizeHint/100, g.sizeHint/120, g.sizeHint/400
+	if nCust < 60 {
+		nCust = 60
+	}
+	if nPart < 50 {
+		nPart = 50
+	}
+	if nSupp < 25 {
+		nSupp = 25
+	}
+	for i := 0; i < nCust; i++ {
+		nation := e.nations[rng.Intn(len(e.nations))]
+		e.custs = append(e.custs, tpchCustomer{
+			name:    fmt.Sprintf("cust%05d", i),
+			nation:  nation,
+			city:    fmt.Sprintf("city%03d", rng.Intn(200)),
+			segment: pick(rng, e.segments),
+			phonecc: e.ccOf[nation],
+		})
+	}
+	brands := pool("brand", 25)
+	mfgrs := pool("mfgr", 5)
+	types := pool("type", 30)
+	for i := 0; i < nPart; i++ {
+		brand := brands[rng.Intn(len(brands))]
+		e.parts = append(e.parts, tpchPart{
+			name:  fmt.Sprintf("part%05d", i),
+			brand: brand,
+			// brand → mfgr holds by construction.
+			mfgr:  mfgrs[iOf(brand)%len(mfgrs)],
+			ptype: pick(rng, types),
+			size:  fmt.Sprintf("%d", 1+rng.Intn(50)),
+		})
+	}
+	for i := 0; i < nSupp; i++ {
+		e.supps = append(e.supps, tpchSupplier{
+			name:   fmt.Sprintf("supp%04d", i),
+			nation: e.nations[rng.Intn(len(e.nations))],
+		})
+	}
+
+	g.schema = mustSchema("TPCH",
+		"c_name", "c_nation", "c_region", "c_segment", "c_phonecc", "c_city",
+		"o_status", "o_priority", "o_clerk", "o_year", "o_month",
+		"l_qty", "l_extprice", "l_disc", "l_tax", "l_flag", "l_status", "l_shipmode",
+		"p_name", "p_brand", "p_mfgr", "p_type", "p_size",
+		"s_name", "s_nation", "s_region")
+
+	g.row = func() []string {
+		c := e.custs[rng.Intn(len(e.custs))]
+		p := e.parts[rng.Intn(len(e.parts))]
+		s := e.supps[rng.Intn(len(e.supps))]
+		flag := pick(rng, e.flags)
+		row := []string{
+			c.name, c.nation, e.regions[c.nation], c.segment, c.phonecc, c.city,
+			pick(rng, e.statuses), pick(rng, e.prios), pick(rng, e.clerks),
+			pick(rng, e.years), pick(rng, e.months),
+			fmt.Sprintf("%d", 1+rng.Intn(50)),
+			fmt.Sprintf("%d.%02d", 100+rng.Intn(90000), rng.Intn(100)),
+			fmt.Sprintf("0.%02d", rng.Intn(11)),
+			fmt.Sprintf("0.%02d", rng.Intn(9)),
+			flag, e.flagSt[flag], pick(rng, e.modes),
+			p.name, p.brand, p.mfgr, p.ptype, p.size,
+			s.name, s.nation, e.regions[s.nation],
+		}
+		// Dirt injection: corrupt one dependent attribute.
+		if rng.Float64() < g.ErrRate {
+			switch rng.Intn(6) {
+			case 0:
+				row[g.schema.MustIndex("c_region")] = pick(rng, regionPool)
+			case 1:
+				row[g.schema.MustIndex("c_city")] = fmt.Sprintf("city%03d", rng.Intn(200))
+			case 2:
+				row[g.schema.MustIndex("p_mfgr")] = pick(rng, mfgrs)
+			case 3:
+				row[g.schema.MustIndex("l_status")] = pick(rng, e.statuses)
+			case 4:
+				row[g.schema.MustIndex("s_region")] = pick(rng, regionPool)
+			case 5:
+				row[g.schema.MustIndex("c_segment")] = pick(rng, e.segments)
+			}
+		}
+		return row
+	}
+
+	g.templates = []fdTemplate{
+		{LHS: []string{"c_nation"}, RHS: "c_region", patternAttr: "c_nation", patternVals: e.nations, rhsVals: regionPool},
+		{LHS: []string{"c_name"}, RHS: "c_city", patternAttr: "c_name", patternVals: custNames(e.custs)},
+		{LHS: []string{"c_name"}, RHS: "c_segment", patternAttr: "c_name", patternVals: custNames(e.custs), rhsVals: e.segments},
+		{LHS: []string{"c_phonecc"}, RHS: "c_nation", patternAttr: "c_phonecc", patternVals: ccPool(e), rhsVals: e.nations},
+		{LHS: []string{"p_name"}, RHS: "p_brand", patternAttr: "p_name", patternVals: partNames(e.parts)},
+		{LHS: []string{"p_brand"}, RHS: "p_mfgr", patternAttr: "p_brand", patternVals: brands, rhsVals: mfgrs},
+		{LHS: []string{"l_flag"}, RHS: "l_status", patternAttr: "l_flag", patternVals: e.flags, rhsVals: e.statuses},
+		{LHS: []string{"s_name"}, RHS: "s_nation", patternAttr: "s_name", patternVals: suppNames(e.supps)},
+		{LHS: []string{"s_nation"}, RHS: "s_region", patternAttr: "s_nation", patternVals: e.nations, rhsVals: regionPool},
+		{LHS: []string{"c_name", "c_nation"}, RHS: "c_phonecc", patternAttr: "c_nation", patternVals: e.nations},
+		{LHS: []string{"p_name", "p_brand"}, RHS: "p_type", patternAttr: "p_brand", patternVals: brands},
+		{LHS: []string{"c_nation", "c_segment"}, RHS: "c_region", patternAttr: "c_segment", patternVals: e.segments, rhsVals: regionPool},
+	}
+}
+
+func iOf(s string) int {
+	n := 0
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+func custNames(cs []tpchCustomer) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.name
+	}
+	return out
+}
+
+func partNames(ps []tpchPart) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.name
+	}
+	return out
+}
+
+func suppNames(ss []tpchSupplier) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.name
+	}
+	return out
+}
+
+func ccPool(e *tpchEntities) []string {
+	out := make([]string, 0, len(e.ccOf))
+	for _, n := range e.nations {
+		out = append(out, e.ccOf[n])
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	for _, ds := range []Dataset{TPCH, DBLP} {
+		a := NewSized(ds, 42, 5000).Relation(500)
+		b := NewSized(ds, 42, 5000).Relation(500)
+		if !a.Equal(b) {
+			t.Errorf("%s: same seed produced different relations", ds)
+		}
+		c := NewSized(ds, 43, 5000).Relation(500)
+		if a.Equal(c) {
+			t.Errorf("%s: different seeds produced identical relations", ds)
+		}
+	}
+}
+
+func TestRulesAreValid(t *testing.T) {
+	for _, ds := range []Dataset{TPCH, DBLP} {
+		gen := NewSized(ds, 7, 5000)
+		for _, count := range []int{5, 25, 125} {
+			rules := gen.Rules(count)
+			if len(rules) != count {
+				t.Fatalf("%s: got %d rules, want %d", ds, len(rules), count)
+			}
+			if err := cfd.ValidateAll(gen.Schema(), rules); err != nil {
+				t.Fatalf("%s: invalid rule set: %v", ds, err)
+			}
+		}
+		// Scaled rule sets mix plain FDs, conditioned and constant CFDs.
+		rules := gen.Rules(60)
+		var plain, conditioned, constant int
+		for _, r := range rules {
+			hasConst := false
+			for _, p := range r.LHSPattern {
+				if p != cfd.Wildcard {
+					hasConst = true
+				}
+			}
+			switch {
+			case r.IsConstant():
+				constant++
+			case hasConst:
+				conditioned++
+			default:
+				plain++
+			}
+		}
+		if plain == 0 || conditioned == 0 || constant == 0 {
+			t.Errorf("%s: rule mix plain=%d conditioned=%d constant=%d", ds, plain, conditioned, constant)
+		}
+	}
+}
+
+func TestDirtInjectionScalesWithErrRate(t *testing.T) {
+	gen := NewSized(TPCH, 3, 20000)
+	gen.ErrRate = 0
+	clean := gen.Relation(2000)
+	rules := gen.Rules(len(gen.templates)) // plain FDs only
+	// With no dirt, the by-construction FDs over entity pools must hold:
+	// count pair violations with a brute-force-free check via grouping.
+	viol := countFDViolations(clean, rules)
+	if viol != 0 {
+		t.Errorf("clean data has %d violating tuples", viol)
+	}
+
+	gen2 := NewSized(TPCH, 3, 20000)
+	gen2.ErrRate = 0.05
+	dirty := gen2.Relation(2000)
+	if v := countFDViolations(dirty, gen2.Rules(len(gen2.templates))); v == 0 {
+		t.Error("dirty data has no violations")
+	}
+}
+
+func countFDViolations(rel *relation.Relation, rules []cfd.CFD) int {
+	count := 0
+	for i := range rules {
+		r := &rules[i]
+		if r.IsConstant() {
+			continue
+		}
+		type g struct {
+			first    string
+			distinct int
+			members  int
+		}
+		groups := make(map[string]*g)
+		bIdx := rel.Schema.MustIndex(r.RHS)
+		rel.Each(func(t relation.Tuple) bool {
+			if !r.MatchesLHS(rel.Schema, t) {
+				return true
+			}
+			key := t.Key(rel.Schema, r.LHS)
+			e, ok := groups[key]
+			if !ok {
+				groups[key] = &g{first: t.Values[bIdx], distinct: 1, members: 1}
+				return true
+			}
+			e.members++
+			if e.distinct == 1 && t.Values[bIdx] != e.first {
+				e.distinct = 2
+			}
+			return true
+		})
+		for _, e := range groups {
+			if e.distinct > 1 {
+				count += e.members
+			}
+		}
+	}
+	return count
+}
+
+func TestUpdatesRespectInsertFraction(t *testing.T) {
+	gen := NewSized(TPCH, 5, 10000)
+	rel := gen.Relation(2000)
+	ul := gen.Updates(rel, 1000, 0.8)
+	if len(ul) != 1000 {
+		t.Fatalf("got %d updates", len(ul))
+	}
+	ins := len(ul.Insertions())
+	if ins < 700 || ins > 900 {
+		t.Errorf("insertions = %d of 1000, want ≈ 800", ins)
+	}
+	if err := ul.Validate(rel); err != nil {
+		t.Errorf("update batch not applicable: %v", err)
+	}
+	// Applying must succeed.
+	if err := ul.Apply(rel.Clone()); err != nil {
+		t.Errorf("apply failed: %v", err)
+	}
+}
+
+func TestDBLPVenueDependenciesHold(t *testing.T) {
+	gen := NewSized(DBLP, 9, 8000)
+	gen.ErrRate = 0
+	rel := gen.Relation(1000)
+	// venue → publisher must hold exactly on clean data.
+	seen := make(map[string]string)
+	vIdx := rel.Schema.MustIndex("venue")
+	pIdx := rel.Schema.MustIndex("publisher")
+	ok := true
+	rel.Each(func(t relation.Tuple) bool {
+		v, p := t.Values[vIdx], t.Values[pIdx]
+		if prev, dup := seen[v]; dup && prev != p {
+			ok = false
+			return false
+		}
+		seen[v] = p
+		return true
+	})
+	if !ok {
+		t.Error("venue → publisher broken on clean data")
+	}
+}

@@ -1,0 +1,195 @@
+// Package repro is a Go implementation of
+//
+//	Wenfei Fan, Jianzhong Li, Nan Tang, Wenyuan Yu:
+//	"Incremental Detection of Inconsistencies in Distributed Data"
+//	(ICDE 2012; extended version IEEE TKDE 26(6), 2014).
+//
+// It detects violations of conditional functional dependencies (CFDs) in
+// a relation that is partitioned — vertically or horizontally — across
+// sites, and maintains the violation set incrementally under batch
+// updates with communication and computation costs in O(|∆D| + |∆V|),
+// independent of the database size (the paper's boundedness result,
+// Theorem 5).
+//
+// # Quick start
+//
+//	schema := repro.MustSchema("EMP", "grade", "street", "city", "zip", "CC", "AC")
+//	rules, _ := repro.ParseRules(`
+//	    phi1: ([CC, zip] -> [street], (44, _, _))
+//	    phi2: ([CC, AC] -> [city], (44, 131, EDI))
+//	`)
+//	rel := repro.NewRelation(schema)
+//	// ... insert tuples ...
+//	sys, _ := repro.NewHorizontal(rel, repro.BySetHorizontal("grade",
+//	    [][]string{{"A"}, {"B"}, {"C"}}), rules, repro.HorizontalOptions{})
+//	delta, _ := sys.ApplyBatch(updates)   // incHor: ∆V for ∆D
+//	fmt.Println(sys.Violations(), sys.Stats().Bytes)
+//
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory and the experiment index reproducing the paper's evaluation.
+package repro
+
+import (
+	"repro/internal/cfd"
+	"repro/internal/core"
+	"repro/internal/horizontal"
+	"repro/internal/network"
+	"repro/internal/optimizer"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/vertical"
+	"repro/internal/workload"
+)
+
+// Data model.
+type (
+	// Schema describes a relation's attributes.
+	Schema = relation.Schema
+	// Tuple is one row with a unique TupleID.
+	Tuple = relation.Tuple
+	// TupleID identifies a tuple across all fragments.
+	TupleID = relation.TupleID
+	// Relation is an in-memory instance of a schema.
+	Relation = relation.Relation
+	// Update is a tuple insertion or deletion.
+	Update = relation.Update
+	// UpdateList is a batch update ∆D.
+	UpdateList = relation.UpdateList
+	// UpdateKind distinguishes insertions from deletions.
+	UpdateKind = relation.UpdateKind
+)
+
+// Update kinds.
+const (
+	Insert = relation.Insert
+	Delete = relation.Delete
+)
+
+// Rules and violations.
+type (
+	// CFD is a normalized conditional functional dependency (X → B, tp).
+	CFD = cfd.CFD
+	// Violations is V(Σ, D) with per-rule tags.
+	Violations = cfd.Violations
+	// Delta is ∆V: added and removed violation marks.
+	Delta = cfd.Delta
+)
+
+// Wildcard is the unnamed pattern variable '_'.
+const Wildcard = cfd.Wildcard
+
+// Partitioning.
+type (
+	// VerticalScheme maps attributes to sites (with replication).
+	VerticalScheme = partition.VerticalScheme
+	// HorizontalScheme is a list of disjoint covering predicates.
+	HorizontalScheme = partition.HorizontalScheme
+	// Predicate is one horizontal selection predicate Fi.
+	Predicate = partition.Predicate
+)
+
+// Detection systems.
+type (
+	// Detector is the common interface of both partition styles.
+	Detector = core.Detector
+	// VerticalSystem runs §4's incVer (plus batVer) over a vertical partition.
+	VerticalSystem = vertical.System
+	// HorizontalSystem runs §6's incHor (plus batHor) over a horizontal partition.
+	HorizontalSystem = horizontal.System
+	// VerticalOptions configures NewVertical.
+	VerticalOptions = vertical.Options
+	// HorizontalOptions configures NewHorizontal.
+	HorizontalOptions = horizontal.Options
+	// Stats are the communication meters (messages, bytes, eqids).
+	Stats = network.Stats
+	// Plan is a §5 HEV build plan with its Neqid cost.
+	Plan = optimizer.Plan
+)
+
+// Generator produces the synthetic TPCH-like and DBLP-like workloads of
+// the evaluation.
+type Generator = workload.Generator
+
+// Datasets for NewGenerator.
+const (
+	TPCH = workload.TPCH
+	DBLP = workload.DBLP
+)
+
+// NewSchema builds a schema; attribute names must be unique.
+func NewSchema(name string, attrs []string) (*Schema, error) { return relation.NewSchema(name, attrs) }
+
+// MustSchema is NewSchema panicking on error.
+func MustSchema(name string, attrs ...string) *Schema { return relation.MustSchema(name, attrs...) }
+
+// NewRelation returns an empty relation over schema s.
+func NewRelation(s *Schema) *Relation { return relation.New(s) }
+
+// NewTuple builds a tuple over schema s, checking arity.
+func NewTuple(s *Schema, id TupleID, values []string) (Tuple, error) {
+	return relation.NewTuple(s, id, values)
+}
+
+// ParseRules parses a multi-line rule file in the paper's notation, e.g.
+// "phi1: ([CC, zip] -> [street], (44, _, _))", returning normalized CFDs.
+func ParseRules(text string) ([]CFD, error) { return cfd.ParseAll(text) }
+
+// DetectCentralized computes V(Σ, D) on a single-site relation — the
+// "two SQL queries" method the paper cites for centralized data, also
+// usable as a ground-truth oracle.
+func DetectCentralized(rel *Relation, rules []CFD) *Violations {
+	return centralizedDetect(rel, rules)
+}
+
+// NewVerticalScheme validates an attribute → sites assignment.
+func NewVerticalScheme(s *Schema, numSites int, attrSites map[string][]int) (*VerticalScheme, error) {
+	return partition.NewVerticalScheme(s, numSites, attrSites)
+}
+
+// RoundRobinVertical spreads attributes over numSites fragments.
+func RoundRobinVertical(s *Schema, numSites int) *VerticalScheme {
+	return partition.RoundRobinVertical(s, numSites)
+}
+
+// HashHorizontal partitions by hash of one attribute's value.
+func HashHorizontal(attr string, numSites int) *HorizontalScheme {
+	return partition.HashHorizontal(attr, numSites)
+}
+
+// IDHorizontal partitions by TupleID modulus.
+func IDHorizontal(numSites int) *HorizontalScheme { return partition.IDHorizontal(numSites) }
+
+// BySetHorizontal partitions by explicit value sets over one attribute
+// (grade ∈ {A}, {B}, {C} in the paper's Fig. 2).
+func BySetHorizontal(attr string, valueSets [][]string) *HorizontalScheme {
+	return partition.BySetHorizontal(attr, valueSets)
+}
+
+// NewVertical builds, seeds and returns a vertical detection system.
+func NewVertical(rel *Relation, scheme *VerticalScheme, rules []CFD, opts VerticalOptions) (*VerticalSystem, error) {
+	return core.NewVertical(rel, scheme, rules, opts)
+}
+
+// NewHorizontal builds, seeds and returns a horizontal detection system.
+func NewHorizontal(rel *Relation, scheme *HorizontalScheme, rules []CFD, opts HorizontalOptions) (*HorizontalSystem, error) {
+	return core.NewHorizontal(rel, scheme, rules, opts)
+}
+
+// NewGenerator returns a synthetic workload generator (TPCH or DBLP) with
+// entity pools proportioned to sizeHint rows.
+func NewGenerator(ds workload.Dataset, seed int64, sizeHint int) *Generator {
+	return workload.NewSized(ds, seed, sizeHint)
+}
+
+// UseRPCTransport switches a system's cluster onto a real net/rpc-over-TCP
+// transport (one server goroutine per site on localhost). Returns a close
+// function. Intended for integration tests and demos of the multi-node
+// simulation.
+func UseRPCTransport(d Detector) (func() error, error) {
+	t, err := network.NewRPCTransport(d.Cluster())
+	if err != nil {
+		return nil, err
+	}
+	d.Cluster().UseTransport(t)
+	return t.Close, nil
+}
