@@ -8,6 +8,7 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/workload"
@@ -91,6 +92,96 @@ func BenchmarkFig11b_HorizontalIncVsRefinedBatch(b *testing.B) {
 func BenchmarkMD5CodingAblation(b *testing.B) {
 	benchExperiment(b, harness.MD5Ablation, map[string]string{"KB": "KB"})
 }
+
+func BenchmarkFanoutEngine(b *testing.B) {
+	benchExperiment(b, harness.ExpFanout, map[string]string{"speedup": "speedup"})
+}
+
+// --- scatter/gather engine: sequential vs parallel fan-out, n = 8 ---
+//
+// The same 8-site systems driven with the fan-out worker cap at 1 (the
+// pre-engine serial coordinator) and uncapped, over a simulated network
+// charging a 1ms round-trip per cross-site message (the EC2-era latency
+// an in-process loopback hides; on a single-core host it is also the
+// only cost parallelism can overlap). The parallel runs must meter
+// exactly the same bytes and messages — the engine changes when messages
+// fly, never what is sent — while wall-clock drops.
+
+func benchFanoutSystems(b *testing.B) (*VerticalSystem, *HorizontalSystem, *workload.Generator) {
+	b.Helper()
+	gen := workload.NewSized(workload.TPCH, 7, 8000)
+	rules := gen.Rules(30)
+	rel := gen.Relation(2000)
+	vsys, err := NewVertical(rel, RoundRobinVertical(gen.Schema(), 8), rules, VerticalOptions{UseOptimizer: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hsys, err := NewHorizontal(rel, HashHorizontal("c_name", 8), rules, HorizontalOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vsys.Cluster().SetLinkRTT(time.Millisecond)
+	hsys.Cluster().SetLinkRTT(time.Millisecond)
+	return vsys, hsys, gen
+}
+
+func benchBatchDetectFanout(b *testing.B, workers int) {
+	vsys, hsys, _ := benchFanoutSystems(b)
+	vsys.Cluster().SetMaxFanout(workers)
+	hsys.Cluster().SetMaxFanout(workers)
+	// Warm the per-pair meter streams: the first run on a pair pays gob
+	// type descriptors once, every later run meters steady-state bytes.
+	if _, err := vsys.BatchDetect(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := hsys.BatchDetect(); err != nil {
+		b.Fatal(err)
+	}
+	var wantBytes, wantMsgs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vsys.Cluster().ResetStats()
+		hsys.Cluster().ResetStats()
+		if _, err := vsys.BatchDetect(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := hsys.BatchDetect(); err != nil {
+			b.Fatal(err)
+		}
+		gotBytes := vsys.Stats().Bytes + hsys.Stats().Bytes
+		gotMsgs := vsys.Stats().Messages + hsys.Stats().Messages
+		if i == 0 {
+			wantBytes, wantMsgs = gotBytes, gotMsgs
+			b.ReportMetric(float64(gotBytes)/1024, "KB")
+			b.ReportMetric(float64(gotMsgs), "msgs")
+		} else if gotBytes != wantBytes || gotMsgs != wantMsgs {
+			b.Fatalf("meters drifted across runs: %d bytes / %d msgs vs %d / %d",
+				gotBytes, gotMsgs, wantBytes, wantMsgs)
+		}
+	}
+}
+
+func BenchmarkBatchDetect8SitesSequential(b *testing.B) { benchBatchDetectFanout(b, 1) }
+func BenchmarkBatchDetect8SitesParallel(b *testing.B)   { benchBatchDetectFanout(b, 0) }
+
+func benchApplyBatchFanout(b *testing.B, workers int) {
+	vsys, hsys, gen := benchFanoutSystems(b)
+	vsys.Cluster().SetMaxFanout(workers)
+	hsys.Cluster().SetMaxFanout(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := gen.Next()
+		if _, err := vsys.ApplyBatch(UpdateList{{Kind: Insert, Tuple: t}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := hsys.ApplyBatch(UpdateList{{Kind: Insert, Tuple: t}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyBatch8SitesSequential(b *testing.B) { benchApplyBatchFanout(b, 1) }
+func BenchmarkApplyBatch8SitesParallel(b *testing.B)   { benchApplyBatchFanout(b, 0) }
 
 // --- micro-benchmarks: per-update latency of the core algorithms ---
 

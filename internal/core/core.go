@@ -3,6 +3,14 @@
 // from a relation + partition scheme + rule set to a running, seeded
 // incremental detection system. The root repro package re-exports this
 // API; examples, tools and the experiment harness all build on it.
+//
+// A Detector owns a network.Cluster whose meters (messages, bytes,
+// eqids) are zero right after construction — seeding is never charged —
+// and whose knobs (transport, fan-out worker cap, simulated link RTT)
+// tune how the distributed simulation executes without changing what it
+// computes or ships. Use NewVertical for §4/§5's incVer+optVer over a
+// vertical partition, NewHorizontal for §6's incHor over a horizontal
+// one.
 package core
 
 import (

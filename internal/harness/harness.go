@@ -91,6 +91,12 @@ type spec struct {
 	useOptimizer bool
 	disableMD5   bool
 	nsPerByte    float64
+	// serialFanout caps every scatter/gather round at one worker,
+	// reproducing the pre-engine serial coordinator for comparison runs.
+	serialFanout bool
+	// linkRTT simulates per-message network propagation delay (see
+	// network.Cluster.SetLinkRTT); zero keeps the loopback instantaneous.
+	linkRTT time.Duration
 
 	// what to run
 	runInc  bool
@@ -148,6 +154,16 @@ func (s spec) build(rel *relation.Relation, rules []cfd.CFD, noIndexes bool) (co
 	}
 }
 
+// tune applies the spec's cluster knobs to a freshly built detector.
+func (s spec) tune(d core.Detector) {
+	if s.serialFanout {
+		d.Cluster().SetMaxFanout(1)
+	}
+	if s.linkRTT > 0 {
+		d.Cluster().SetLinkRTT(s.linkRTT)
+	}
+}
+
 // run executes one configuration: generate D, Σ and ∆D, then measure the
 // requested algorithms. Setup (partitioning, index seeding) is never
 // timed, matching the paper's methodology where indices pre-exist.
@@ -163,6 +179,7 @@ func run(s spec) (out, error) {
 		if err != nil {
 			return o, err
 		}
+		s.tune(sys)
 		start := time.Now()
 		delta, err := sys.ApplyBatch(updates)
 		if err != nil {
@@ -185,6 +202,7 @@ func run(s spec) (out, error) {
 			if err != nil {
 				return o, err
 			}
+			s.tune(bsys)
 			bsys.Cluster().ResetStats()
 			start := time.Now()
 			if _, err := bsys.BatchDetect(); err != nil {
@@ -202,6 +220,7 @@ func run(s spec) (out, error) {
 			if err != nil {
 				return o, err
 			}
+			s.tune(isys)
 			var inserts relation.UpdateList
 			updated.Each(func(t relation.Tuple) bool {
 				inserts = append(inserts, relation.Update{Kind: relation.Insert, Tuple: t})

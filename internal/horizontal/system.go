@@ -82,30 +82,55 @@ func NewSystem(rel *relation.Relation, scheme *partition.HorizontalScheme, rules
 	sys.noIndexes = opts.NoIndexes
 	sys.direct = true
 	var seedErr error
-	rel.Each(func(t relation.Tuple) bool {
-		if sys.noIndexes {
-			owner, err := sys.scheme.SiteFor(sys.schema, t)
-			if err == nil {
-				err = sys.send(network.SiteID(owner), network.SiteID(owner), "h.apply",
-					applyReq{Op: OpInsert, ID: int64(t.ID), Values: t.Values}, nil)
+	if sys.noIndexes {
+		seedErr = sys.seedFragments(rel)
+	} else {
+		rel.Each(func(t relation.Tuple) bool {
+			delta, err := sys.applyUnit(relation.Update{Kind: relation.Insert, Tuple: t})
+			if err != nil {
+				seedErr = err
+				return false
 			}
-			seedErr = err
-			return seedErr == nil
-		}
-		delta, err := sys.applyUnit(relation.Update{Kind: relation.Insert, Tuple: t})
-		if err != nil {
-			seedErr = err
-			return false
-		}
-		delta.Apply(sys.v)
-		return true
-	})
+			delta.Apply(sys.v)
+			return true
+		})
+	}
 	sys.direct = false
 	if seedErr != nil {
 		return nil, seedErr
 	}
 	sys.cluster.ResetStats()
 	return sys, nil
+}
+
+// seedFragments loads rel into the owning fragments without building
+// indices (the NoIndexes mode measuring the batch baseline): tuples are
+// routed to their owner once, then each site ingests its share in
+// parallel with the others.
+func (sys *System) seedFragments(rel *relation.Relation) error {
+	perSite := make([][]applyReq, len(sys.sites))
+	var routeErr error
+	rel.Each(func(t relation.Tuple) bool {
+		owner, err := sys.scheme.SiteFor(sys.schema, t)
+		if err != nil {
+			routeErr = err
+			return false
+		}
+		perSite[owner] = append(perSite[owner], applyReq{Op: OpInsert, ID: int64(t.ID), Values: t.Values})
+		return true
+	})
+	if routeErr != nil {
+		return routeErr
+	}
+	return sys.cluster.Fanout(len(perSite), network.FanoutOpts{}, func(i int) error {
+		site := network.SiteID(i)
+		for _, req := range perSite[i] {
+			if err := sys.send(site, site, "h.apply", req, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // Cluster exposes the message fabric.
@@ -127,6 +152,12 @@ func (sys *System) send(from, to network.SiteID, method string, args, reply any)
 	return sys.cluster.Call(from, to, method, args, reply)
 }
 
+// gather is network.GatherVia over sys.send, so seed-mode calls stay
+// same-site and unmetered.
+func gather[Req, Resp any](sys *System, from network.SiteID, method string, targets []network.SiteID, req func(network.SiteID) Req) ([]Resp, error) {
+	return network.GatherVia[Req, Resp](sys.cluster, sys.send, from, method, targets, req, network.FanoutOpts{})
+}
+
 // ApplyBatch runs incHor (Fig. 8): normalizes ∆D, routes every unit update
 // to its owning fragment's protocol, maintains V and returns ∆V.
 func (sys *System) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
@@ -143,6 +174,19 @@ func (sys *System) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
 		delta.Merge(ud)
 	}
 	return delta, nil
+}
+
+// participants returns every site whose predicate can hold tuples
+// matching the rule's pattern constants, in site order.
+func (sys *System) participants(rule string) []network.SiteID {
+	ex := sys.excluded[rule]
+	out := make([]network.SiteID, 0, len(sys.sites))
+	for i := range sys.sites {
+		if !ex[i] {
+			out = append(out, network.SiteID(i))
+		}
+	}
+	return out
 }
 
 // peers returns the broadcast targets for a rule from the given owner:
@@ -290,12 +334,15 @@ func (sys *System) insertVariable(t relation.Tuple, owner network.SiteID, delta 
 			peerPend[peer] = append(peerPend[peer], p)
 		}
 	}
-	for _, peer := range sortedSites(peerItems) {
-		var resp probeInsResp
-		req := probeInsReq{Tuple: sys.probeTuple(t), Items: peerItems[peer]}
-		if err := sys.send(owner, peer, "h.probeIns", req, &resp); err != nil {
-			return err
-		}
+	peers := sortedSites(peerItems)
+	resps, err := gather[probeInsReq, probeInsResp](sys, owner, "h.probeIns", peers, func(peer network.SiteID) probeInsReq {
+		return probeInsReq{Tuple: sys.probeTuple(t), Items: peerItems[peer]}
+	})
+	if err != nil {
+		return err
+	}
+	for pi, peer := range peers {
+		resp := resps[pi]
 		if len(resp.Items) != len(peerItems[peer]) {
 			return errResponseShape("h.probeIns", peer)
 		}
@@ -364,12 +411,15 @@ func (sys *System) deleteVariable(t relation.Tuple, owner network.SiteID, delta 
 			peerPend[peer] = append(peerPend[peer], p)
 		}
 	}
-	for _, peer := range sortedSites(peerItems) {
-		var resp probeDelResp
-		req := probeDelReq{Tuple: sys.probeTuple(t), Items: peerItems[peer]}
-		if err := sys.send(owner, peer, "h.probeDel", req, &resp); err != nil {
-			return err
-		}
+	peers := sortedSites(peerItems)
+	resps, err := gather[probeDelReq, probeDelResp](sys, owner, "h.probeDel", peers, func(peer network.SiteID) probeDelReq {
+		return probeDelReq{Tuple: sys.probeTuple(t), Items: peerItems[peer]}
+	})
+	if err != nil {
+		return err
+	}
+	for pi, peer := range peers {
+		resp := resps[pi]
 		if len(resp.Items) != len(peerItems[peer]) {
 			return errResponseShape("h.probeDel", peer)
 		}
@@ -403,12 +453,15 @@ func (sys *System) deleteVariable(t relation.Tuple, owner network.SiteID, delta 
 			demotePend[s] = append(demotePend[s], p)
 		}
 	}
-	for _, s := range sortedSites(demoteSiteItems) {
-		var resp demoteResp
-		req := demoteReq{Tuple: sys.probeTuple(t), Items: demoteSiteItems[s]}
-		if err := sys.send(owner, s, "h.demote", req, &resp); err != nil {
-			return err
-		}
+	demoteSites := sortedSites(demoteSiteItems)
+	demoteResps, err := gather[demoteReq, demoteResp](sys, owner, "h.demote", demoteSites, func(s network.SiteID) demoteReq {
+		return demoteReq{Tuple: sys.probeTuple(t), Items: demoteSiteItems[s]}
+	})
+	if err != nil {
+		return err
+	}
+	for si, s := range demoteSites {
+		resp := demoteResps[si]
 		if len(resp.Items) != len(demoteSiteItems[s]) {
 			return errResponseShape("h.demote", s)
 		}
@@ -444,14 +497,17 @@ func (sys *System) BatchDetect() (*cfd.Violations, error) {
 	for i := range sys.rules {
 		r := &sys.rules[i]
 		if sys.localCheck[r.ID] {
-			for _, st := range sys.sites {
-				if sys.excluded[r.ID][st.id] {
-					continue
-				}
-				var resp localDetectResp
-				if err := sys.cluster.Call(st.id, st.id, "h.localDetect", localDetectReq{Rule: r.ID}, &resp); err != nil {
-					return nil, err
-				}
+			targets := sys.participants(r.ID)
+			resps := make([]localDetectResp, len(targets))
+			err := sys.cluster.Fanout(len(targets), network.FanoutOpts{}, func(i int) error {
+				// Locally checkable rules need no shipment: each site
+				// detects against its own fragment (same-site call).
+				return sys.cluster.Call(targets[i], targets[i], "h.localDetect", localDetectReq{Rule: r.ID}, &resps[i])
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, resp := range resps {
 				for _, id := range resp.IDs {
 					v.Add(relation.TupleID(id), r.ID)
 				}
@@ -486,14 +542,14 @@ func (sys *System) BatchDetect() (*cfd.Violations, error) {
 			}
 			g.members = append(g.members, row.ID)
 		}
-		for _, st := range sys.sites {
-			if sys.excluded[r.ID][st.id] {
-				continue
-			}
-			var resp shipMatchingResp
-			if err := sys.cluster.Call(coord, st.id, "h.shipMatching", shipMatchingReq{Rule: r.ID}, &resp); err != nil {
-				return nil, err
-			}
+		targets := sys.participants(r.ID)
+		resps, err := gather[shipMatchingReq, shipMatchingResp](sys, coord, "h.shipMatching", targets, func(network.SiteID) shipMatchingReq {
+			return shipMatchingReq{Rule: r.ID}
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, resp := range resps {
 			for _, row := range resp.Rows {
 				addRow(row)
 			}

@@ -9,6 +9,14 @@
 // which every site runs its own RPC server goroutine, exercising an
 // actual network stack. Both marshal payloads with encoding/gob, so the
 // byte accounting is identical and honest in either mode.
+//
+// Fan-outs — one coordinator addressing many sites — go through the
+// concurrent scatter/gather engine (Fanout, Broadcast, Gather in
+// fanout.go): bounded workers, deterministic reply order and error
+// selection, and meters that stay exact and identical whether a round
+// runs with one worker or many. SetLinkRTT adds a simulated per-message
+// network round-trip, the cost a real deployment pays and parallel
+// fan-out overlaps.
 package network
 
 import (
@@ -131,16 +139,25 @@ type Cluster struct {
 	statMu sync.Mutex
 	stats  Stats
 
-	// meterMu guards the per-pair metering streams. Each (from, to)
+	// maxFanout is the default worker cap for Fanout/Broadcast/Gather
+	// (see fanout.go); <= 0 means GOMAXPROCS.
+	maxFanout int
+	// linkRTT is a simulated per-message network round-trip applied to
+	// cross-site calls (zero by default). See SetLinkRTT.
+	linkRTT time.Duration
+
+	// meterMu guards the per-pair metering stream map. Each (from, to)
 	// pair has a long-lived gob stream, so type descriptors are paid
 	// once per pair — the amortized cost of gob over a real connection,
-	// not a per-message artifact.
+	// not a per-message artifact. The streams themselves carry their own
+	// locks: concurrent fan-outs to distinct sites encode in parallel.
 	meterMu sync.Mutex
 	meters  map[[2]SiteID]*meterStream
 }
 
 // meterStream measures the wire size of payloads on one directed pair.
 type meterStream struct {
+	mu  sync.Mutex
 	cw  countWriter
 	enc *gob.Encoder
 }
@@ -156,7 +173,6 @@ func (w *countWriter) Write(p []byte) (int, error) {
 // (from, to) gob stream.
 func (c *Cluster) meterEncode(from, to SiteID, payload any) (int, error) {
 	c.meterMu.Lock()
-	defer c.meterMu.Unlock()
 	key := [2]SiteID{from, to}
 	ms, ok := c.meters[key]
 	if !ok {
@@ -164,6 +180,9 @@ func (c *Cluster) meterEncode(from, to SiteID, payload any) (int, error) {
 		ms.enc = gob.NewEncoder(&ms.cw)
 		c.meters[key] = ms
 	}
+	c.meterMu.Unlock()
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
 	before := ms.cw.n
 	if err := ms.enc.Encode(payload); err != nil {
 		return 0, err
@@ -234,6 +253,29 @@ func (c *Cluster) dispatch(to SiteID, method string, data []byte) ([]byte, error
 // closing the previous transport.
 func (c *Cluster) UseTransport(t Transport) { c.transport = t }
 
+// SetLinkRTT sets a simulated network round-trip charged to every
+// cross-site call (the paper's EC2 cluster pays real propagation delay on
+// every message; the in-process loopback pays none). Same-site calls are
+// unaffected, as is every meter — latency changes when replies arrive,
+// not what is sent. With a nonzero RTT the benefit of the parallel
+// scatter/gather engine is visible even on a single-core host: sequential
+// fan-out pays breadth × RTT per round, parallel fan-out pays ~one RTT.
+func (c *Cluster) SetLinkRTT(d time.Duration) {
+	c.statMu.Lock()
+	c.linkRTT = d
+	c.statMu.Unlock()
+}
+
+// linkDelay sleeps one simulated round-trip, if configured.
+func (c *Cluster) linkDelay() {
+	c.statMu.Lock()
+	d := c.linkRTT
+	c.statMu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
 // callNative dispatches to a registered native handler under the site's
 // lock, charging the site's busy meter. ok is false when no native
 // handler exists for (to, method).
@@ -291,6 +333,7 @@ func (c *Cluster) Call(from, to SiteID, method string, args, reply any) error {
 		return Unmarshal(respData, reply)
 	}
 
+	c.linkDelay()
 	if _, isLoop := c.transport.(*loopback); isLoop {
 		if resp, ok, err := c.nativeMetered(from, to, method, args); ok {
 			if err != nil {

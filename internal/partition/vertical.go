@@ -3,6 +3,15 @@
 // here the TupleID) and horizontal partitions Di = σ_Fi(D) (disjoint
 // selections covering D). Vertical schemes may replicate attributes across
 // fragments, which §5's optimizer exploits.
+//
+// Vertical schemes are built with NewVerticalScheme (explicit attribute →
+// sites assignment) or RoundRobinVertical; horizontal ones with
+// HashHorizontal (hash of one attribute), IDHorizontal (TupleID modulus)
+// or BySetHorizontal (explicit value sets, the paper's grade ∈ {A},{B},{C}
+// example). A HorizontalScheme also answers the §6 pre-analysis questions:
+// whether a rule is locally checkable on every fragment
+// (LocallyCheckable), and whether a fragment's predicate contradicts a
+// rule's pattern constants (Predicate.ExcludesConstants).
 package partition
 
 import (

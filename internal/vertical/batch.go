@@ -53,11 +53,13 @@ func (sys *System) batchRule(rule *cfd.CFD, v *cfd.Violations) error {
 		seen int
 	}
 	tuples := make(map[int64]*partial)
-	for _, src := range participants {
-		var resp shipColsResp
-		if err := sys.cluster.Call(coordID, src, "v.shipCols", shipColsReq{Rule: rule.ID}, &resp); err != nil {
-			return err
-		}
+	resps, err := gather[shipColsReq, shipColsResp](sys, coordID, "v.shipCols", participants, func(network.SiteID) shipColsReq {
+		return shipColsReq{Rule: rule.ID}
+	})
+	if err != nil {
+		return err
+	}
+	for _, resp := range resps {
 		for _, row := range resp.Rows {
 			p, ok := tuples[row.ID]
 			if !ok {

@@ -206,6 +206,12 @@ func (sys *System) send(from, to network.SiteID, method string, args, reply any)
 	return sys.cluster.Call(from, to, method, args, reply)
 }
 
+// gather is network.GatherVia over sys.send, so seed-mode calls stay
+// same-site and unmetered.
+func gather[Req, Resp any](sys *System, from network.SiteID, method string, targets []network.SiteID, req func(network.SiteID) Req) ([]Resp, error) {
+	return network.GatherVia[Req, Resp](sys.cluster, sys.send, from, method, targets, req, network.FanoutOpts{})
+}
+
 // ApplyBatch runs incVer (Fig. 5): it normalizes ∆D, processes each unit
 // update through the incremental machinery, maintains V(Σ, D) and returns
 // the accumulated ∆V.
@@ -233,17 +239,18 @@ func (sys *System) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
 // empty message per site pair, per batch — O(n²) per ∆D, independent of
 // |∆D|.
 func (sys *System) barrier() error {
-	for i := range sys.sites {
-		for j := range sys.sites {
-			if i == j {
-				continue
-			}
-			if err := sys.send(network.SiteID(i), network.SiteID(j), "v.barrier", barrierReq{}, nil); err != nil {
-				return err
+	n := len(sys.sites)
+	pairs := make([][2]network.SiteID, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				pairs = append(pairs, [2]network.SiteID{network.SiteID(i), network.SiteID(j)})
 			}
 		}
 	}
-	return nil
+	return sys.cluster.Fanout(len(pairs), network.FanoutOpts{}, func(i int) error {
+		return sys.send(pairs[i][0], pairs[i][1], "v.barrier", barrierReq{}, nil)
+	})
 }
 
 // applyUnit processes one insertion or deletion through incVIns/incVDel
@@ -262,19 +269,26 @@ func (sys *System) applyUnit(u relation.Update) (*cfd.Delta, error) {
 		}
 	}
 
-	// 2. Each site checks the pattern constants it owns.
-	failedAt := make(map[string]network.SiteID)
+	// 2. Each site checks the pattern constants it owns, all sites at
+	// once (same-site calls; replies merge in site order).
+	var checkers []network.SiteID
 	for _, st := range sys.sites {
-		if len(st.checks) == 0 {
-			continue
+		if len(st.checks) > 0 {
+			checkers = append(checkers, st.id)
 		}
-		var resp evalConstsResp
-		if err := sys.send(st.id, st.id, "v.evalConsts", evalConstsReq{ID: tid}, &resp); err != nil {
-			return nil, err
-		}
-		for _, rid := range resp.Failed {
-			if prev, ok := failedAt[rid]; !ok || st.id < prev {
-				failedAt[rid] = st.id
+	}
+	failedAt := make(map[string]network.SiteID)
+	checkResps := make([]evalConstsResp, len(checkers))
+	err := sys.cluster.Fanout(len(checkers), network.FanoutOpts{}, func(i int) error {
+		return sys.send(checkers[i], checkers[i], "v.evalConsts", evalConstsReq{ID: tid}, &checkResps[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range checkers {
+		for _, rid := range checkResps[i].Failed {
+			if prev, ok := failedAt[rid]; !ok || id < prev {
+				failedAt[rid] = id
 			}
 		}
 	}
@@ -307,21 +321,29 @@ func (sys *System) applyUnit(u relation.Update) (*cfd.Delta, error) {
 		}
 		return pairs[i][1] < pairs[j][1]
 	})
-	for _, k := range pairs {
-		if err := sys.send(k[0], k[1], "v.vote", voteReq{Rules: votes[k], ID: tid}, nil); err != nil {
-			return nil, err
+	err = sys.cluster.Fanout(len(pairs), network.FanoutOpts{}, func(i int) error {
+		k := pairs[i]
+		return sys.send(k[0], k[1], "v.vote", voteReq{Rules: votes[k], ID: tid}, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var aliveConst []*cfd.CFD
+	for _, r := range sys.constRules {
+		if _, dead := failedAt[r.ID]; !dead {
+			aliveConst = append(aliveConst, r)
 		}
 	}
-	for _, r := range sys.constRules {
-		if _, dead := failedAt[r.ID]; dead {
-			continue
-		}
-		coord := sys.constCoord[r.ID]
-		var resp applyConstResp
-		if err := sys.send(coord, coord, "v.applyConst", applyConstReq{Rule: r.ID, ID: tid, Op: op}, &resp); err != nil {
-			return nil, err
-		}
-		if resp.Violation {
+	constResps := make([]applyConstResp, len(aliveConst))
+	err = sys.cluster.Fanout(len(aliveConst), network.FanoutOpts{}, func(i int) error {
+		coord := sys.constCoord[aliveConst[i].ID]
+		return sys.send(coord, coord, "v.applyConst", applyConstReq{Rule: aliveConst[i].ID, ID: tid, Op: op}, &constResps[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range aliveConst {
+		if constResps[i].Violation {
 			if op == OpInsert {
 				delta.Add(u.Tuple.ID, r.ID)
 			} else {
@@ -399,7 +421,9 @@ func (sys *System) runPlan(tid int64, op OpKind, alive []*cfd.CFD, delta *cfd.De
 
 	involved := make(map[network.SiteID]bool)
 
-	// 5. Resolve and ship eqids bottom-up.
+	// 5. Resolve and ship eqids bottom-up. Nodes resolve in topological
+	// order (later nodes consume earlier deliveries), but each node's
+	// deliveries to its consumer sites go out in parallel.
 	for _, n := range order {
 		node := sys.plan.Node(n)
 		src := network.SiteID(node.Site)
@@ -411,31 +435,34 @@ func (sys *System) runPlan(tid int64, op OpKind, alive []*cfd.CFD, delta *cfd.De
 		destSites := make([]network.SiteID, 0, len(dests[n]))
 		for d := range dests[n] {
 			destSites = append(destSites, d)
+			involved[d] = true
 		}
 		sort.Slice(destSites, func(i, j int) bool { return destSites[i] < destSites[j] })
-		for _, d := range destSites {
-			if err := sys.send(src, d, "v.deliver", deliverReq{ID: tid, Node: int(n), Eq: resp.Eq}, nil); err != nil {
-				return err
-			}
-			if !sys.direct {
-				sys.cluster.AddEqids(1)
-			}
-			involved[d] = true
+		req := deliverReq{ID: tid, Node: int(n), Eq: resp.Eq}
+		if err := sys.cluster.BroadcastVia(sys.send, src, "v.deliver", req, destSites, network.FanoutOpts{}); err != nil {
+			return err
+		}
+		if !sys.direct {
+			sys.cluster.AddEqids(len(destSites))
 		}
 	}
 
-	// 6. Fig. 4 at each alive rule's IDX site.
-	for _, r := range alive {
-		b := sys.plan.Bindings[r.ID]
-		idxSite := network.SiteID(b.IDXSite)
-		var resp applyRuleResp
-		if err := sys.send(idxSite, idxSite, "v.applyRule", applyRuleReq{Rule: r.ID, ID: tid, Op: op}, &resp); err != nil {
-			return err
-		}
-		for _, id := range resp.Added {
+	// 6. Fig. 4 at each alive rule's IDX site, all rules at once (rules
+	// sharing an IDX site serialize on that site's lock, as on a real
+	// node); ∆V merges in rule order.
+	ruleResps := make([]applyRuleResp, len(alive))
+	err := sys.cluster.Fanout(len(alive), network.FanoutOpts{}, func(i int) error {
+		idxSite := network.SiteID(sys.plan.Bindings[alive[i].ID].IDXSite)
+		return sys.send(idxSite, idxSite, "v.applyRule", applyRuleReq{Rule: alive[i].ID, ID: tid, Op: op}, &ruleResps[i])
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range alive {
+		for _, id := range ruleResps[i].Added {
 			delta.Add(relation.TupleID(id), r.ID)
 		}
-		for _, id := range resp.Removed {
+		for _, id := range ruleResps[i].Removed {
 			delta.Remove(relation.TupleID(id), r.ID)
 		}
 	}
@@ -451,27 +478,23 @@ func (sys *System) runPlan(tid int64, op OpKind, alive []*cfd.CFD, delta *cfd.De
 		}
 	}
 
-	// Clear per-update buffers.
+	// Clear per-update buffers, every involved site at once.
 	sites := make([]network.SiteID, 0, len(involved))
 	for s := range involved {
 		sites = append(sites, s)
 	}
 	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
-	for _, s := range sites {
-		if err := sys.send(s, s, "v.endUpdate", endUpdateReq{ID: tid}, nil); err != nil {
-			return err
-		}
-	}
-	return nil
+	return sys.cluster.Fanout(len(sites), network.FanoutOpts{}, func(i int) error {
+		return sys.send(sites[i], sites[i], "v.endUpdate", endUpdateReq{ID: tid}, nil)
+	})
 }
 
+// applyFragments delivers a tuple's projection to every fragment in
+// parallel (each site ingests its own columns independently).
 func (sys *System) applyFragments(t relation.Tuple, op OpKind) error {
-	for i, st := range sys.sites {
+	return sys.cluster.Fanout(len(sys.sites), network.FanoutOpts{}, func(i int) error {
 		proj := t.ProjectTuple(sys.schema, sys.fragSch[i])
 		req := applyReq{Op: op, ID: int64(t.ID), Values: proj.Values}
-		if err := sys.send(st.id, st.id, "v.apply", req, nil); err != nil {
-			return err
-		}
-	}
-	return nil
+		return sys.send(sys.sites[i].id, sys.sites[i].id, "v.apply", req, nil)
+	})
 }

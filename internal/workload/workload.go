@@ -10,7 +10,13 @@
 // the property that matters to every experiment: each schema carries
 // functional dependencies that hold by construction except for an
 // injected error rate, so CFD violations exist, cluster realistically,
-// and scale with the data. See DESIGN.md §3 for the substitution notes.
+// and scale with the data. See DESIGN.md §4 for how experiment scales map
+// to the paper's.
+//
+// NewSized returns a Generator whose entity pools are proportioned to an
+// expected row count; Relation, Rules, Updates and Next then produce the
+// relation D, rule set Σ, batch ∆D and further single tuples, all
+// deterministic in the seed.
 package workload
 
 import (
