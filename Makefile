@@ -1,0 +1,21 @@
+# Developer entry points. CI runs the same commands.
+
+GO ?= go
+
+.PHONY: test race bench verify
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -short -race ./...
+
+# bench runs the hot-path micro benchmarks once (allocation counts are
+# deterministic; timing needs more iterations — drop -benchtime for
+# real measurements) and regenerates the committed perf baseline.
+bench:
+	$(GO) test -bench 'BenchmarkCentralizedDetect|BenchmarkCentralizedIncrementalApply|BenchmarkUnitUpdate' \
+		-benchmem -run '^$$' -benchtime 1x .
+	$(GO) run ./cmd/expbench -json
+
+verify: test race

@@ -236,6 +236,29 @@ func BenchmarkCentralizedDetect(b *testing.B) {
 	}
 }
 
+// BenchmarkCentralizedIncrementalApply measures the O(|∆D| + |∆V|)
+// maintainer's unit cost: one insert + one delete per op keeps the
+// maintained state steady across iterations.
+func BenchmarkCentralizedIncrementalApply(b *testing.B) {
+	gen := workload.NewSized(workload.TPCH, 42, 8000)
+	rules := gen.Rules(50)
+	rel := gen.Relation(4000)
+	inc, err := NewCentralizedIncremental(rel, rules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := gen.Next()
+		if _, err := inc.Apply(UpdateList{{Kind: Insert, Tuple: t}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := inc.Apply(UpdateList{{Kind: Delete, Tuple: t}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Boundedness guard (Theorem 5 / Propositions 6 & 8): the per-update
 // shipment must not grow with |D|. Run as a benchmark so it reports the
 // measured bytes-per-update at two database sizes.

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/centralized"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// The hot-path baseline measures the allocation-sensitive inner loops:
+// full centralized detection, the centralized incremental maintainer,
+// and one unit update through each distributed engine. Each entry
+// reports ns/op, B/op and allocs/op from testing.Benchmark plus — for
+// the distributed paths — the exact wire meters per operation, which
+// must stay bit-identical across perf work (the meters are the paper's
+// quantities; optimizations may only change local computation).
+
+// hotpathResult is one benchmark row of BENCH_hotpath.json.
+type hotpathResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Wire meters per op (distributed paths only): what the operation
+	// ships, from the cluster's exact byte accounting.
+	WireBytesPerOp float64 `json:"wire_bytes_per_op,omitempty"`
+	WireMsgsPerOp  float64 `json:"wire_msgs_per_op,omitempty"`
+}
+
+// hotpathBaseline is the file layout of BENCH_hotpath.json.
+type hotpathBaseline struct {
+	GeneratedBy string          `json:"generated_by"`
+	GoVersion   string          `json:"go_version"`
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	Workload    string          `json:"workload"`
+	Benchmarks  []hotpathResult `json:"benchmarks"`
+}
+
+const (
+	hpSeed  = 42
+	hpRows  = 1500
+	hpRules = 50
+	hpSites = 5
+)
+
+func hpGen() *workload.Generator { return workload.NewSized(workload.TPCH, hpSeed, 8000) }
+
+func record(name string, r testing.BenchmarkResult) hotpathResult {
+	return hotpathResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func writeHotpathBaseline(path string) error {
+	base := hotpathBaseline{
+		GeneratedBy: "expbench -json",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Workload: fmt.Sprintf("TPCH-like seed=%d |D|=%d |Σ|=%d n=%d",
+			hpSeed, hpRows, hpRules, hpSites),
+	}
+
+	// Centralized detection over a fixed relation.
+	{
+		gen := hpGen()
+		rules := gen.Rules(hpRules)
+		rel := gen.Relation(hpRows)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				centralized.Detect(rel, rules)
+			}
+		})
+		base.Benchmarks = append(base.Benchmarks, record("centralized_detect", res))
+	}
+
+	// Centralized incremental maintainer: one insert+delete pair per op,
+	// so the maintained state is steady and ops are comparable.
+	{
+		gen := hpGen()
+		rules := gen.Rules(hpRules)
+		rel := gen.Relation(hpRows)
+		inc, err := centralized.NewIncremental(rel, rules)
+		if err != nil {
+			return err
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t := gen.Next()
+				if _, err := inc.Apply(relation.UpdateList{{Kind: relation.Insert, Tuple: t}}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := inc.Apply(relation.UpdateList{{Kind: relation.Delete, Tuple: t}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		base.Benchmarks = append(base.Benchmarks, record("centralized_incremental_apply", res))
+	}
+
+	// Distributed unit updates: insert+delete per op keeps fragment and
+	// index state steady while metering exact shipment per op.
+	for _, style := range []string{"vertical", "horizontal"} {
+		gen := hpGen()
+		rules := gen.Rules(hpRules)
+		rel := gen.Relation(hpRows)
+		var sys core.Detector
+		var err error
+		if style == "vertical" {
+			sys, err = core.NewVertical(rel, partition.RoundRobinVertical(gen.Schema(), hpSites),
+				rules, core.VerticalOptions{UseOptimizer: true})
+		} else {
+			sys, err = core.NewHorizontal(rel, partition.HashHorizontal("c_name", hpSites),
+				rules, core.HorizontalOptions{})
+		}
+		if err != nil {
+			return err
+		}
+		// Sanity while we are here: the maintained V must match a fresh
+		// centralized detection. Snapshot avoids deep-copying for this
+		// read-only comparison.
+		if want := centralized.Detect(rel, rules); !sys.Violations().Snapshot().Equal(want) {
+			return fmt.Errorf("%s system diverged from oracle before benchmarking", style)
+		}
+		// testing.Benchmark re-runs the closure with increasing b.N, so
+		// meters must be divided by the TOTAL op count across runs, not
+		// the final run's N.
+		sys.Cluster().ResetStats()
+		before := sys.Stats()
+		totalOps := 0
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t := gen.Next()
+				if _, err := sys.ApplyBatch(relation.UpdateList{{Kind: relation.Insert, Tuple: t}}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.ApplyBatch(relation.UpdateList{{Kind: relation.Delete, Tuple: t}}); err != nil {
+					b.Fatal(err)
+				}
+				totalOps++
+			}
+		})
+		st := sys.Stats().Sub(before)
+		row := record(style+"_unit_update", res)
+		row.WireBytesPerOp = float64(st.Bytes) / float64(totalOps)
+		row.WireMsgsPerOp = float64(st.Messages) / float64(totalOps)
+		base.Benchmarks = append(base.Benchmarks, row)
+	}
+
+	// Batch detection (the Θ(|D|) baselines), with wire meters.
+	for _, style := range []string{"vertical", "horizontal"} {
+		gen := hpGen()
+		rules := gen.Rules(hpRules)
+		rel := gen.Relation(hpRows)
+		var sys core.Detector
+		var err error
+		if style == "vertical" {
+			sys, err = core.NewVertical(rel, partition.RoundRobinVertical(gen.Schema(), hpSites),
+				rules, core.VerticalOptions{NoIndexes: true})
+		} else {
+			sys, err = core.NewHorizontal(rel, partition.HashHorizontal("c_name", hpSites),
+				rules, core.HorizontalOptions{NoIndexes: true})
+		}
+		if err != nil {
+			return err
+		}
+		// Warm the per-pair gob meter streams so every measured run
+		// meters steady-state bytes.
+		if _, err := sys.BatchDetect(); err != nil {
+			return err
+		}
+		sys.Cluster().ResetStats()
+		before := sys.Stats()
+		totalOps := 0
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.BatchDetect(); err != nil {
+					b.Fatal(err)
+				}
+				totalOps++
+			}
+		})
+		st := sys.Stats().Sub(before)
+		row := record(style+"_batch_detect", res)
+		row.WireBytesPerOp = float64(st.Bytes) / float64(totalOps)
+		row.WireMsgsPerOp = float64(st.Messages) / float64(totalOps)
+		base.Benchmarks = append(base.Benchmarks, row)
+	}
+
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		fmt.Printf("  %-32s %12.0f ns/op %10d B/op %8d allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.WireMsgsPerOp > 0 {
+			fmt.Printf(" %10.0f wireB/op %6.1f msgs/op", r.WireBytesPerOp, r.WireMsgsPerOp)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+//go:build !race
+
+package centralized
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDetectAllocCeiling bounds Detect's allocations per tuple. The
+// compiled-rule + byte-key implementation sits around 0.8 allocations
+// per tuple on this workload (group keys, member slices, violation
+// marks); the ceiling of 4 leaves headroom for map growth while still
+// catching any return of per-(rule × tuple) allocations — the pre-fix
+// implementation spent ~22 per tuple. (Excluded under -race.)
+func TestDetectAllocCeiling(t *testing.T) {
+	gen := workload.NewSized(workload.TPCH, 42, 4000)
+	rules := gen.Rules(50)
+	rel := gen.Relation(2000)
+	Detect(rel, rules) // warm gob/runtime caches outside the measurement
+
+	allocs := testing.AllocsPerRun(3, func() {
+		Detect(rel, rules)
+	})
+	perTuple := allocs / float64(rel.Len())
+	t.Logf("Detect: %.0f allocs total, %.2f per tuple (|D|=%d, |Σ|=%d)", allocs, perTuple, rel.Len(), len(rules))
+	if perTuple > 4 {
+		t.Errorf("Detect allocates %.2f objects per tuple, ceiling is 4", perTuple)
+	}
+}

@@ -8,6 +8,13 @@
 // for every distributed algorithm in the repository: the property tests
 // assert that incremental distributed detection composed with ∆V
 // application always equals a fresh centralized detection.
+//
+// The detection loop runs on precompiled rules (cfd.Compiled) with
+// length-prefixed byte grouping keys and scratch buffers reused across
+// rules, so the per-tuple work performs no schema lookups and — past the
+// first rule — no per-group-probe allocations. BruteForce deliberately
+// stays on the uncompiled slow path as an independent second
+// implementation.
 package centralized
 
 import (
@@ -19,56 +26,84 @@ import (
 // O(|Σ| · |D|) with hash grouping, mirroring the SQL-based method.
 func Detect(rel *relation.Relation, rules []cfd.CFD) *cfd.Violations {
 	v := cfd.NewViolations()
-	for i := range rules {
-		detectOne(rel, &rules[i], v)
+	v.InternRules(rules)
+	comp := cfd.CompileAll(rel.Schema, rules)
+	d := detector{
+		v:      v,
+		tuples: rel.Tuples(),
+		groups: make(map[string]int32),
+	}
+	for i := range comp {
+		d.detectOne(&comp[i])
 	}
 	return v
 }
 
-func detectOne(rel *relation.Relation, rule *cfd.CFD, v *cfd.Violations) {
-	s := rel.Schema
-	if rule.IsConstant() {
+// group is one X-equivalence class during a variable rule's pass. Only
+// the 1 → 2 transition of the distinct-B count matters for membership.
+type group struct {
+	members   []relation.TupleID
+	firstB    string
+	distinctB int
+}
+
+// detector carries the scratch state one Detect call reuses across
+// rules: the tuple snapshot (sorted once, not per rule), the group
+// index keyed by byte grouping keys, the group arena, and the key
+// buffer. Group probes go through string(keyBuf), which Go maps resolve
+// without materializing the string.
+type detector struct {
+	v      *cfd.Violations
+	tuples []relation.Tuple
+	groups map[string]int32
+	gs     []group
+	keyBuf []byte
+}
+
+func (d *detector) detectOne(rule *cfd.Compiled) {
+	if rule.ConstRHS {
 		// Constant CFD: a tuple alone violates iff it matches tp[X] but
 		// not tp[B] (the "first SQL query").
-		rel.Each(func(t relation.Tuple) bool {
-			if rule.SingleViolation(s, t) {
-				v.Add(t.ID, rule.ID)
+		for _, t := range d.tuples {
+			if rule.SingleViolation(t) {
+				d.v.AddIdx(t.ID, rule.Idx)
 			}
-			return true
-		})
+		}
 		return
 	}
 	// Variable CFD: group tuples matching tp[X] by their X values and
 	// flag every member of a group with ≥ 2 distinct B values (the
 	// "second SQL query").
-	type group struct {
-		members   []relation.TupleID
-		firstB    string
-		distinctB int
-	}
-	bIdx := s.MustIndex(rule.RHS)
-	groups := make(map[string]*group)
-	rel.Each(func(t relation.Tuple) bool {
-		if !rule.MatchesLHS(s, t) {
-			return true
+	clear(d.groups)
+	d.gs = d.gs[:0]
+	for _, t := range d.tuples {
+		if !rule.MatchesLHS(t) {
+			continue
 		}
-		key := t.Key(s, rule.LHS)
-		g, ok := groups[key]
+		b := t.Values[rule.RHSCol]
+		d.keyBuf = t.AppendKey(d.keyBuf[:0], rule.LHSCols)
+		gi, ok := d.groups[string(d.keyBuf)]
 		if !ok {
-			g = &group{firstB: t.Values[bIdx], distinctB: 1}
-			groups[key] = g
-		} else if g.distinctB == 1 && t.Values[bIdx] != g.firstB {
-			// Only the transition 1 → 2 matters: "≥ 2 distinct B" is
-			// all the membership test needs.
-			g.distinctB = 2
+			gi = int32(len(d.gs))
+			if len(d.gs) < cap(d.gs) {
+				// Reuse a retired group's member storage.
+				d.gs = d.gs[:gi+1]
+				d.gs[gi].members = d.gs[gi].members[:0]
+				d.gs[gi].firstB = b
+				d.gs[gi].distinctB = 1
+			} else {
+				d.gs = append(d.gs, group{firstB: b, distinctB: 1})
+			}
+			d.groups[string(d.keyBuf)] = gi
+		} else if d.gs[gi].distinctB == 1 && b != d.gs[gi].firstB {
+			d.gs[gi].distinctB = 2
 		}
-		g.members = append(g.members, t.ID)
-		return true
-	})
-	for _, g := range groups {
-		if g.distinctB > 1 {
-			for _, id := range g.members {
-				v.Add(id, rule.ID)
+		d.gs[gi].members = append(d.gs[gi].members, t.ID)
+	}
+	for gi := range d.gs {
+		if d.gs[gi].distinctB > 1 {
+			for _, id := range d.gs[gi].members {
+				d.v.AddIdx(id, rule.Idx)
 			}
 		}
 	}
@@ -76,8 +111,8 @@ func detectOne(rel *relation.Relation, rule *cfd.CFD, v *cfd.Violations) {
 
 // BruteForce computes V(Σ, D) by the literal definition with an
 // O(|Σ| · |D|²) pair scan. It exists purely as a second, independent
-// implementation to validate Detect against in tests; do not use it on
-// anything large.
+// implementation to validate Detect against in tests (it intentionally
+// avoids the compiled fast paths); do not use it on anything large.
 func BruteForce(rel *relation.Relation, rules []cfd.CFD) *cfd.Violations {
 	v := cfd.NewViolations()
 	s := rel.Schema

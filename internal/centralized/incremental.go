@@ -20,10 +20,14 @@ import (
 type Incremental struct {
 	rel   *relation.Relation
 	rules []cfd.CFD
+	comp  []cfd.Compiled
 	v     *cfd.Violations
 
-	// groups: per variable rule, X-key → B-value → member set.
-	groups map[string]map[string]map[string]map[relation.TupleID]struct{}
+	// groups: per variable rule (by compiled index), X-key → B-value →
+	// member set. X keys use the length-prefixed byte encoding, probed
+	// through a reused scratch buffer.
+	groups []map[string]map[string]map[relation.TupleID]struct{}
+	keyBuf []byte
 }
 
 // NewIncremental indexes rel and computes the initial V(Σ, D). The
@@ -33,14 +37,16 @@ func NewIncremental(rel *relation.Relation, rules []cfd.CFD) (*Incremental, erro
 		return nil, err
 	}
 	inc := &Incremental{
-		rel:    relation.New(rel.Schema),
-		rules:  append([]cfd.CFD(nil), rules...),
-		v:      cfd.NewViolations(),
-		groups: make(map[string]map[string]map[string]map[relation.TupleID]struct{}),
+		rel:   relation.New(rel.Schema),
+		rules: append([]cfd.CFD(nil), rules...),
+		v:     cfd.NewViolations(),
 	}
-	for i := range inc.rules {
-		if !inc.rules[i].IsConstant() {
-			inc.groups[inc.rules[i].ID] = make(map[string]map[string]map[relation.TupleID]struct{})
+	inc.v.InternRules(inc.rules)
+	inc.comp = cfd.CompileAll(rel.Schema, inc.rules)
+	inc.groups = make([]map[string]map[string]map[relation.TupleID]struct{}, len(inc.comp))
+	for i := range inc.comp {
+		if !inc.comp[i].ConstRHS {
+			inc.groups[i] = make(map[string]map[string]map[relation.TupleID]struct{})
 		}
 	}
 	var err error
@@ -81,7 +87,6 @@ func (inc *Incremental) Apply(updates relation.UpdateList) (*cfd.Delta, error) {
 
 func (inc *Incremental) applyUnit(u relation.Update) (*cfd.Delta, error) {
 	delta := cfd.NewDelta()
-	schema := inc.rel.Schema
 	switch u.Kind {
 	case relation.Insert:
 		if err := inc.rel.Insert(u.Tuple); err != nil {
@@ -93,13 +98,13 @@ func (inc *Incremental) applyUnit(u relation.Update) (*cfd.Delta, error) {
 		}
 	}
 
-	for i := range inc.rules {
-		r := &inc.rules[i]
-		if !r.MatchesLHS(schema, u.Tuple) {
+	for i := range inc.comp {
+		r := &inc.comp[i]
+		if !r.MatchesLHS(u.Tuple) {
 			continue
 		}
-		if r.IsConstant() {
-			if u.Tuple.Values[schema.MustIndex(r.RHS)] != r.RHSPattern {
+		if r.ConstRHS {
+			if u.Tuple.Values[r.RHSCol] != r.RHSPattern {
 				if u.Kind == relation.Insert {
 					delta.Add(u.Tuple.ID, r.ID)
 				} else {
@@ -109,10 +114,10 @@ func (inc *Incremental) applyUnit(u relation.Update) (*cfd.Delta, error) {
 			continue
 		}
 
-		xKey := u.Tuple.Key(schema, r.LHS)
-		bVal := u.Tuple.Values[schema.MustIndex(r.RHS)]
-		byRule := inc.groups[r.ID]
-		group := byRule[xKey]
+		inc.keyBuf = u.Tuple.AppendKey(inc.keyBuf[:0], r.LHSCols)
+		bVal := u.Tuple.Values[r.RHSCol]
+		byRule := inc.groups[i]
+		group := byRule[string(inc.keyBuf)]
 
 		switch u.Kind {
 		case relation.Insert:
@@ -136,7 +141,7 @@ func (inc *Incremental) applyUnit(u relation.Update) (*cfd.Delta, error) {
 			}
 			if group == nil {
 				group = make(map[string]map[relation.TupleID]struct{})
-				byRule[xKey] = group
+				byRule[string(inc.keyBuf)] = group
 			}
 			if group[bVal] == nil {
 				group[bVal] = make(map[relation.TupleID]struct{})
@@ -173,7 +178,7 @@ func (inc *Incremental) applyUnit(u relation.Update) (*cfd.Delta, error) {
 				delete(group, bVal)
 			}
 			if len(group) == 0 {
-				delete(byRule, xKey)
+				delete(byRule, string(inc.keyBuf))
 			}
 		}
 	}

@@ -1,0 +1,86 @@
+package centralized
+
+import (
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// adversarialRelation builds a relation whose values embed the old \x1f
+// key separator so that, under the pre-fix joined keys, distinct X
+// projections collided: t1 = ("x\x1f", "y") and t2 = ("x", "\x1fy")
+// encoded to the same group key. t1 and t3 agree on X and disagree on C
+// — the only genuine violation pair.
+func adversarialRelation(t *testing.T) (*relation.Relation, []cfd.CFD) {
+	t.Helper()
+	s := relation.MustSchema("R", "a", "b", "c")
+	rel := relation.New(s)
+	for id, vals := range [][]string{
+		1: {"x\x1f", "y", "1"},
+		2: {"x", "\x1fy", "2"},
+		3: {"x\x1f", "y", "3"},
+		4: {"a\x1fb", "q", "1"},
+		5: {"a", "b\x1fq", "2"},
+	} {
+		if vals == nil {
+			continue
+		}
+		rel.MustInsert(relation.Tuple{ID: relation.TupleID(id), Values: vals})
+	}
+	rules, err := cfd.ParseAll(`phi: ([a, b] -> [c], (_, _, _))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel, rules
+}
+
+// TestDetectSeparatorCollision is the regression test for the
+// Key/JoinKey separator-collision bug: values containing \x1f used to
+// alias distinct groups, flagging spurious violations.
+func TestDetectSeparatorCollision(t *testing.T) {
+	rel, rules := adversarialRelation(t)
+	v := Detect(rel, rules)
+	want := BruteForce(rel, rules)
+	if !v.Equal(want) {
+		t.Fatalf("Detect diverged from BruteForce on adversarial separators:\n got %v\nwant %v", v, want)
+	}
+	for _, id := range []relation.TupleID{1, 3} {
+		if !v.Has(id) {
+			t.Errorf("tuple %d should violate phi (same X, different C)", id)
+		}
+	}
+	for _, id := range []relation.TupleID{2, 4, 5} {
+		if v.Has(id) {
+			t.Errorf("tuple %d flagged: separator collision aliased its group", id)
+		}
+	}
+}
+
+// TestIncrementalSeparatorCollision drives the same adversarial values
+// through the incremental maintainer, including deletions.
+func TestIncrementalSeparatorCollision(t *testing.T) {
+	rel, rules := adversarialRelation(t)
+	inc, err := NewIncremental(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := BruteForce(rel, rules); !inc.Violations().Equal(want) {
+		t.Fatalf("initial V diverged:\n got %v\nwant %v", inc.Violations(), want)
+	}
+	// Delete t3: t1 loses its only real partner; nothing else changes.
+	t3, _ := rel.Get(3)
+	if _, err := inc.Apply(relation.UpdateList{{Kind: relation.Delete, Tuple: t3}}); err != nil {
+		t.Fatal(err)
+	}
+	updated := rel.Clone()
+	if _, err := updated.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if want := BruteForce(updated, rules); !inc.Violations().Equal(want) {
+		t.Fatalf("after delete V diverged:\n got %v\nwant %v", inc.Violations(), want)
+	}
+	if inc.Violations().Len() != 0 {
+		t.Errorf("no violations should remain, got %v", inc.Violations())
+	}
+}

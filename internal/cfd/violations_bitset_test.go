@@ -1,0 +1,164 @@
+package cfd
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestViolationsSpillBeyond64Rules exercises the inline→multi-word
+// migration: marks set before the 65th rule is interned must survive the
+// spill, and marks above index 63 must work (the Exp-3 sweep runs 125
+// rules, so the spill path is load-bearing, not theoretical).
+func TestViolationsSpillBeyond64Rules(t *testing.T) {
+	v := NewViolations()
+	for i := 0; i < 60; i++ {
+		v.Add(relation.TupleID(i%7), fmt.Sprintf("r%03d", i))
+	}
+	preSpill := v.Clone()
+	for i := 60; i < 130; i++ {
+		v.Add(relation.TupleID(i%7), fmt.Sprintf("r%03d", i))
+	}
+	if v.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", v.Len())
+	}
+	if v.Marks() != 130 {
+		t.Fatalf("Marks = %d, want 130", v.Marks())
+	}
+	// Every pre-spill mark survived.
+	for i := 0; i < 60; i++ {
+		if !v.HasRule(relation.TupleID(i%7), fmt.Sprintf("r%03d", i)) {
+			t.Fatalf("mark (t%d, r%03d) lost in spill", i%7, i)
+		}
+	}
+	if eq := v.Equal(preSpill); eq {
+		t.Error("spilled set equals its 60-rule prefix")
+	}
+	// High-index removal drops the tuple when its last mark goes.
+	solo := relation.TupleID(100)
+	v.Add(solo, "r129")
+	v.Remove(solo, "r129")
+	if v.Has(solo) {
+		t.Error("tuple with only a high-index mark did not leave V")
+	}
+	// Rules() stays sorted across the spill boundary.
+	rules := v.Rules(0)
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1] >= rules[i] {
+			t.Fatalf("Rules not sorted: %q before %q", rules[i-1], rules[i])
+		}
+	}
+}
+
+// TestEqualAcrossInterningOrders: two sets holding identical marks must
+// compare equal even when their rule ids were interned in different
+// orders (centralized oracle vs distributed engine), including when only
+// one of them has spilled.
+func TestEqualAcrossInterningOrders(t *testing.T) {
+	a, b := NewViolations(), NewViolations()
+	a.Add(1, "phi1")
+	a.Add(1, "phi2")
+	a.Add(5, "phi3")
+	b.Add(5, "phi3") // reversed interning order
+	b.Add(1, "phi2")
+	b.Add(1, "phi1")
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("identical marks, different interning order: Equal = false")
+	}
+	b.Add(1, "phi3")
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("differing marks compare equal")
+	}
+	b.Remove(1, "phi3")
+	// Spill only b.
+	for i := 0; i < 70; i++ {
+		r := fmt.Sprintf("spill%02d", i)
+		b.Intern(r)
+	}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("spilled vs inline sets with identical marks: Equal = false")
+	}
+	if diff := a.Diff(b); len(diff) != 0 {
+		t.Fatalf("Diff of equal sets = %v", diff)
+	}
+}
+
+// TestSnapshotIsReadOnlyView: Snapshot is the O(1) alternative to Clone
+// for read-only comparisons; it sees the source's current marks and
+// panics on mutation.
+func TestSnapshotIsReadOnlyView(t *testing.T) {
+	v := NewViolations()
+	v.Add(1, "phi1")
+	v.Add(2, "phi2")
+	snap := v.Snapshot()
+	if !snap.Equal(v) || snap.Len() != 2 || !snap.HasRule(1, "phi1") {
+		t.Fatal("snapshot does not reflect the source")
+	}
+	if got := snap.Rules(1); !reflect.DeepEqual(got, []string{"phi1"}) {
+		t.Fatalf("snapshot Rules(1) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mutating a snapshot did not panic")
+		}
+	}()
+	snap.Add(3, "phi3")
+}
+
+// TestTuplesCacheInvalidation: the sorted Tuples() slice is cached
+// between mutations and refreshed when the tuple set changes.
+func TestTuplesCacheInvalidation(t *testing.T) {
+	v := NewViolations()
+	v.Add(5, "r")
+	v.Add(1, "r")
+	first := v.Tuples()
+	if !reflect.DeepEqual(first, []relation.TupleID{1, 5}) {
+		t.Fatalf("Tuples = %v", first)
+	}
+	// No mutation → same backing array (no re-sort, no re-alloc).
+	second := v.Tuples()
+	if &first[0] != &second[0] {
+		t.Error("Tuples rebuilt without any mutation")
+	}
+	// A mark on an existing tuple keeps the cache; a new tuple refreshes.
+	v.Add(5, "r2")
+	if got := v.Tuples(); !reflect.DeepEqual(got, []relation.TupleID{1, 5}) {
+		t.Fatalf("Tuples after same-tuple mark = %v", got)
+	}
+	v.Add(3, "r")
+	if got := v.Tuples(); !reflect.DeepEqual(got, []relation.TupleID{1, 3, 5}) {
+		t.Fatalf("Tuples after new tuple = %v", got)
+	}
+	v.Remove(1, "r")
+	if got := v.Tuples(); !reflect.DeepEqual(got, []relation.TupleID{3, 5}) {
+		t.Fatalf("Tuples after removal = %v", got)
+	}
+}
+
+// TestDeltaSpillAndMerge pushes a Delta across the 64-rule boundary and
+// checks Merge/Apply semantics survive it.
+func TestDeltaSpillAndMerge(t *testing.T) {
+	d := NewDelta()
+	for i := 0; i < 70; i++ {
+		d.Add(relation.TupleID(i), fmt.Sprintf("r%03d", i))
+	}
+	d.Remove(3, "r003")
+	other := NewDelta()
+	other.Add(3, "r003") // last-op-wins on merge
+	other.Remove(0, "r000")
+	d.Merge(other)
+
+	v := NewViolations()
+	d.Apply(v)
+	if !v.HasRule(3, "r003") {
+		t.Error("merged add lost")
+	}
+	if v.HasRule(0, "r000") {
+		t.Error("merged remove lost")
+	}
+	if v.Len() != 69 { // 70 adds, one flipped to remove
+		t.Errorf("Len = %d, want 69", v.Len())
+	}
+}

@@ -12,10 +12,9 @@
 package eqclass
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 
 	"repro/internal/relation"
 )
@@ -84,13 +83,21 @@ func (h *BaseHEV) Len() int { return len(h.byVal) }
 // HEV is a non-base index: the eq() function of §4, mapping a tuple of
 // input eqids (from base HEVs and/or other non-base HEVs whose attribute
 // sets union to Attrs) to the eqid of the combined attribute set.
+//
+// Keys are uvarint-encoded input eqid lists built in a per-HEV scratch
+// buffer, so the resolver's Acquire/Lookup probes allocate nothing on
+// warm paths (map probes go through string(scratch), which Go resolves
+// without materializing the string). The scratch makes a HEV unsafe for
+// concurrent use — in this system every HEV is owned by exactly one
+// site, whose handler dispatch is already serialized.
 type HEV struct {
 	// Attrs is the attribute set this HEV keys, sorted.
 	Attrs []string
 
-	next   EqID
-	byKey  map[string]EqID
-	refcnt map[EqID]int
+	next    EqID
+	byKey   map[string]EqID
+	refcnt  map[EqID]int
+	scratch []byte
 }
 
 // NewHEV creates an empty non-base HEV over the given (sorted) attribute
@@ -99,29 +106,32 @@ func NewHEV(attrs []string) *HEV {
 	return &HEV{Attrs: attrs, byKey: make(map[string]EqID), refcnt: make(map[EqID]int)}
 }
 
-// ComposeKey canonicalizes a list of input eqids into a map key. The
-// caller must always present inputs in the same order (the plan fixes the
-// input order per HEV).
-func ComposeKey(inputs []EqID) string {
-	var sb strings.Builder
-	for i, id := range inputs {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteString(strconv.FormatInt(int64(id), 10))
+// AppendComposeKey appends the canonical key of an input eqid list to
+// dst. The caller must always present inputs in the same order (the plan
+// fixes the input order per HEV). Eqids are non-negative, so uvarint
+// encoding is unambiguous and self-delimiting.
+func AppendComposeKey(dst []byte, inputs []EqID) []byte {
+	for _, id := range inputs {
+		dst = binary.AppendUvarint(dst, uint64(id))
 	}
-	return sb.String()
+	return dst
+}
+
+// ComposeKey canonicalizes a list of input eqids into a map key,
+// materializing a string (AppendComposeKey is the allocation-free form).
+func ComposeKey(inputs []EqID) string {
+	return string(AppendComposeKey(nil, inputs))
 }
 
 // Acquire returns eq(inputs), allocating a fresh class if needed, and
 // increments its reference count.
 func (h *HEV) Acquire(inputs []EqID) EqID {
-	key := ComposeKey(inputs)
-	id, ok := h.byKey[key]
+	h.scratch = AppendComposeKey(h.scratch[:0], inputs)
+	id, ok := h.byKey[string(h.scratch)]
 	if !ok {
 		h.next++
 		id = h.next
-		h.byKey[key] = id
+		h.byKey[string(h.scratch)] = id
 	}
 	h.refcnt[id]++
 	return id
@@ -129,24 +139,25 @@ func (h *HEV) Acquire(inputs []EqID) EqID {
 
 // Lookup returns eq(inputs) without touching reference counts.
 func (h *HEV) Lookup(inputs []EqID) (EqID, bool) {
-	id, ok := h.byKey[ComposeKey(inputs)]
+	h.scratch = AppendComposeKey(h.scratch[:0], inputs)
+	id, ok := h.byKey[string(h.scratch)]
 	return id, ok
 }
 
 // Release decrements the class's reference count, dropping it at zero.
 func (h *HEV) Release(inputs []EqID) error {
-	key := ComposeKey(inputs)
-	id, ok := h.byKey[key]
+	h.scratch = AppendComposeKey(h.scratch[:0], inputs)
+	id, ok := h.byKey[string(h.scratch)]
 	if !ok {
-		return fmt.Errorf("eqclass: HEV %v: release of unknown key %q", h.Attrs, key)
+		return fmt.Errorf("eqclass: HEV %v: release of unknown key %x", h.Attrs, h.scratch)
 	}
 	h.refcnt[id]--
 	if h.refcnt[id] < 0 {
-		return fmt.Errorf("eqclass: HEV %v: negative refcount for key %q", h.Attrs, key)
+		return fmt.Errorf("eqclass: HEV %v: negative refcount for key %x", h.Attrs, h.scratch)
 	}
 	if h.refcnt[id] == 0 {
 		delete(h.refcnt, id)
-		delete(h.byKey, key)
+		delete(h.byKey, string(h.scratch))
 	}
 	return nil
 }

@@ -28,6 +28,11 @@ const (
 	OpDelete
 )
 
+// code is a site's in-memory equivalence key: the 16-byte MD5 of the
+// length-prefixed value encoding. A comparable array, so index map
+// probes never materialize a key string.
+type code [16]byte
+
 // keyRef identifies an equivalence key on the wire: either a 16-byte MD5
 // code (the §6 optimization) or the raw attribute values.
 type keyRef struct {
@@ -35,30 +40,21 @@ type keyRef struct {
 	Raw    []string
 }
 
-// digest canonicalizes the reference to the 16-byte index key.
-func (k keyRef) digest() string {
+// code canonicalizes the reference to the in-memory index key.
+func (k keyRef) code() code {
 	if k.Digest != nil {
-		return string(k.Digest)
+		return code(k.Digest)
 	}
 	return digestOf(k.Raw)
 }
 
-func digestOf(vals []string) string {
-	h := md5.New()
-	for _, v := range vals {
-		h.Write([]byte(v))
-		h.Write([]byte{0x1f})
-	}
-	return string(h.Sum(nil))
-}
-
-// makeKeyRef builds the wire form of a key under the chosen coding.
-func makeKeyRef(vals []string, useMD5 bool) keyRef {
-	if useMD5 {
-		sum := digestOf(vals)
-		return keyRef{Digest: []byte(sum)}
-	}
-	return keyRef{Raw: append([]string(nil), vals...)}
+// digestOf MD5-codes a value list. Values are framed with the same
+// length-prefixed encoding as grouping keys (relation.AppendKeyVals), so
+// distinct value lists can never collide through the framing — the old
+// \x1f-separator framing aliased ["a\x1f","b"] and ["a","\x1fb"].
+func digestOf(vals []string) code {
+	var buf [64]byte
+	return md5.Sum(relation.AppendKeyVals(buf[:0], vals))
 }
 
 // applyReq stores or removes a tuple at its owning site.

@@ -1,7 +1,10 @@
 package horizontal
 
 import (
+	"bytes"
+	"crypto/md5"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/cfd"
@@ -19,46 +22,52 @@ type hClass struct {
 }
 
 // site is the per-fragment state of the horizontal detection system.
+// Sites hold the schema-compiled form of every rule plus scratch buffers
+// for grouping keys; handler dispatch is serialized per site by the
+// cluster, so the scratch needs no locking.
 type site struct {
 	id     network.SiteID
 	schema *relation.Schema
 	frag   *relation.Relation
-	rules  map[string]*cfd.CFD
+	rules  map[string]*cfd.Compiled
 
-	// groups: rule id → X digest → B digest → class.
-	groups map[string]map[string]map[string]*hClass
+	// groups: rule id → X code → B code → class.
+	groups map[string]map[code]map[code]*hClass
+
+	keyBuf   []byte    // grouping-key scratch
+	bScratch [1]string // single-value projection scratch
 }
 
-func newSite(id network.SiteID, schema *relation.Schema, rules []cfd.CFD) *site {
+func newSite(id network.SiteID, schema *relation.Schema, comp []cfd.Compiled) *site {
 	s := &site{
 		id:     id,
 		schema: schema,
 		frag:   relation.New(schema),
-		rules:  make(map[string]*cfd.CFD, len(rules)),
-		groups: make(map[string]map[string]map[string]*hClass),
+		rules:  make(map[string]*cfd.Compiled, len(comp)),
+		groups: make(map[string]map[code]map[code]*hClass),
 	}
-	for i := range rules {
-		r := &rules[i]
+	for i := range comp {
+		r := &comp[i]
 		s.rules[r.ID] = r
-		if !r.IsConstant() {
-			s.groups[r.ID] = make(map[string]map[string]*hClass)
+		if !r.ConstRHS {
+			s.groups[r.ID] = make(map[code]map[code]*hClass)
 		}
 	}
 	return s
 }
 
-func (s *site) group(rule, dx string) map[string]*hClass {
+func (s *site) group(rule string, dx code) map[code]*hClass {
 	return s.groups[rule][dx]
 }
 
-func (s *site) classOf(rule, dx, db string) *hClass {
+func (s *site) classOf(rule string, dx, db code) *hClass {
 	return s.groups[rule][dx][db]
 }
 
-func (s *site) ensureClass(rule, dx, db string) *hClass {
+func (s *site) ensureClass(rule string, dx, db code) *hClass {
 	g, ok := s.groups[rule][dx]
 	if !ok {
-		g = make(map[string]*hClass)
+		g = make(map[code]*hClass)
 		s.groups[rule][dx] = g
 	}
 	c, ok := g[db]
@@ -69,7 +78,7 @@ func (s *site) ensureClass(rule, dx, db string) *hClass {
 	return c
 }
 
-func (s *site) dropIfEmpty(rule, dx, db string) {
+func (s *site) dropIfEmpty(rule string, dx, db code) {
 	g := s.groups[rule][dx]
 	if c, ok := g[db]; ok && len(c.members) == 0 {
 		delete(g, db)
@@ -96,7 +105,7 @@ func (s *site) apply(req applyReq) (empty, error) {
 
 // insLocal is step (1) of the insertion protocol at the owning site.
 func (s *site) insLocal(req insLocalReq) (insLocalResp, error) {
-	dx, db := req.X.digest(), req.B.digest()
+	dx, db := req.X.code(), req.B.code()
 	tid := relation.TupleID(req.ID)
 	g := s.group(req.Rule, dx)
 
@@ -142,19 +151,23 @@ func (s *site) insLocal(req insLocalReq) (insLocalResp, error) {
 
 // itemKeys resolves a probe item's index keys: from its MD5 codes when
 // present, otherwise derived from the full tuple shipped in the request.
-func (s *site) itemKeys(item probeItem, tuple []string) (dx, db string, err error) {
+func (s *site) itemKeys(item probeItem, tuple []string) (dx, db code, err error) {
 	if len(item.X.Digest) > 0 || len(item.X.Raw) > 0 {
-		return item.X.digest(), item.B.digest(), nil
+		return item.X.code(), item.B.code(), nil
 	}
 	rule, ok := s.rules[item.Rule]
 	if !ok {
-		return "", "", fmt.Errorf("horizontal: site %d: unknown rule %s", s.id, item.Rule)
+		return dx, db, fmt.Errorf("horizontal: site %d: unknown rule %s", s.id, item.Rule)
 	}
 	if len(tuple) != s.schema.Width() {
-		return "", "", fmt.Errorf("horizontal: site %d: probe for rule %s lacks both codes and tuple", s.id, item.Rule)
+		return dx, db, fmt.Errorf("horizontal: site %d: probe for rule %s lacks both codes and tuple", s.id, item.Rule)
 	}
 	t := relation.Tuple{Values: tuple}
-	return digestOf(t.Project(s.schema, rule.LHS)), digestOf([]string{t.Get(s.schema, rule.RHS)}), nil
+	s.keyBuf = t.AppendKey(s.keyBuf[:0], rule.LHSCols)
+	dx = md5.Sum(s.keyBuf)
+	s.bScratch[0] = tuple[rule.RHSCol]
+	s.keyBuf = relation.AppendKeyVals(s.keyBuf[:0], s.bScratch[:])
+	return dx, md5.Sum(s.keyBuf), nil
 }
 
 // probeIns is step (2): a probed site checks the shipped (coded) tuple
@@ -187,7 +200,7 @@ func (s *site) probeIns(req probeInsReq) (probeInsResp, error) {
 
 // finishIns completes a broadcast insertion with t's global status.
 func (s *site) finishIns(req finishInsReq) (empty, error) {
-	c := s.ensureClass(req.Rule, req.X.digest(), req.B.digest())
+	c := s.ensureClass(req.Rule, req.X.code(), req.B.code())
 	c.members[relation.TupleID(req.ID)] = struct{}{}
 	if req.TInV {
 		c.inV = true
@@ -197,7 +210,7 @@ func (s *site) finishIns(req finishInsReq) (empty, error) {
 
 // delLocal is step (1) of the deletion protocol at the owning site.
 func (s *site) delLocal(req delLocalReq) (delLocalResp, error) {
-	dx, db := req.X.digest(), req.B.digest()
+	dx, db := req.X.code(), req.B.code()
 	tid := relation.TupleID(req.ID)
 	c := s.classOf(req.Rule, dx, db)
 	if c == nil {
@@ -231,7 +244,7 @@ func (s *site) delLocal(req delLocalReq) (delLocalResp, error) {
 	}
 	resp.Broadcast = true
 	for bd := range g {
-		resp.LocalOthers = append(resp.LocalOthers, []byte(bd))
+		resp.LocalOthers = append(resp.LocalOthers, append([]byte(nil), bd[:]...))
 	}
 	return resp, nil
 }
@@ -247,7 +260,7 @@ func (s *site) probeDel(req probeDelReq) (probeDelResp, error) {
 			return probeDelResp{}, err
 		}
 		ir := probeDelItemResp{Rule: item.Rule}
-		digests := make([]string, 0, 2)
+		digests := make([]code, 0, 2)
 		for bd := range s.group(item.Rule, dx) {
 			if bd == db {
 				ir.HasSame = true
@@ -255,12 +268,12 @@ func (s *site) probeDel(req probeDelReq) (probeDelResp, error) {
 			}
 			digests = append(digests, bd)
 		}
-		sort.Strings(digests)
+		slices.SortFunc(digests, func(a, b code) int { return bytes.Compare(a[:], b[:]) })
 		if len(digests) > 2 {
 			digests = digests[:2]
 		}
 		for _, d := range digests {
-			ir.Others = append(ir.Others, []byte(d))
+			ir.Others = append(ir.Others, append([]byte(nil), d[:]...))
 		}
 		resp.Items = append(resp.Items, ir)
 	}
@@ -300,7 +313,7 @@ func (s *site) constCheck(req constCheckReq) (constCheckResp, error) {
 	if !ok {
 		return constCheckResp{}, fmt.Errorf("horizontal: site %d: constCheck on missing tuple %d", s.id, req.ID)
 	}
-	return constCheckResp{Violation: rule.SingleViolation(s.schema, t)}, nil
+	return constCheckResp{Violation: rule.SingleViolation(t)}, nil
 }
 
 // shipMatching returns the site's (partial) tuples for a rule: the batHor
@@ -312,13 +325,16 @@ func (s *site) shipMatching(req shipMatchingReq) (shipMatchingResp, error) {
 	if !ok {
 		return shipMatchingResp{}, fmt.Errorf("horizontal: site %d: unknown rule %s", s.id, req.Rule)
 	}
-	bIdx := s.schema.MustIndex(rule.RHS)
 	var resp shipMatchingResp
 	s.frag.Each(func(t relation.Tuple) bool {
+		x := make([]string, len(rule.LHSCols))
+		for i, col := range rule.LHSCols {
+			x[i] = t.Values[col]
+		}
 		resp.Rows = append(resp.Rows, matchRow{
 			ID: int64(t.ID),
-			X:  t.Project(s.schema, rule.LHS),
-			B:  t.Values[bIdx],
+			X:  x,
+			B:  t.Values[rule.RHSCol],
 		})
 		return true
 	})
@@ -333,16 +349,15 @@ func (s *site) localDetect(req localDetectReq) (localDetectResp, error) {
 		return localDetectResp{}, fmt.Errorf("horizontal: site %d: unknown rule %s", s.id, req.Rule)
 	}
 	var resp localDetectResp
-	if rule.IsConstant() {
+	if rule.ConstRHS {
 		s.frag.Each(func(t relation.Tuple) bool {
-			if rule.SingleViolation(s.schema, t) {
+			if rule.SingleViolation(t) {
 				resp.IDs = append(resp.IDs, int64(t.ID))
 			}
 			return true
 		})
 		return resp, nil
 	}
-	bIdx := s.schema.MustIndex(rule.RHS)
 	type group struct {
 		members   []int64
 		firstB    string
@@ -350,16 +365,17 @@ func (s *site) localDetect(req localDetectReq) (localDetectResp, error) {
 	}
 	groups := make(map[string]*group)
 	s.frag.Each(func(t relation.Tuple) bool {
-		if !rule.MatchesLHS(s.schema, t) {
+		if !rule.MatchesLHS(t) {
 			return true
 		}
-		key := t.Key(s.schema, rule.LHS)
-		g, ok := groups[key]
+		s.keyBuf = t.AppendKey(s.keyBuf[:0], rule.LHSCols)
+		b := t.Values[rule.RHSCol]
+		g, ok := groups[string(s.keyBuf)]
 		if !ok {
-			groups[key] = &group{members: []int64{int64(t.ID)}, firstB: t.Values[bIdx], distinctB: 1}
+			groups[string(s.keyBuf)] = &group{members: []int64{int64(t.ID)}, firstB: b, distinctB: 1}
 			return true
 		}
-		if g.distinctB == 1 && t.Values[bIdx] != g.firstB {
+		if g.distinctB == 1 && b != g.firstB {
 			g.distinctB = 2
 		}
 		g.members = append(g.members, int64(t.ID))

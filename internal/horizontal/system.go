@@ -1,6 +1,7 @@
 package horizontal
 
 import (
+	"crypto/md5"
 	"fmt"
 	"sort"
 
@@ -27,9 +28,16 @@ type System struct {
 	schema *relation.Schema
 	scheme *partition.HorizontalScheme
 	rules  []cfd.CFD
+	// comp is the schema-compiled form of rules, index-aligned; the
+	// driver's per-update hot paths run on it.
+	comp []cfd.Compiled
 
 	cluster *network.Cluster
 	sites   []*site
+
+	// keyBuf is the driver's grouping-key scratch. Unit updates are
+	// processed one at a time, so a single buffer suffices.
+	keyBuf []byte
 
 	// localCheck marks rules needing no shipment ever: constant rules
 	// and variable rules with X_Fi ⊆ X for every fragment (§6 local
@@ -61,10 +69,12 @@ func NewSystem(rel *relation.Relation, scheme *partition.HorizontalScheme, rules
 		useMD5:     !opts.DisableMD5,
 		v:          cfd.NewViolations(),
 	}
+	sys.comp = cfd.CompileAll(rel.Schema, sys.rules)
+	sys.v.InternRules(sys.rules)
 	n := scheme.NumSites()
 	sys.cluster = network.NewCluster(n)
 	for i := 0; i < n; i++ {
-		st := newSite(network.SiteID(i), rel.Schema, sys.rules)
+		st := newSite(network.SiteID(i), rel.Schema, sys.comp)
 		sys.sites = append(sys.sites, st)
 		st.register(sys.cluster)
 	}
@@ -225,9 +235,9 @@ func (sys *System) applyUnit(u relation.Update) (*cfd.Delta, error) {
 	}
 
 	// Constant CFDs: single-tuple checks at the owner, no shipment.
-	for i := range sys.rules {
-		r := &sys.rules[i]
-		if !r.IsConstant() || !r.MatchesLHS(sys.schema, u.Tuple) {
+	for i := range sys.comp {
+		r := &sys.comp[i]
+		if !r.ConstRHS || !r.MatchesLHS(u.Tuple) {
 			continue
 		}
 		var resp constCheckResp
@@ -265,18 +275,27 @@ func (sys *System) applyUnit(u relation.Update) (*cfd.Delta, error) {
 	return delta, nil
 }
 
-// keysFor computes the MD5-coded X and B keys of a tuple under a rule,
-// used by the owner's local index operations (never on the wire).
-func (sys *System) keysFor(r *cfd.CFD, t relation.Tuple) (keyRef, keyRef) {
-	x := makeKeyRef(t.Project(sys.schema, r.LHS), true)
-	b := makeKeyRef([]string{t.Get(sys.schema, r.RHS)}, true)
-	return x, b
+// keysFor computes the MD5-coded X and B keys of a tuple under a
+// compiled rule, used by the owner's local index operations. The codes
+// are built through the driver's scratch buffer; only the 16-byte
+// digests themselves are materialized (they go on the wire).
+func (sys *System) keysFor(r *cfd.Compiled, t relation.Tuple) (keyRef, keyRef) {
+	sys.keyBuf = t.AppendKey(sys.keyBuf[:0], r.LHSCols)
+	xSum := md5.Sum(sys.keyBuf)
+	vb := [1]string{t.Values[r.RHSCol]}
+	sys.keyBuf = relation.AppendKeyVals(sys.keyBuf[:0], vb[:])
+	bSum := md5.Sum(sys.keyBuf)
+	// One backing allocation carries both 16-byte codes.
+	both := make([]byte, 32)
+	copy(both, xSum[:])
+	copy(both[16:], bSum[:])
+	return keyRef{Digest: both[:16:16]}, keyRef{Digest: both[16:32:32]}
 }
 
 // probeItemFor builds the wire form of one rule's probe entry: MD5 codes
 // when the optimization is on, a bare rule id otherwise (the full tuple
 // rides in the request and the receiver derives the keys).
-func (sys *System) probeItemFor(r *cfd.CFD, x, b keyRef) probeItem {
+func (sys *System) probeItemFor(r *cfd.Compiled, x, b keyRef) probeItem {
 	if sys.useMD5 {
 		return probeItem{Rule: r.ID, X: x, B: b}
 	}
@@ -295,14 +314,14 @@ func (sys *System) probeTuple(t relation.Tuple) []string {
 func (sys *System) insertVariable(t relation.Tuple, owner network.SiteID, delta *cfd.Delta) error {
 	tid := int64(t.ID)
 	type pending struct {
-		rule *cfd.CFD
+		rule *cfd.Compiled
 		x, b keyRef
 		tInV bool
 	}
 	var pend []*pending
-	for i := range sys.rules {
-		r := &sys.rules[i]
-		if r.IsConstant() || !r.MatchesLHS(sys.schema, t) {
+	for i := range sys.comp {
+		r := &sys.comp[i]
+		if r.ConstRHS || !r.MatchesLHS(t) {
 			continue
 		}
 		x, b := sys.keysFor(r, t)
@@ -371,15 +390,15 @@ func (sys *System) insertVariable(t relation.Tuple, owner network.SiteID, delta 
 func (sys *System) deleteVariable(t relation.Tuple, owner network.SiteID, delta *cfd.Delta) error {
 	tid := int64(t.ID)
 	type pending struct {
-		rule          *cfd.CFD
+		rule          *cfd.Compiled
 		x, b          keyRef
 		sameElsewhere bool
 		others        map[string]bool
 	}
 	var pend []*pending
-	for i := range sys.rules {
-		r := &sys.rules[i]
-		if r.IsConstant() || !r.MatchesLHS(sys.schema, t) {
+	for i := range sys.comp {
+		r := &sys.comp[i]
+		if r.ConstRHS || !r.MatchesLHS(t) {
 			continue
 		}
 		x, b := sys.keysFor(r, t)
@@ -494,6 +513,15 @@ func errResponseShape(method string, site network.SiteID) error {
 // itself with no shipment (the pre-checks of Fan et al., ICDE 2010).
 func (sys *System) BatchDetect() (*cfd.Violations, error) {
 	v := cfd.NewViolations()
+	v.InternRules(sys.rules)
+	// Coordinator grouping state, reused across rules.
+	type group struct {
+		members   []int64
+		firstB    string
+		distinctB int
+	}
+	groups := make(map[string]*group)
+	var keyBuf []byte
 	for i := range sys.rules {
 		r := &sys.rules[i]
 		if sys.localCheck[r.ID] {
@@ -518,12 +546,7 @@ func (sys *System) BatchDetect() (*cfd.Violations, error) {
 		// Like batVer, batHor uses one designated coordinator site; its
 		// assembly work is what degrades the batch baseline's scaleup.
 		coord := network.SiteID(0)
-		type group struct {
-			members   []int64
-			firstB    string
-			distinctB int
-		}
-		groups := make(map[string]*group)
+		clear(groups)
 		addRow := func(row matchRow) {
 			// The coordinator evaluates tp[X] on the shipped projection.
 			for li := range r.LHS {
@@ -531,10 +554,10 @@ func (sys *System) BatchDetect() (*cfd.Violations, error) {
 					return
 				}
 			}
-			key := relation.JoinKey(row.X)
-			g, ok := groups[key]
+			keyBuf = relation.AppendKeyVals(keyBuf[:0], row.X)
+			g, ok := groups[string(keyBuf)]
 			if !ok {
-				groups[key] = &group{members: []int64{row.ID}, firstB: row.B, distinctB: 1}
+				groups[string(keyBuf)] = &group{members: []int64{row.ID}, firstB: row.B, distinctB: 1}
 				return
 			}
 			if g.distinctB == 1 && row.B != g.firstB {

@@ -153,6 +153,10 @@ type Cluster struct {
 	// locks: concurrent fan-outs to distinct sites encode in parallel.
 	meterMu sync.Mutex
 	meters  map[[2]SiteID]*meterStream
+
+	// pairKeys precomputes the "from→to" PerPair map keys so metering a
+	// message never formats a string.
+	pairKeys [][]string
 }
 
 // meterStream measures the wire size of payloads on one directed pair.
@@ -206,6 +210,13 @@ func NewCluster(n int) *Cluster {
 	for i := range c.registry {
 		c.registry[i] = make(map[string]RawHandler)
 		c.native[i] = make(map[string]NativeHandler)
+	}
+	c.pairKeys = make([][]string, n)
+	for i := 0; i < n; i++ {
+		c.pairKeys[i] = make([]string, n)
+		for j := 0; j < n; j++ {
+			c.pairKeys[i][j] = fmt.Sprintf("%d→%d", i, j)
+		}
 	}
 	c.meters = make(map[[2]SiteID]*meterStream)
 	c.transport = &loopback{c: c}
@@ -392,15 +403,13 @@ func (c *Cluster) meter(from, to SiteID, reqBytes, respBytes int) {
 	defer c.statMu.Unlock()
 	c.stats.Messages++
 	c.stats.Bytes += int64(reqBytes) + int64(respBytes)
-	c.stats.PerPair[pairKey(from, to)] += int64(reqBytes)
+	c.stats.PerPair[c.pairKeys[from][to]] += int64(reqBytes)
 	c.stats.RecvBytes[to] += int64(reqBytes)
 	if respBytes > 0 {
-		c.stats.PerPair[pairKey(to, from)] += int64(respBytes)
+		c.stats.PerPair[c.pairKeys[to][from]] += int64(respBytes)
 		c.stats.RecvBytes[from] += int64(respBytes)
 	}
 }
-
-func pairKey(from, to SiteID) string { return fmt.Sprintf("%d→%d", from, to) }
 
 // AddEqids notes that n equivalence-class ids were shipped cross-site; the
 // §4/§5 algorithms call it alongside the messages carrying them.

@@ -1,0 +1,35 @@
+//go:build !race
+
+package relation
+
+import "testing"
+
+// Allocation-regression guards: the byte-key primitives are the
+// innermost loop of every detection pass and must stay allocation-free
+// on warm paths. (Excluded under -race: the race runtime adds its own
+// allocations.)
+
+func TestAppendKeyZeroAllocs(t *testing.T) {
+	tp := Tuple{ID: 1, Values: []string{"customer-001", "region-7", "some-longer-value"}}
+	cols := []int{0, 1, 2}
+	buf := make([]byte, 0, 128)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = tp.AppendKey(buf[:0], cols)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendKey allocated %.1f objects per run on a warm buffer, want 0", allocs)
+	}
+}
+
+func TestHashZeroAllocs(t *testing.T) {
+	tp := Tuple{ID: 1, Values: []string{"customer-001", "region-7", "some-longer-value"}}
+	cols := []int{0, 2}
+	var sink uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += tp.Hash(cols)
+	})
+	if allocs != 0 {
+		t.Errorf("Hash allocated %.1f objects per run, want 0", allocs)
+	}
+	_ = sink
+}

@@ -1,0 +1,86 @@
+package relation
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The old grouping keys joined values with \x1f, so a value containing
+// the separator could alias a different value list. Length-prefixed
+// encoding is prefix-free per value: no data byte can masquerade as a
+// frame boundary.
+func TestKeySeparatorCollision(t *testing.T) {
+	collisions := [][2][]string{
+		{{"a\x1fb"}, {"a", "b"}},
+		{{"a\x1f", "b"}, {"a", "\x1fb"}},
+		{{"", "ab"}, {"ab", ""}},
+		{{"a", "", "b"}, {"a", "b", ""}},
+		{{"\x1f"}, {"", ""}},
+	}
+	for _, pair := range collisions {
+		if JoinKey(pair[0]) == JoinKey(pair[1]) {
+			t.Errorf("JoinKey(%q) == JoinKey(%q); keys must be injective", pair[0], pair[1])
+		}
+	}
+	if JoinKey([]string{"a", "b"}) != JoinKey([]string{"a", "b"}) {
+		t.Error("JoinKey not deterministic")
+	}
+}
+
+func TestAppendKeyAgreesWithKeyAndJoinKey(t *testing.T) {
+	s := MustSchema("R", "a", "b", "c")
+	tp := Tuple{ID: 1, Values: []string{"x\x1f", "y", "z"}}
+	cols := []int{0, 1}
+	got := string(tp.AppendKey(nil, cols))
+	if got != tp.Key(s, []string{"a", "b"}) {
+		t.Error("AppendKey and Key disagree")
+	}
+	if got != JoinKey([]string{"x\x1f", "y"}) {
+		t.Error("AppendKey and JoinKey disagree")
+	}
+	// Appending extends, never resets.
+	pre := []byte("prefix")
+	ext := tp.AppendKey(pre, cols)
+	if string(ext[:6]) != "prefix" || string(ext[6:]) != got {
+		t.Error("AppendKey does not append")
+	}
+}
+
+func TestTupleHashMatchesEncodedKey(t *testing.T) {
+	tp := Tuple{ID: 1, Values: []string{"x\x1f", "y", "a-much-longer-value-here"}}
+	cols := []int{0, 2}
+	key := tp.AppendKey(nil, cols)
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	if got := tp.Hash(cols); got != h {
+		t.Errorf("Hash = %#x, FNV-1a over AppendKey bytes = %#x", got, h)
+	}
+	if tp.Hash([]int{0}) == tp.Hash([]int{2}) {
+		t.Error("distinct projections hash alike (suspicious)")
+	}
+}
+
+func TestKeyLongValues(t *testing.T) {
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = byte('a' + i%26)
+	}
+	vals := []string{string(long), "tail"}
+	key := []byte(JoinKey(vals))
+	// Decode the frames back and check round-trip.
+	for _, want := range vals {
+		n, used := binary.Uvarint(key)
+		if used <= 0 || int(n) > len(key[used:]) {
+			t.Fatalf("bad frame header for %q", want)
+		}
+		if got := string(key[used : used+int(n)]); got != want {
+			t.Fatalf("frame decoded to %q, want %q", got, want)
+		}
+		key = key[used+int(n):]
+	}
+	if len(key) != 0 {
+		t.Fatalf("%d trailing bytes after frames", len(key))
+	}
+}

@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 )
@@ -68,18 +69,77 @@ func (t Tuple) EqualValues(o Tuple) bool {
 	return true
 }
 
-// Key joins the values of attrs with an unprintable separator, producing a
-// canonical map key for grouping. The separator cannot appear in CSV-safe
-// data; values containing it would need escaping, which the workload
-// generators never produce.
+// Grouping keys are length-prefixed: every value is framed as
+// uvarint(len(value)) ‖ value. The encoding is prefix-free per value, so
+// distinct value lists always encode to distinct keys — no separator can
+// collide with data (["a\x1fb"] vs ["a","b"] used to alias under the old
+// \x1f-joined keys). AppendKey is the allocation-free primitive the hot
+// paths use with a reused scratch buffer; Key/JoinKey are convenience
+// wrappers materializing a string.
+
+// AppendKey appends the canonical grouping key of the values at cols to
+// dst and returns the extended slice. With a pre-grown dst it performs no
+// allocation; pairing it with map[string] lookups via string(dst) keeps
+// group probing allocation-free.
+func (t Tuple) AppendKey(dst []byte, cols []int) []byte {
+	for _, c := range cols {
+		v := t.Values[c]
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// AppendKeyVals appends the canonical grouping key of raw values to dst.
+func AppendKeyVals(dst []byte, values []string) []byte {
+	for _, v := range values {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash returns the FNV-1a hash of the canonical key of the values at
+// cols, without materializing the key. Hash(cols) always equals hashing
+// the bytes AppendKey would produce.
+func (t Tuple) Hash(cols []int) uint64 {
+	h := uint64(fnvOffset64)
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, c := range cols {
+		v := t.Values[c]
+		n := binary.PutUvarint(lenBuf[:], uint64(len(v)))
+		for _, b := range lenBuf[:n] {
+			h = (h ^ uint64(b)) * fnvPrime64
+		}
+		for i := 0; i < len(v); i++ {
+			h = (h ^ uint64(v[i])) * fnvPrime64
+		}
+	}
+	return h
+}
+
+// Key returns the canonical grouping key of attrs under schema s.
 func (t Tuple) Key(s *Schema, attrs []string) string {
-	parts := t.Project(s, attrs)
-	return strings.Join(parts, "\x1f")
+	var buf [64]byte
+	dst := buf[:0]
+	for _, a := range attrs {
+		v := t.Values[s.MustIndex(a)]
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return string(dst)
 }
 
 // JoinKey builds the same canonical key from raw values.
 func JoinKey(values []string) string {
-	return strings.Join(values, "\x1f")
+	var buf [64]byte
+	return string(AppendKeyVals(buf[:0], values))
 }
 
 func (t Tuple) String() string {

@@ -18,6 +18,7 @@ import (
 // the coordinator's own fragment are checked locally with no shipment.
 func (sys *System) BatchDetect() (*cfd.Violations, error) {
 	v := cfd.NewViolations()
+	v.InternRules(sys.rules)
 	for i := range sys.rules {
 		if err := sys.batchRule(&sys.rules[i], v); err != nil {
 			return nil, err

@@ -10,15 +10,18 @@ import (
 	"repro/internal/relation"
 )
 
-// constCheck is one pattern constant a site is responsible for checking.
-type constCheck struct {
+// constChecks collects the locally held pattern constants of one rule,
+// deduplicated at construction so evalConsts needs no per-call seen-set.
+type constChecks struct {
 	ruleID string
-	col    int // column index in the fragment schema
-	value  string
+	cols   []int // column indexes in the fragment schema
+	values []string
 }
 
 // site is the per-fragment state of the vertical detection system. All
-// access goes through the methods below, dispatched by the cluster.
+// access goes through the methods below, dispatched by the cluster; the
+// dispatch is serialized per site, so the scratch state (eqid buffer
+// pool, input-eqid slice) needs no locking.
 type site struct {
 	id     network.SiteID
 	schema *relation.Schema // fragment schema
@@ -27,11 +30,18 @@ type site struct {
 	plan  *optimizer.Plan
 	rules map[string]*cfd.CFD
 
-	base   map[string]*eqclass.BaseHEV          // one per locally hosted base node attr
-	hevs   map[optimizer.NodeID]*eqclass.HEV    // composed nodes hosted here
-	idx    map[string]*eqclass.IDX              // rule id → IDX hosted here
-	checks []constCheck                         // local pattern-constant checks
-	buf    map[int64]map[optimizer.NodeID]int64 // per-tuple eqid buffer
+	base   map[string]*eqclass.BaseHEV       // one per locally hosted base node attr
+	hevs   map[optimizer.NodeID]*eqclass.HEV // composed nodes hosted here
+	idx    map[string]*eqclass.IDX           // rule id → IDX hosted here
+	checks []constChecks                     // local pattern-constant checks, one entry per rule
+
+	// buf holds the per-tuple eqid buffer: one slot per plan node, 0 =
+	// unset (eqids start at 1). Retired buffers are pooled, so steady
+	// state updates allocate nothing here.
+	buf     map[int64][]int64
+	bufPool [][]int64
+	// inScratch is the reused input-eqid slice for composed resolves.
+	inScratch []eqclass.EqID
 }
 
 func newSite(id network.SiteID, schema *relation.Schema, plan *optimizer.Plan, rules []cfd.CFD) *site {
@@ -44,18 +54,24 @@ func newSite(id network.SiteID, schema *relation.Schema, plan *optimizer.Plan, r
 		base:   make(map[string]*eqclass.BaseHEV),
 		hevs:   make(map[optimizer.NodeID]*eqclass.HEV),
 		idx:    make(map[string]*eqclass.IDX),
-		buf:    make(map[int64]map[optimizer.NodeID]int64),
+		buf:    make(map[int64][]int64),
 	}
 	for i := range rules {
 		r := &rules[i]
 		s.rules[r.ID] = r
+		var cc constChecks
 		for li, a := range r.LHS {
 			if r.LHSPattern[li] == cfd.Wildcard {
 				continue
 			}
 			if col, ok := schema.Index(a); ok {
-				s.checks = append(s.checks, constCheck{ruleID: r.ID, col: col, value: r.LHSPattern[li]})
+				cc.cols = append(cc.cols, col)
+				cc.values = append(cc.values, r.LHSPattern[li])
 			}
+		}
+		if len(cc.cols) > 0 {
+			cc.ruleID = r.ID
+			s.checks = append(s.checks, cc)
 		}
 	}
 	for _, n := range plan.Nodes {
@@ -105,14 +121,13 @@ func (s *site) evalConsts(req evalConstsReq) (evalConstsResp, error) {
 		return evalConstsResp{}, fmt.Errorf("vertical: site %d: evalConsts on missing tuple %d", s.id, req.ID)
 	}
 	var failed []string
-	seen := make(map[string]bool)
-	for _, c := range s.checks {
-		if seen[c.ruleID] {
-			continue
-		}
-		if t.Values[c.col] != c.value {
-			failed = append(failed, c.ruleID)
-			seen[c.ruleID] = true
+	for ci := range s.checks {
+		c := &s.checks[ci]
+		for i, col := range c.cols {
+			if t.Values[col] != c.values[i] {
+				failed = append(failed, c.ruleID)
+				break
+			}
 		}
 	}
 	return evalConstsResp{Failed: failed}, nil
@@ -165,12 +180,20 @@ func (s *site) resolve(req resolveReq) (resolveResp, error) {
 	return resolveResp{Eq: int64(eq)}, nil
 }
 
+// inputEqids assembles a composed node's input eqids into the site's
+// reused scratch slice (valid until the next call).
 func (s *site) inputEqids(tid int64, node optimizer.Node) ([]eqclass.EqID, error) {
-	inputs := make([]eqclass.EqID, len(node.Inputs))
+	if cap(s.inScratch) < len(node.Inputs) {
+		s.inScratch = make([]eqclass.EqID, len(node.Inputs))
+	}
+	inputs := s.inScratch[:len(node.Inputs)]
 	m := s.buf[tid]
 	for i, in := range node.Inputs {
-		v, ok := m[in]
-		if !ok {
+		var v int64
+		if int(in) < len(m) {
+			v = m[in]
+		}
+		if v == 0 {
 			return nil, fmt.Errorf("vertical: site %d: node %d missing input eqid from node %d for tuple %d",
 				s.id, node.ID, in, tid)
 		}
@@ -188,7 +211,12 @@ func (s *site) deliver(req deliverReq) (empty, error) {
 func (s *site) bufPut(tid int64, node optimizer.NodeID, eq int64) {
 	m, ok := s.buf[tid]
 	if !ok {
-		m = make(map[optimizer.NodeID]int64, 4)
+		if n := len(s.bufPool); n > 0 {
+			m = s.bufPool[n-1]
+			s.bufPool = s.bufPool[:n-1]
+		} else {
+			m = make([]int64, len(s.plan.Nodes))
+		}
 		s.buf[tid] = m
 	}
 	m[node] = eq
@@ -204,11 +232,16 @@ func (s *site) applyRule(req applyRuleReq) (applyRuleResp, error) {
 	}
 	binding := s.plan.Bindings[req.Rule]
 	m := s.buf[req.ID]
-	eqXRaw, okX := m[binding.XNode]
-	eqBRaw, okB := m[binding.BNode]
-	if !okX || !okB {
+	var eqXRaw, eqBRaw int64
+	if int(binding.XNode) < len(m) {
+		eqXRaw = m[binding.XNode]
+	}
+	if int(binding.BNode) < len(m) {
+		eqBRaw = m[binding.BNode]
+	}
+	if eqXRaw == 0 || eqBRaw == 0 {
 		return applyRuleResp{}, fmt.Errorf("vertical: site %d: rule %s missing eqids for tuple %d (X:%v B:%v)",
-			s.id, req.Rule, req.ID, okX, okB)
+			s.id, req.Rule, req.ID, eqXRaw != 0, eqBRaw != 0)
 	}
 	eqX, eqB := eqclass.EqID(eqXRaw), eqclass.EqID(eqBRaw)
 	tid := relation.TupleID(req.ID)
@@ -284,9 +317,15 @@ func (s *site) release(req releaseReq) (empty, error) {
 	return empty{}, nil
 }
 
-// endUpdate clears the tuple's eqid buffer.
+// endUpdate clears the tuple's eqid buffer, returning it to the pool.
 func (s *site) endUpdate(req endUpdateReq) (empty, error) {
-	delete(s.buf, req.ID)
+	if m, ok := s.buf[req.ID]; ok {
+		for i := range m {
+			m[i] = 0
+		}
+		s.bufPool = append(s.bufPool, m)
+		delete(s.buf, req.ID)
+	}
 	return empty{}, nil
 }
 

@@ -1,7 +1,9 @@
 package vertical
 
 import (
+	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/cfd"
@@ -26,6 +28,20 @@ type Options struct {
 	// (BatchDetect) but rejects ApplyBatch. Used when measuring the
 	// batch baseline, whose setup the paper does not charge for.
 	NoIndexes bool
+}
+
+// runSchedule is the precomputed shipment plan for one alive rule set:
+// which nodes resolve in which order, where each node's eqid ships, and
+// which sites end up holding per-tuple state. Schedules depend only on
+// the (static) plan and the alive set, so they are memoized — the
+// per-update hot path walks precomputed slices instead of rebuilding
+// maps and re-sorting destination lists for every tuple.
+type runSchedule struct {
+	order []optimizer.NodeID
+	// dests[i] are the sorted cross-site destinations of order[i].
+	dests [][]network.SiteID
+	// involved are the sites holding eqid buffers for the update, sorted.
+	involved []network.SiteID
 }
 
 // System is a vertically partitioned database with incremental CFD
@@ -57,6 +73,23 @@ type System struct {
 	// of any measured detection.
 	direct    bool
 	noIndexes bool
+
+	// Per-update scratch, reused across applyUnit calls (the driver
+	// processes unit updates one at a time). varIdxSite and checkers are
+	// static lookups hoisted out of the per-update path; schedCache
+	// memoizes runSchedules keyed by the alive rule set.
+	varIdxSite []network.SiteID
+	checkers   []network.SiteID
+	schedCache map[string]*runSchedule
+	fullSched  *runSchedule
+	keyScratch []byte
+	aliveVar   []*cfd.CFD
+	alivePos   []int
+	aliveConst []*cfd.CFD
+	checkResps []evalConstsResp
+	constResps []applyConstResp
+	ruleResps  []applyRuleResp
+	failedAt   map[string]network.SiteID
 }
 
 // NewSystem partitions rel under scheme, plans and builds the HEV/IDX
@@ -74,6 +107,7 @@ func NewSystem(rel *relation.Relation, scheme *partition.VerticalScheme, rules [
 		constCoord: make(map[string]network.SiteID),
 		v:          cfd.NewViolations(),
 	}
+	sys.v.InternRules(sys.rules)
 	for i := range sys.rules {
 		r := &sys.rules[i]
 		if r.IsConstant() {
@@ -126,6 +160,20 @@ func NewSystem(rel *relation.Relation, scheme *partition.VerticalScheme, rules [
 			return sys.constSites[r.ID][a] < sys.constSites[r.ID][b]
 		})
 	}
+
+	// Static per-update lookups: each variable rule's IDX site, and the
+	// sites owning pattern-constant checks.
+	sys.varIdxSite = make([]network.SiteID, len(sys.varRules))
+	for i, r := range sys.varRules {
+		sys.varIdxSite[i] = network.SiteID(sys.plan.Bindings[r.ID].IDXSite)
+	}
+	for _, st := range sys.sites {
+		if len(st.checks) > 0 {
+			sys.checkers = append(sys.checkers, st.id)
+		}
+	}
+	sys.schedCache = make(map[string]*runSchedule)
+	sys.failedAt = make(map[string]network.SiteID)
 
 	// Seed: replay the initial database through the same insertion logic
 	// in direct (unmetered) mode; V(Σ, D) accumulates on the way. With
@@ -271,14 +319,16 @@ func (sys *System) applyUnit(u relation.Update) (*cfd.Delta, error) {
 
 	// 2. Each site checks the pattern constants it owns, all sites at
 	// once (same-site calls; replies merge in site order).
-	var checkers []network.SiteID
-	for _, st := range sys.sites {
-		if len(st.checks) > 0 {
-			checkers = append(checkers, st.id)
-		}
+	checkers := sys.checkers
+	failedAt := sys.failedAt
+	clear(failedAt)
+	if cap(sys.checkResps) < len(checkers) {
+		sys.checkResps = make([]evalConstsResp, len(checkers))
 	}
-	failedAt := make(map[string]network.SiteID)
-	checkResps := make([]evalConstsResp, len(checkers))
+	checkResps := sys.checkResps[:len(checkers)]
+	for i := range checkResps {
+		checkResps[i] = evalConstsResp{}
+	}
 	err := sys.cluster.Fanout(len(checkers), network.FanoutOpts{}, func(i int) error {
 		return sys.send(checkers[i], checkers[i], "v.evalConsts", evalConstsReq{ID: tid}, &checkResps[i])
 	})
@@ -328,13 +378,22 @@ func (sys *System) applyUnit(u relation.Update) (*cfd.Delta, error) {
 	if err != nil {
 		return nil, err
 	}
-	var aliveConst []*cfd.CFD
+	aliveConst := sys.aliveConst[:0]
 	for _, r := range sys.constRules {
 		if _, dead := failedAt[r.ID]; !dead {
 			aliveConst = append(aliveConst, r)
 		}
 	}
-	constResps := make([]applyConstResp, len(aliveConst))
+	sys.aliveConst = aliveConst
+	if cap(sys.constResps) < len(aliveConst) {
+		sys.constResps = make([]applyConstResp, len(aliveConst))
+	}
+	constResps := sys.constResps[:len(aliveConst)]
+	for i := range constResps {
+		// Zero before reuse: a gob-decoded dispatch (cross-site RPC)
+		// omits zero-valued fields, so stale values would survive.
+		constResps[i] = applyConstResp{}
+	}
 	err = sys.cluster.Fanout(len(aliveConst), network.FanoutOpts{}, func(i int) error {
 		coord := sys.constCoord[aliveConst[i].ID]
 		return sys.send(coord, coord, "v.applyConst", applyConstReq{Rule: aliveConst[i].ID, ID: tid, Op: op}, &constResps[i])
@@ -356,15 +415,18 @@ func (sys *System) applyUnit(u relation.Update) (*cfd.Delta, error) {
 	// rule's constants ships nothing for it: in the push-based flow no
 	// eqids are emitted, and the per-batch barrier (end of ApplyBatch)
 	// tells IDX sites the batch is complete.
-	var alive []*cfd.CFD
-	for _, r := range sys.varRules {
+	alive := sys.aliveVar[:0]
+	alivePos := sys.alivePos[:0]
+	for i, r := range sys.varRules {
 		if _, dead := failedAt[r.ID]; !dead {
 			alive = append(alive, r)
+			alivePos = append(alivePos, i)
 		}
 	}
+	sys.aliveVar, sys.alivePos = alive, alivePos
 
 	if len(alive) > 0 {
-		if err := sys.runPlan(tid, op, alive, delta); err != nil {
+		if err := sys.runPlan(tid, op, alive, alivePos, delta); err != nil {
 			return nil, err
 		}
 	}
@@ -378,10 +440,37 @@ func (sys *System) applyUnit(u relation.Update) (*cfd.Delta, error) {
 	return delta, nil
 }
 
-// runPlan resolves the needed plan nodes in topological order, ships their
-// eqids to consumer sites, applies Fig. 4 at each alive rule's IDX site
-// and, for deletions, releases reference counts.
-func (sys *System) runPlan(tid int64, op OpKind, alive []*cfd.CFD, delta *cfd.Delta) error {
+// scheduleFor returns the memoized runSchedule of an alive rule set.
+// The full set (no constant failures) hits a dedicated slot; other sets
+// are keyed by their uvarint-encoded positions within varRules.
+func (sys *System) scheduleFor(alive []*cfd.CFD, alivePos []int) *runSchedule {
+	if len(alive) == len(sys.varRules) {
+		if sys.fullSched == nil {
+			sys.fullSched = sys.buildSchedule(alive)
+		}
+		return sys.fullSched
+	}
+	key := sys.keyScratch[:0]
+	for _, p := range alivePos {
+		key = binary.AppendUvarint(key, uint64(p))
+	}
+	sys.keyScratch = key
+	if sched, ok := sys.schedCache[string(key)]; ok {
+		return sched
+	}
+	sched := sys.buildSchedule(alive)
+	// Bound the memo: distinct alive sets are 2^|varRules| in the worst
+	// case, so past the cap new sets are built but not retained.
+	const maxSchedCache = 1 << 12
+	if len(sys.schedCache) < maxSchedCache {
+		sys.schedCache[string(key)] = sched
+	}
+	return sched
+}
+
+// buildSchedule computes the node order, per-node shipment destinations
+// and involved-site set for one alive rule set.
+func (sys *System) buildSchedule(alive []*cfd.CFD) *runSchedule {
 	needed := make(map[optimizer.NodeID]bool)
 	var order []optimizer.NodeID
 	for _, r := range alive {
@@ -392,7 +481,7 @@ func (sys *System) runPlan(tid int64, op OpKind, alive []*cfd.CFD, delta *cfd.De
 			}
 		}
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] }) // plan ids are topo-ordered
+	slices.Sort(order) // plan ids are topo-ordered
 
 	// Destination sites per node, restricted to what the alive rules use.
 	dests := make(map[optimizer.NodeID]map[network.SiteID]bool)
@@ -419,25 +508,41 @@ func (sys *System) runPlan(tid int64, op OpKind, alive []*cfd.CFD, delta *cfd.De
 		addDest(b.BNode, network.SiteID(b.IDXSite))
 	}
 
+	sched := &runSchedule{order: order, dests: make([][]network.SiteID, len(order))}
 	involved := make(map[network.SiteID]bool)
-
-	// 5. Resolve and ship eqids bottom-up. Nodes resolve in topological
-	// order (later nodes consume earlier deliveries), but each node's
-	// deliveries to its consumer sites go out in parallel.
-	for _, n := range order {
-		node := sys.plan.Node(n)
-		src := network.SiteID(node.Site)
-		involved[src] = true
-		var resp resolveResp
-		if err := sys.send(src, src, "v.resolve", resolveReq{ID: tid, Node: int(n), Acquire: op == OpInsert}, &resp); err != nil {
-			return err
-		}
+	for i, n := range order {
+		involved[network.SiteID(sys.plan.Node(n).Site)] = true
 		destSites := make([]network.SiteID, 0, len(dests[n]))
 		for d := range dests[n] {
 			destSites = append(destSites, d)
 			involved[d] = true
 		}
-		sort.Slice(destSites, func(i, j int) bool { return destSites[i] < destSites[j] })
+		slices.Sort(destSites)
+		sched.dests[i] = destSites
+	}
+	for s := range involved {
+		sched.involved = append(sched.involved, s)
+	}
+	slices.Sort(sched.involved)
+	return sched
+}
+
+// runPlan resolves the needed plan nodes in topological order, ships their
+// eqids to consumer sites, applies Fig. 4 at each alive rule's IDX site
+// and, for deletions, releases reference counts.
+func (sys *System) runPlan(tid int64, op OpKind, alive []*cfd.CFD, alivePos []int, delta *cfd.Delta) error {
+	sched := sys.scheduleFor(alive, alivePos)
+
+	// 5. Resolve and ship eqids bottom-up. Nodes resolve in topological
+	// order (later nodes consume earlier deliveries), but each node's
+	// deliveries to its consumer sites go out in parallel.
+	for oi, n := range sched.order {
+		src := network.SiteID(sys.plan.Node(n).Site)
+		var resp resolveResp
+		if err := sys.send(src, src, "v.resolve", resolveReq{ID: tid, Node: int(n), Acquire: op == OpInsert}, &resp); err != nil {
+			return err
+		}
+		destSites := sched.dests[oi]
 		req := deliverReq{ID: tid, Node: int(n), Eq: resp.Eq}
 		if err := sys.cluster.BroadcastVia(sys.send, src, "v.deliver", req, destSites, network.FanoutOpts{}); err != nil {
 			return err
@@ -450,9 +555,16 @@ func (sys *System) runPlan(tid int64, op OpKind, alive []*cfd.CFD, delta *cfd.De
 	// 6. Fig. 4 at each alive rule's IDX site, all rules at once (rules
 	// sharing an IDX site serialize on that site's lock, as on a real
 	// node); ∆V merges in rule order.
-	ruleResps := make([]applyRuleResp, len(alive))
+	if cap(sys.ruleResps) < len(alive) {
+		sys.ruleResps = make([]applyRuleResp, len(alive))
+	}
+	ruleResps := sys.ruleResps[:len(alive)]
+	for i := range ruleResps {
+		// Zero before reuse (see constResps): gob omits zero fields.
+		ruleResps[i] = applyRuleResp{}
+	}
 	err := sys.cluster.Fanout(len(alive), network.FanoutOpts{}, func(i int) error {
-		idxSite := network.SiteID(sys.plan.Bindings[alive[i].ID].IDXSite)
+		idxSite := sys.varIdxSite[alivePos[i]]
 		return sys.send(idxSite, idxSite, "v.applyRule", applyRuleReq{Rule: alive[i].ID, ID: tid, Op: op}, &ruleResps[i])
 	})
 	if err != nil {
@@ -469,8 +581,8 @@ func (sys *System) runPlan(tid int64, op OpKind, alive []*cfd.CFD, delta *cfd.De
 
 	// Deletions release reference counts top-down.
 	if op == OpDelete {
-		for i := len(order) - 1; i >= 0; i-- {
-			n := order[i]
+		for i := len(sched.order) - 1; i >= 0; i-- {
+			n := sched.order[i]
 			src := network.SiteID(sys.plan.Node(n).Site)
 			if err := sys.send(src, src, "v.release", releaseReq{ID: tid, Node: int(n)}, nil); err != nil {
 				return err
@@ -479,22 +591,21 @@ func (sys *System) runPlan(tid int64, op OpKind, alive []*cfd.CFD, delta *cfd.De
 	}
 
 	// Clear per-update buffers, every involved site at once.
-	sites := make([]network.SiteID, 0, len(involved))
-	for s := range involved {
-		sites = append(sites, s)
-	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
-	return sys.cluster.Fanout(len(sites), network.FanoutOpts{}, func(i int) error {
-		return sys.send(sites[i], sites[i], "v.endUpdate", endUpdateReq{ID: tid}, nil)
+	return sys.cluster.Fanout(len(sched.involved), network.FanoutOpts{}, func(i int) error {
+		return sys.send(sched.involved[i], sched.involved[i], "v.endUpdate", endUpdateReq{ID: tid}, nil)
 	})
 }
 
 // applyFragments delivers a tuple's projection to every fragment in
-// parallel (each site ingests its own columns independently).
+// parallel (each site ingests its own columns independently). Deletions
+// carry no values — the handler removes by id — so no projection is
+// materialized for them.
 func (sys *System) applyFragments(t relation.Tuple, op OpKind) error {
 	return sys.cluster.Fanout(len(sys.sites), network.FanoutOpts{}, func(i int) error {
-		proj := t.ProjectTuple(sys.schema, sys.fragSch[i])
-		req := applyReq{Op: op, ID: int64(t.ID), Values: proj.Values}
+		req := applyReq{Op: op, ID: int64(t.ID)}
+		if op == OpInsert {
+			req.Values = t.ProjectTuple(sys.schema, sys.fragSch[i]).Values
+		}
 		return sys.send(sys.sites[i].id, sys.sites[i].id, "v.apply", req, nil)
 	})
 }

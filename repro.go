@@ -69,11 +69,23 @@ const (
 type (
 	// CFD is a normalized conditional functional dependency (X → B, tp).
 	CFD = cfd.CFD
+	// CompiledRule is a CFD resolved against a schema: column indexes
+	// and pre-split pattern constants, for allocation-free matching.
+	CompiledRule = cfd.Compiled
+	// RuleIdx is a dense interned rule index within one Violations or
+	// Delta (see Violations.Intern / AddIdx).
+	RuleIdx = cfd.RuleIdx
 	// Violations is V(Σ, D) with per-rule tags.
 	Violations = cfd.Violations
 	// Delta is ∆V: added and removed violation marks.
 	Delta = cfd.Delta
 )
+
+// CompileRules resolves every rule against s once, so per-tuple checks
+// (MatchesLHS, SingleViolation, grouping keys) never consult the schema.
+func CompileRules(s *Schema, rules []CFD) []CompiledRule {
+	return cfd.CompileAll(s, rules)
+}
 
 // Wildcard is the unnamed pattern variable '_'.
 const Wildcard = cfd.Wildcard
