@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench verify
+.PHONY: test race bench stream fuzz verify clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -13,9 +13,26 @@ race:
 # bench runs the hot-path micro benchmarks once (allocation counts are
 # deterministic; timing needs more iterations — drop -benchtime for
 # real measurements) and regenerates the committed perf baseline.
+# Always finishes with clean so no compiled test binary is left behind.
 bench:
 	$(GO) test -bench 'BenchmarkCentralizedDetect|BenchmarkCentralizedIncrementalApply|BenchmarkUnitUpdate' \
 		-benchmem -run '^$$' -benchtime 1x .
 	$(GO) run ./cmd/expbench -json
+	@$(MAKE) --no-print-directory clean
 
-verify: test race
+# stream regenerates the streaming-pipeline baseline (BENCH_stream.json).
+stream:
+	$(GO) run ./cmd/expbench -stream
+
+# fuzz is the native-fuzzing smoke CI runs: grouping-key round-trip,
+# injectivity and hash consistency, seeded with the \x1f collision corpus.
+fuzz:
+	$(GO) test -fuzz=FuzzAppendKey -fuzztime=10s -run '^$$' ./internal/relation
+
+# clean removes compiled test binaries and profiles (e.g. a stray
+# repro.test from `go test -c`) so the working tree stays tidy.
+clean:
+	rm -f *.test *.out *.prof
+	find . -name '*.test' -type f -delete
+
+verify: test race clean

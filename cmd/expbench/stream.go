@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/harness"
+)
+
+// BENCH_stream.json is the streaming-pipeline baseline: per profile ×
+// engine, the deterministic quantities of a sustained update stream —
+// updates, per-batch and net ∆V, final |V|, exact wire meters. The
+// rows array is a pure function of the seed and must stay bit-identical
+// across perf work on any machine; only the header (go_version, goos,
+// goarch) varies with the environment. Latency percentiles are
+// machine-dependent and deliberately kept out (the -stream stdout table
+// reports them).
+
+// streamBatchRow is one applied batch in the baseline.
+type streamBatchRow struct {
+	Seq          int   `json:"seq"`
+	Size         int   `json:"size"`
+	AddedMarks   int   `json:"added_marks"`
+	RemovedMarks int   `json:"removed_marks"`
+	Violations   int   `json:"violations"`
+	WireBytes    int64 `json:"wire_bytes"`
+	WireMessages int64 `json:"wire_msgs"`
+	Eqids        int64 `json:"eqids"`
+}
+
+// streamRow is one profile × engine stream.
+type streamRow struct {
+	Profile      string           `json:"profile"`
+	Engine       string           `json:"engine"`
+	Batches      int              `json:"batches"`
+	Updates      int              `json:"updates"`
+	Inserts      int              `json:"inserts"`
+	Deletes      int              `json:"deletes"`
+	NetAdded     int              `json:"net_added_marks"`
+	NetRemoved   int              `json:"net_removed_marks"`
+	Violations   int              `json:"violations"`
+	Marks        int              `json:"marks"`
+	WireBytes    int64            `json:"wire_bytes"`
+	WireMessages int64            `json:"wire_msgs"`
+	Eqids        int64            `json:"eqids"`
+	Batch        []streamBatchRow `json:"batch"`
+}
+
+// streamBaseline is the file layout of BENCH_stream.json.
+type streamBaseline struct {
+	GeneratedBy string      `json:"generated_by"`
+	GoVersion   string      `json:"go_version"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	Workload    string      `json:"workload"`
+	Rows        []streamRow `json:"rows"`
+}
+
+func writeStreamBaseline(path string, sc harness.Scale, runs []harness.StreamRun) error {
+	base := streamBaseline{
+		GeneratedBy: "expbench -stream",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Workload: fmt.Sprintf("TPCH-like seed=%d n=%d sites, streams of %s",
+			sc.Seed, sc.Sites, "churn|skew|burst"),
+	}
+	for _, run := range runs {
+		s := run.Summary
+		row := streamRow{
+			Profile:      string(run.Spec.Profile),
+			Engine:       run.Spec.Engine,
+			Batches:      s.Batches,
+			Updates:      s.Updates,
+			Inserts:      s.Inserts,
+			Deletes:      s.Deletes,
+			NetAdded:     s.Net.AddedMarks(),
+			NetRemoved:   s.Net.RemovedMarks(),
+			Violations:   s.Violations,
+			Marks:        s.Marks,
+			WireBytes:    s.WireBytes,
+			WireMessages: s.WireMessages,
+			Eqids:        s.Eqids,
+		}
+		for _, b := range s.Results {
+			row.Batch = append(row.Batch, streamBatchRow{
+				Seq:          b.Seq,
+				Size:         b.Size,
+				AddedMarks:   b.AddedMarks,
+				RemovedMarks: b.RemovedMarks,
+				Violations:   b.Violations,
+				WireBytes:    b.WireBytes,
+				WireMessages: b.WireMessages,
+				Eqids:        b.Eqids,
+			})
+		}
+		base.Rows = append(base.Rows, row)
+	}
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(base.Rows))
+	return nil
+}

@@ -140,17 +140,5 @@ func BruteForce(rel *relation.Relation, rules []cfd.CFD) *cfd.Violations {
 // incremental results (and to implement reference ∆V semantics:
 // ∆V+ = V(Σ, D⊕∆D) \ V(Σ, D), ∆V− = V(Σ, D) \ V(Σ, D⊕∆D)).
 func DetectDelta(updated *relation.Relation, rules []cfd.CFD, old *cfd.Violations) *cfd.Delta {
-	fresh := Detect(updated, rules)
-	d := cfd.NewDelta()
-	for id, rs := range fresh.Diff(old) {
-		for _, r := range rs {
-			d.Add(id, r)
-		}
-	}
-	for id, rs := range old.Diff(fresh) {
-		for _, r := range rs {
-			d.Remove(id, r)
-		}
-	}
-	return d
+	return cfd.DeltaBetween(old, Detect(updated, rules))
 }

@@ -510,6 +510,28 @@ func (v *Violations) Diff(o *Violations) map[relation.TupleID][]string {
 	return out
 }
 
+// DeltaBetween returns the canonical net change from old to new:
+// ∆V+ holds exactly the marks in new but not old, ∆V− exactly those in
+// old but not new. Unlike the delta an incremental run accumulates —
+// whose replay semantics may record removals of marks that were never in
+// old — the canonical form depends only on the two end states, so any
+// two executions landing on the same final violation set produce
+// bit-identical canonical deltas.
+func DeltaBetween(old, new *Violations) *Delta {
+	d := NewDelta()
+	for id, rules := range new.Diff(old) {
+		for _, r := range rules {
+			d.Add(id, r)
+		}
+	}
+	for id, rules := range old.Diff(new) {
+		for _, r := range rules {
+			d.Remove(id, r)
+		}
+	}
+	return d
+}
+
 func (v *Violations) String() string {
 	var sb strings.Builder
 	for i, id := range v.ms.sortedTuples() {

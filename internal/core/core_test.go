@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/centralized"
+	"repro/internal/cfd"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// fixture generates a small TPCH relation, rule set and update batch,
+// deterministic in seed.
+func fixture(seed int64) (*relation.Relation, []cfd.CFD, relation.UpdateList) {
+	gen := workload.NewSized(workload.TPCH, seed, 2000)
+	rules := gen.Rules(12)
+	rel := gen.Relation(150)
+	updates := gen.Updates(rel, 40, 0.7)
+	return rel, rules, updates
+}
+
+// build constructs a Detector of the given style over rel.
+func build(t *testing.T, style string, rel *relation.Relation, rules []cfd.CFD, noIndexes bool) Detector {
+	t.Helper()
+	var (
+		d   Detector
+		err error
+	)
+	switch style {
+	case "vertical":
+		d, err = NewVertical(rel, partition.RoundRobinVertical(rel.Schema, 3), rules,
+			VerticalOptions{UseOptimizer: true, NoIndexes: noIndexes})
+	case "horizontal":
+		d, err = NewHorizontal(rel, partition.HashHorizontal("c_name", 3), rules,
+			HorizontalOptions{NoIndexes: noIndexes})
+	default:
+		t.Fatalf("unknown style %q", style)
+	}
+	if err != nil {
+		t.Fatalf("build %s: %v", style, err)
+	}
+	return d
+}
+
+var styles = []string{"vertical", "horizontal"}
+
+// TestSeededStateInvariants: right after construction a Detector holds
+// V(Σ, D) equal to a centralized detection, its meters are zero
+// (seeding is never charged), and its accessors are wired up.
+func TestSeededStateInvariants(t *testing.T) {
+	for _, style := range styles {
+		t.Run(style, func(t *testing.T) {
+			rel, rules, _ := fixture(1)
+			d := build(t, style, rel.Clone(), rules, false)
+
+			want := centralized.Detect(rel, rules)
+			if !d.Violations().Equal(want) {
+				t.Errorf("seeded V ≠ centralized oracle")
+			}
+			st := d.Stats()
+			if st.Bytes != 0 || st.Messages != 0 || st.Eqids != 0 {
+				t.Errorf("seeding was metered: %+v", st)
+			}
+			if d.Cluster() == nil {
+				t.Error("nil cluster")
+			}
+			got := d.Rules()
+			if len(got) != len(rules) {
+				t.Fatalf("Rules() returned %d rules, want %d", len(got), len(rules))
+			}
+			for i := range got {
+				if got[i].ID != rules[i].ID {
+					t.Errorf("rule %d: %q ≠ %q", i, got[i].ID, rules[i].ID)
+				}
+			}
+		})
+	}
+}
+
+// TestApplyBatchMatchesOracle: the façade-built detectors maintain V
+// incrementally to exactly the oracle's fresh result, and their returned
+// ∆V replays the old state onto the new one.
+func TestApplyBatchMatchesOracle(t *testing.T) {
+	for _, style := range styles {
+		t.Run(style, func(t *testing.T) {
+			rel, rules, updates := fixture(2)
+			d := build(t, style, rel.Clone(), rules, false)
+			before := d.Violations().Clone()
+
+			delta, err := d.ApplyBatch(updates)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			updated := rel.Clone()
+			if err := updates.Normalize().Apply(updated); err != nil {
+				t.Fatal(err)
+			}
+			want := centralized.Detect(updated, rules)
+			if !d.Violations().Equal(want) {
+				t.Errorf("maintained V ≠ oracle after batch")
+			}
+			delta.Apply(before)
+			if !before.Equal(want) {
+				t.Errorf("replaying ∆V over V₀ ≠ oracle")
+			}
+		})
+	}
+}
+
+// TestBatchDetectMatchesOracle: the batch baseline recomputes the same
+// violation set from the fragments, with and without indexes.
+func TestBatchDetectMatchesOracle(t *testing.T) {
+	for _, style := range styles {
+		for _, noIndexes := range []bool{false, true} {
+			rel, rules, _ := fixture(3)
+			d := build(t, style, rel.Clone(), rules, noIndexes)
+			got, err := d.BatchDetect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := centralized.Detect(rel, rules)
+			if !got.Equal(want) {
+				t.Errorf("%s noIndexes=%v: batch V ≠ oracle", style, noIndexes)
+			}
+		}
+	}
+}
+
+// TestNoIndexesRejectsIncremental: a NoIndexes system serves the batch
+// baseline only; ApplyBatch must fail loudly rather than silently skip
+// maintenance.
+func TestNoIndexesRejectsIncremental(t *testing.T) {
+	for _, style := range styles {
+		rel, rules, updates := fixture(4)
+		d := build(t, style, rel.Clone(), rules, true)
+		if _, err := d.ApplyBatch(updates); err == nil {
+			t.Errorf("%s: NoIndexes system accepted ApplyBatch", style)
+		}
+	}
+}
+
+// TestClusterKnobs: the façade exposes the cluster's tuning knobs and
+// they do not change what is computed or shipped.
+func TestClusterKnobs(t *testing.T) {
+	for _, style := range styles {
+		rel, rules, updates := fixture(5)
+
+		ref := build(t, style, rel.Clone(), rules, false)
+		refDelta, err := ref.ApplyBatch(updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tuned := build(t, style, rel.Clone(), rules, false)
+		tuned.Cluster().SetMaxFanout(1)
+		delta, err := tuned.ApplyBatch(updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tuned.Violations().Equal(ref.Violations()) {
+			t.Errorf("%s: serial fan-out changed the violation set", style)
+		}
+		if delta.Size() != refDelta.Size() {
+			t.Errorf("%s: serial fan-out changed |∆V|: %d vs %d", style, delta.Size(), refDelta.Size())
+		}
+		a, b := tuned.Stats(), ref.Stats()
+		if a.Bytes != b.Bytes || a.Messages != b.Messages || a.Eqids != b.Eqids {
+			t.Errorf("%s: serial fan-out changed the meters: %d/%d/%d vs %d/%d/%d",
+				style, a.Bytes, a.Messages, a.Eqids, b.Bytes, b.Messages, b.Eqids)
+		}
+	}
+}

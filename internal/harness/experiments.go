@@ -511,6 +511,7 @@ func All(sc Scale) ([]*Result, error) {
 		func(s Scale) (*Result, error) { return Exp10(s, "horizontal") },
 		MD5Ablation,
 		ExpFanout,
+		func(s Scale) (*Result, error) { return ExpStream(s, StreamKnobs{}) },
 	}
 	var out []*Result
 	for _, fn := range fns {

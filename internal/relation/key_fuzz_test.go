@@ -1,0 +1,94 @@
+package relation
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// decodeKey parses a length-prefixed grouping key back into its value
+// list, failing on any malformed framing. It is the test's independent
+// inverse of AppendKeyVals: round-tripping through it proves the
+// encoding is self-delimiting (and therefore prefix-free per value).
+func decodeKey(t *testing.T, key []byte) ([]string, bool) {
+	t.Helper()
+	var out []string
+	for len(key) > 0 {
+		n, w := binary.Uvarint(key)
+		if w <= 0 || n > uint64(len(key)-w) {
+			return nil, false
+		}
+		out = append(out, string(key[w:w+int(n)]))
+		key = key[w+int(n):]
+	}
+	return out, true
+}
+
+// FuzzAppendKey pins the properties that fixed the \x1f separator
+// collision: distinct value lists never encode to the same grouping key,
+// the encoding round-trips, Tuple.AppendKey agrees with AppendKeyVals,
+// and Hash always equals hashing the encoded bytes.
+func FuzzAppendKey(f *testing.F) {
+	// The PR 2 separator bug: ["a\x1fb"] and ["a","b"] aliased under
+	// \x1f-joined keys. Plus framing-sensitive shapes: empty values,
+	// values containing uvarint-looking prefixes, long values crossing
+	// the single-byte uvarint boundary.
+	f.Add("a\x1fb", "", "a", "b")
+	f.Add("", "", "", "")
+	f.Add("\x01a", "", "a", "")
+	f.Add("\x00", "\x00\x00", "\x00\x00", "\x00")
+	f.Add("x", "y", "x\x1f", "y")
+	f.Add(string(make([]byte, 200)), "v", "v", string(make([]byte, 200)))
+
+	f.Fuzz(func(t *testing.T, a1, a2, b1, b2 string) {
+		av := []string{a1, a2}
+		bv := []string{b1, b2}
+		ak := AppendKeyVals(nil, av)
+		bk := AppendKeyVals(nil, bv)
+
+		// Injectivity: equal keys ⇒ equal value lists, and vice versa.
+		if bytes.Equal(ak, bk) != (a1 == b1 && a2 == b2) {
+			t.Fatalf("key equality mismatch: %q/%q vs %q/%q", a1, a2, b1, b2)
+		}
+
+		// A shorter list must never collide with a longer one either
+		// (framing is self-delimiting, so [x] ≠ [y, z] always).
+		if bytes.Equal(AppendKeyVals(nil, []string{a1}), bk) {
+			t.Fatalf("1-list [%q] collides with 2-list [%q %q]", a1, b1, b2)
+		}
+
+		// Round-trip: decoding recovers exactly the input values.
+		got, ok := decodeKey(t, ak)
+		if !ok {
+			t.Fatalf("key of %q/%q is not well-framed", a1, a2)
+		}
+		if len(got) != 2 || got[0] != a1 || got[1] != a2 {
+			t.Fatalf("round-trip of %q/%q gave %q", a1, a2, got)
+		}
+
+		// Tuple.AppendKey over columns must agree with AppendKeyVals,
+		// including with a column permutation and a pre-grown buffer.
+		tup := Tuple{ID: 1, Values: []string{a1, a2, b1, b2}}
+		buf := make([]byte, 0, 256)
+		if k := tup.AppendKey(buf, []int{0, 1}); !bytes.Equal(k, ak) {
+			t.Fatalf("Tuple.AppendKey disagrees with AppendKeyVals")
+		}
+		if k := tup.AppendKey(nil, []int{3, 2}); !bytes.Equal(k, AppendKeyVals(nil, []string{b2, b1})) {
+			t.Fatalf("Tuple.AppendKey ignores column order")
+		}
+
+		// Hash must equal FNV-1a over the bytes AppendKey produces.
+		if tup.Hash([]int{0, 1}) != fnvOver(ak) {
+			t.Fatalf("Hash(%q/%q) diverges from hashing the key bytes", a1, a2)
+		}
+	})
+}
+
+// fnvOver is the reference FNV-1a the fuzz target compares Hash against.
+func fnvOver(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}

@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/centralized"
+	"repro/internal/cfd"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// diffSeeds is how many random stream configurations the differential
+// property is checked under. The acceptance bar is ≥ 20 seeds under
+// -race; CI's dedicated (non-short) race step runs the full sweep,
+// while -short runs keep a smaller smoke so the sweep isn't executed
+// twice per CI job.
+func diffSeeds() int64 {
+	if testing.Short() {
+		return 6
+	}
+	return 20
+}
+
+// TestDifferentialOracle is the package's reason to exist: for random
+// update streams, after *every* applied batch, the violation sets
+// maintained incrementally by the horizontal and the vertical engine are
+// identical to a fresh centralized Detect over the same (mirrored) data.
+// Since both engines equal the oracle after each batch, they are also
+// equal to each other at every point of the stream.
+func TestDifferentialOracle(t *testing.T) {
+	for seed := int64(1); seed <= diffSeeds(); seed++ {
+		seed := seed
+		c := diffShape(seed)
+		t.Run(fmt.Sprintf("seed%02d-%s-%s-n%d", seed, c.ds, c.profile, c.sites), func(t *testing.T) {
+			t.Parallel()
+			runDifferential(t, seed)
+		})
+	}
+}
+
+// diffCase derives the randomized shape of one seed's stream.
+type diffCase struct {
+	ds       workload.Dataset
+	profile  workload.Profile
+	sites    int
+	baseRows int
+	rules    int
+	cfg      workload.StreamConfig
+}
+
+func diffShape(seed int64) diffCase {
+	c := diffCase{
+		ds:       workload.TPCH,
+		profile:  workload.Profiles()[seed%3],
+		sites:    2 + int(seed%3),
+		baseRows: 60 + int(seed%5)*20,
+		rules:    6 + int(seed%3)*3,
+	}
+	if seed%2 == 0 {
+		c.ds = workload.DBLP
+	}
+	c.cfg = workload.StreamConfig{
+		Profile:   c.profile,
+		BatchSize: 8 + int(seed%7),
+		Batches:   5,
+		InsFrac:   0.55 + float64(seed%4)*0.1,
+		Seed:      seed * 101,
+	}
+	return c
+}
+
+func runDifferential(t *testing.T, seed int64) {
+	c := diffShape(seed)
+
+	mk := func() (*workload.Generator, *relation.Relation) {
+		gen := workload.NewSized(c.ds, seed, 1500)
+		return gen, gen.Relation(c.baseRows)
+	}
+	gen, rel := mk()
+	rules := gen.Rules(c.rules)
+
+	hashAttr := "c_name"
+	if c.ds == workload.DBLP {
+		hashAttr = "title"
+	}
+
+	engines := []struct {
+		name  string
+		build func() (Applier, error)
+	}{
+		{"horizontal", func() (Applier, error) {
+			return core.NewHorizontal(rel.Clone(), partition.HashHorizontal(hashAttr, c.sites), rules, core.HorizontalOptions{})
+		}},
+		{"vertical", func() (Applier, error) {
+			return core.NewVertical(rel.Clone(), partition.RoundRobinVertical(rel.Schema, c.sites), rules, core.VerticalOptions{UseOptimizer: seed%2 == 0})
+		}},
+	}
+
+	for _, e := range engines {
+		sys, err := e.build()
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		// mirror tracks D ⊕ ∆D₁ ⊕ … batch by batch; the oracle is a
+		// fresh full detection over it after every batch. Each engine
+		// gets its own stream from a fresh generator at the same seed,
+		// so all engines see identical batches.
+		mirror := rel.Clone()
+		g, _ := mk()
+		src := workload.NewStream(g, rel, c.cfg)
+		name := e.name
+		_, err = Run(sys, src, Options{
+			OnBatch: func(b workload.Batch, res BatchResult, snap *cfd.Violations) {
+				if err := b.Updates.Validate(mirror); err != nil {
+					t.Fatalf("%s seed %d batch %d not applicable: %v", name, seed, b.Seq, err)
+				}
+				if err := b.Updates.Apply(mirror); err != nil {
+					t.Fatalf("%s seed %d batch %d: %v", name, seed, b.Seq, err)
+				}
+				oracle := centralized.Detect(mirror, rules)
+				if !snap.Equal(oracle) {
+					t.Fatalf("%s seed %d: after batch %d incremental V ≠ oracle V\nincremental: %v\noracle:      %v\ndiff inc\\or: %v\ndiff or\\inc: %v",
+						name, seed, b.Seq, snap, oracle, snap.Diff(oracle), oracle.Diff(snap))
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", e.name, seed, err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// fixture builds a small TPCH base relation, rule set and stream config,
+// all deterministic in seed.
+func fixture(seed int64) (*relation.Relation, []cfd.CFD, func() *workload.Stream) {
+	const baseRows = 120
+	mk := func() (*workload.Generator, *relation.Relation) {
+		gen := workload.NewSized(workload.TPCH, seed, 2000)
+		return gen, gen.Relation(baseRows)
+	}
+	gen, rel := mk()
+	rules := gen.Rules(10)
+	newStream := func() *workload.Stream {
+		g, r := mk()
+		return workload.NewStream(g, r, workload.StreamConfig{
+			Profile: workload.Churn, BatchSize: 15, Batches: 6, InsFrac: 0.7, Seed: seed,
+		})
+	}
+	return rel, rules, newStream
+}
+
+func TestStreamSourceDeterministic(t *testing.T) {
+	_, _, newStream := fixture(3)
+	a := workload.Concat(newStream().Collect())
+	b := workload.Concat(newStream().Collect())
+	if len(a) != len(b) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Tuple.ID != b[i].Tuple.ID || !a[i].Tuple.EqualValues(b[i].Tuple) {
+			t.Fatalf("update %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEngineMatchesOneShot is the pipeline's conservation law: streaming
+// the batches one by one through the engine lands on the same final
+// violation set — and the same canonical net ∆V — as applying the
+// concatenated stream in a single ApplyBatch call.
+func TestEngineMatchesOneShot(t *testing.T) {
+	for _, style := range []string{"centralized", "horizontal", "vertical"} {
+		t.Run(style, func(t *testing.T) {
+			rel, rules, newStream := fixture(7)
+
+			build := func() Applier {
+				switch style {
+				case "centralized":
+					a, err := NewCentralized(rel, rules)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return a
+				case "horizontal":
+					sys, err := core.NewHorizontal(rel.Clone(), partition.HashHorizontal("c_name", 3), rules, core.HorizontalOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return sys
+				default:
+					sys, err := core.NewVertical(rel.Clone(), partition.RoundRobinVertical(rel.Schema, 3), rules, core.VerticalOptions{UseOptimizer: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return sys
+				}
+			}
+
+			streamed := build()
+			v0 := streamed.Violations().Clone()
+			sum, err := Run(streamed, newStream(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			oneShot := build()
+			if _, err := oneShot.ApplyBatch(workload.Concat(newStream().Collect())); err != nil {
+				t.Fatal(err)
+			}
+
+			if !streamed.Violations().Equal(oneShot.Violations()) {
+				t.Fatalf("final violation sets differ:\nstreamed %v\none-shot %v",
+					streamed.Violations(), oneShot.Violations())
+			}
+			wantNet := cfd.DeltaBetween(v0, oneShot.Violations())
+			if sum.Net.String() != wantNet.String() {
+				t.Fatalf("net ∆V differs:\nstreamed %v\none-shot %v", sum.Net, wantNet)
+			}
+			if sum.Net.Size() != wantNet.Size() {
+				t.Fatalf("|∆V| differs: %d vs %d", sum.Net.Size(), wantNet.Size())
+			}
+		})
+	}
+}
+
+// TestSummaryMeters checks the per-batch windows tile the cumulative
+// meters exactly and the counts add up.
+func TestSummaryMeters(t *testing.T) {
+	rel, rules, newStream := fixture(11)
+	sys, err := core.NewHorizontal(rel.Clone(), partition.HashHorizontal("c_name", 3), rules, core.HorizontalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(sys, newStream(), Options{Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Batches != 6 || len(sum.Results) != 6 {
+		t.Fatalf("want 6 batches, got %d (%d results)", sum.Batches, len(sum.Results))
+	}
+	var bytes, msgs, eqids int64
+	var updates int
+	for i, r := range sum.Results {
+		if r.Seq != i {
+			t.Fatalf("result %d has seq %d", i, r.Seq)
+		}
+		if r.Size != r.Inserts+r.Deletes {
+			t.Fatalf("batch %d: size %d ≠ %d inserts + %d deletes", i, r.Size, r.Inserts, r.Deletes)
+		}
+		bytes += r.WireBytes
+		msgs += r.WireMessages
+		eqids += r.Eqids
+		updates += r.Size
+	}
+	st := sys.Stats()
+	if bytes != st.Bytes || msgs != st.Messages || eqids != st.Eqids {
+		t.Fatalf("per-batch windows don't tile the meters: %d/%d/%d vs %d/%d/%d",
+			bytes, msgs, eqids, st.Bytes, st.Messages, st.Eqids)
+	}
+	if sum.WireBytes != bytes || sum.Updates != updates {
+		t.Fatalf("summary totals inconsistent with results")
+	}
+	if sum.Violations != sys.Violations().Len() || sum.Marks != sys.Violations().Marks() {
+		t.Fatalf("summary final set inconsistent with engine")
+	}
+}
+
+// TestOnBatchSnapshot checks the callback sees a frozen, current view.
+func TestOnBatchSnapshot(t *testing.T) {
+	rel, rules, newStream := fixture(13)
+	a, err := NewCentralized(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	sum, err := Run(a, newStream(), Options{
+		OnBatch: func(b workload.Batch, r BatchResult, snap *cfd.Violations) {
+			calls++
+			if snap.Len() != r.Violations {
+				t.Fatalf("batch %d: snapshot |V|=%d, result says %d", b.Seq, snap.Len(), r.Violations)
+			}
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("mutating the snapshot did not panic")
+				}
+			}()
+			snap.Add(1, "phi-any")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != sum.Batches {
+		t.Fatalf("OnBatch called %d times for %d batches", calls, sum.Batches)
+	}
+}
+
+// errAfter fails the k-th ApplyBatch.
+type errAfter struct {
+	Applier
+	n, failAt int
+}
+
+func (e *errAfter) ApplyBatch(u relation.UpdateList) (*cfd.Delta, error) {
+	e.n++
+	if e.n == e.failAt {
+		return nil, errors.New("boom")
+	}
+	return e.Applier.ApplyBatch(u)
+}
+
+func TestEngineErrorStopsRun(t *testing.T) {
+	rel, rules, newStream := fixture(17)
+	a, err := NewCentralized(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(&errAfter{Applier: a, failAt: 3}, newStream(), Options{Buffer: 1})
+	if err == nil {
+		t.Fatal("want apply error, got nil")
+	}
+	if got := fmt.Sprint(err); !strings.Contains(got, "batch 2") {
+		t.Fatalf("error does not name the failing batch: %q", got)
+	}
+}
+
+func TestEngineRunsOnce(t *testing.T) {
+	rel, rules, newStream := fixture(19)
+	a, err := NewCentralized(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(a, newStream(), Options{})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}
+
+func TestCentralizedStatsZero(t *testing.T) {
+	rel, rules, newStream := fixture(23)
+	a, err := NewCentralized(rel, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(a, newStream(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Bytes != 0 || st.Messages != 0 || st.Eqids != 0 {
+		t.Fatalf("centralized applier metered traffic: %+v", st)
+	}
+}

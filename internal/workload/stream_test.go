@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+)
+
+func streamFixture(t *testing.T, cfg StreamConfig) (*relation.Relation, *Stream) {
+	t.Helper()
+	gen := NewSized(TPCH, 5, 2000)
+	rel := gen.Relation(100)
+	return rel, NewStream(gen, rel, cfg)
+}
+
+// TestStreamApplicable: every batch must validate against (and apply to)
+// the evolving relation — fresh insert ids, live delete targets with
+// full values.
+func TestStreamApplicable(t *testing.T) {
+	for _, p := range Profiles() {
+		t.Run(string(p), func(t *testing.T) {
+			rel, s := streamFixture(t, StreamConfig{Profile: p, BatchSize: 20, Batches: 8, InsFrac: 0.6, Seed: 9})
+			mirror := rel.Clone()
+			n := 0
+			for {
+				b, ok := s.Next()
+				if !ok {
+					break
+				}
+				if b.Seq != n {
+					t.Fatalf("batch %d has seq %d", n, b.Seq)
+				}
+				if err := b.Updates.Validate(mirror); err != nil {
+					t.Fatalf("%s batch %d invalid: %v", p, b.Seq, err)
+				}
+				if err := b.Updates.Apply(mirror); err != nil {
+					t.Fatalf("%s batch %d: %v", p, b.Seq, err)
+				}
+				// Deletions must carry the full live tuple values.
+				for _, u := range b.Updates {
+					if u.Kind == relation.Delete && len(u.Tuple.Values) != rel.Schema.Width() {
+						t.Fatalf("deletion of t%d carries %d values", u.Tuple.ID, len(u.Tuple.Values))
+					}
+				}
+				n++
+			}
+			if n != 8 {
+				t.Fatalf("want 8 batches, got %d", n)
+			}
+		})
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	cfg := StreamConfig{Profile: Skew, BatchSize: 25, Batches: 6, InsFrac: 0.7, Seed: 4}
+	_, s1 := streamFixture(t, cfg)
+	_, s2 := streamFixture(t, cfg)
+	a, b := Concat(s1.Collect()), Concat(s2.Collect())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Tuple.ID != b[i].Tuple.ID {
+			t.Fatalf("update %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestStreamBurstShape: bursts land every 4th batch, larger than the
+// quiet batches, on a compressed gap; total period volume stays at
+// 4 × BatchSize.
+func TestStreamBurstShape(t *testing.T) {
+	const size, gap = 40, 80 * time.Millisecond
+	_, s := streamFixture(t, StreamConfig{Profile: Burst, BatchSize: size, Batches: 8, Seed: 2, Gap: gap})
+	bs := s.Collect()
+	if len(bs) != 8 {
+		t.Fatalf("want 8 batches, got %d", len(bs))
+	}
+	for i, b := range bs {
+		if i%4 == 3 {
+			if len(b.Updates) <= size {
+				t.Fatalf("burst batch %d has only %d updates", i, len(b.Updates))
+			}
+			if b.Gap >= gap {
+				t.Fatalf("burst batch %d gap %v not compressed", i, b.Gap)
+			}
+		} else {
+			if len(b.Updates) != size/4 {
+				t.Fatalf("quiet batch %d has %d updates, want %d", i, len(b.Updates), size/4)
+			}
+			if b.Gap != gap {
+				t.Fatalf("quiet batch %d gap %v, want %v", i, b.Gap, gap)
+			}
+		}
+	}
+	period := len(bs[0].Updates) + len(bs[1].Updates) + len(bs[2].Updates) + len(bs[3].Updates)
+	if period != 4*size {
+		t.Fatalf("period volume %d, want %d", period, 4*size)
+	}
+}
+
+// TestStreamSkewBias: under Skew, deleted tuples should be drawn mostly
+// from the recent half of the live population.
+func TestStreamSkewBias(t *testing.T) {
+	gen := NewSized(TPCH, 21, 4000)
+	rel := gen.Relation(400)
+	s := NewStream(gen, rel, StreamConfig{Profile: Skew, BatchSize: 100, Batches: 4, InsFrac: 0.5, Seed: 6})
+	recent, total := 0, 0
+	// Base ids are 1..400; anything above the median id counts as the
+	// recent half (stream inserts have even higher ids).
+	median := relation.TupleID(200)
+	for {
+		b, ok := s.Next()
+		if !ok {
+			break
+		}
+		for _, u := range b.Updates {
+			if u.Kind != relation.Delete {
+				continue
+			}
+			total++
+			if u.Tuple.ID > median {
+				recent++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no deletions generated")
+	}
+	if frac := float64(recent) / float64(total); frac < 0.75 {
+		t.Fatalf("skew deletions hit the recent half only %.0f%% of the time", 100*frac)
+	}
+}
+
+func TestStreamDefaultsAndParse(t *testing.T) {
+	_, s := streamFixture(t, StreamConfig{})
+	cfg := s.Config()
+	if cfg.Profile != Churn || cfg.BatchSize != 100 || cfg.Batches != 10 || cfg.InsFrac != 0.7 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	for _, p := range Profiles() {
+		got, err := ParseProfile(string(p))
+		if err != nil || got != p {
+			t.Fatalf("ParseProfile(%q) = %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseProfile("steady"); err == nil {
+		t.Fatal("ParseProfile accepted an unknown profile")
+	}
+}

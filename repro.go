@@ -37,6 +37,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/stream"
 	"repro/internal/vertical"
 	"repro/internal/workload"
 )
@@ -192,6 +193,71 @@ func NewHorizontal(rel *Relation, scheme *HorizontalScheme, rules []CFD, opts Ho
 func NewGenerator(ds workload.Dataset, seed int64, sizeHint int) *Generator {
 	return workload.NewSized(ds, seed, sizeHint)
 }
+
+// Streaming pipeline.
+type (
+	// StreamProfile is the arrival shape of an update stream (Churn,
+	// Skew or Burst).
+	StreamProfile = workload.Profile
+	// StreamConfig parameterizes NewUpdateStream.
+	StreamConfig = workload.StreamConfig
+	// StreamBatch is one stream element: ∆Dᵢ plus its arrival gap.
+	StreamBatch = workload.Batch
+	// UpdateStream is a deterministic batch source over a base relation.
+	UpdateStream = workload.Stream
+	// StreamApplier is the engine surface the pipeline drives; every
+	// Detector satisfies it, and CentralizedApplier adapts the
+	// single-site maintainer.
+	StreamApplier = stream.Applier
+	// StreamSource yields successive batches.
+	StreamSource = stream.Source
+	// StreamOptions tunes a stream engine (queue depth, realtime
+	// pacing, per-batch callback).
+	StreamOptions = stream.Options
+	// StreamEngine pumps a source through an applier asynchronously.
+	StreamEngine = stream.Engine
+	// StreamBatchResult meters one applied batch.
+	StreamBatchResult = stream.BatchResult
+	// StreamSummary aggregates one stream run.
+	StreamSummary = stream.Summary
+	// CentralizedApplier adapts the single-site incremental maintainer
+	// to the stream pipeline.
+	CentralizedApplier = stream.Centralized
+)
+
+// Stream profiles.
+const (
+	Churn = workload.Churn
+	Skew  = workload.Skew
+	Burst = workload.Burst
+)
+
+// NewUpdateStream returns a deterministic stream of update batches over
+// rel, drawing fresh tuples from gen.
+func NewUpdateStream(gen *Generator, rel *Relation, cfg StreamConfig) *UpdateStream {
+	return workload.NewStream(gen, rel, cfg)
+}
+
+// NewStreamEngine builds a one-shot pipeline engine over an applier and
+// a batch source.
+func NewStreamEngine(a StreamApplier, src StreamSource, opts StreamOptions) *StreamEngine {
+	return stream.NewEngine(a, src, opts)
+}
+
+// RunStream pumps src through a and returns the stream summary.
+func RunStream(a StreamApplier, src StreamSource, opts StreamOptions) (*StreamSummary, error) {
+	return stream.Run(a, src, opts)
+}
+
+// NewCentralizedApplier wraps the single-site incremental maintainer
+// (zero wire traffic by construction) for use with the stream pipeline.
+func NewCentralizedApplier(rel *Relation, rules []CFD) (*CentralizedApplier, error) {
+	return stream.NewCentralized(rel, rules)
+}
+
+// DeltaBetween returns the canonical net change between two violation
+// sets: exactly the marks added and removed going from old to new.
+func DeltaBetween(old, new *Violations) *Delta { return cfd.DeltaBetween(old, new) }
 
 // UseRPCTransport switches a system's cluster onto a real net/rpc-over-TCP
 // transport (one server goroutine per site on localhost). Returns a close
