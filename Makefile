@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench stream fuzz verify clean
+.PHONY: test race bench stream coalesce bench-verify profile fuzz verify clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -23,6 +23,27 @@ bench:
 # stream regenerates the streaming-pipeline baseline (BENCH_stream.json).
 stream:
 	$(GO) run ./cmd/expbench -stream
+
+# coalesce regenerates the batch-grouped protocol baseline
+# (BENCH_coalesce.json: per-update vs coalesced wire meters).
+coalesce:
+	$(GO) run ./cmd/expbench -coalesce
+
+# bench-verify remeasures every deterministic column of the committed
+# baselines (BENCH_hotpath.json wire meters, BENCH_stream.json rows,
+# BENCH_coalesce.json rows) and fails on drift. CI runs it, so wire-meter
+# regressions are caught at PR time; intentional protocol changes
+# regenerate with `make bench stream coalesce` and commit the diff.
+bench-verify:
+	$(GO) run ./cmd/expbench -verify
+
+# profile writes CPU and heap profiles of one experiment sweep, so perf
+# work starts from a pprof instead of a guess. Override PROFILE_EXP to
+# target a different experiment (substring match, see expbench -exp).
+PROFILE_EXP ?= Exp-coalesce
+profile:
+	$(GO) run ./cmd/expbench -quick -exp '$(PROFILE_EXP)' -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "inspect with: go tool pprof cpu.prof   (allocations: go tool pprof mem.prof)"
 
 # fuzz is the native-fuzzing smoke CI runs: grouping-key round-trip,
 # injectivity and hash consistency, seeded with the \x1f collision corpus.

@@ -183,6 +183,62 @@ func benchApplyBatchFanout(b *testing.B, workers int) {
 func BenchmarkApplyBatch8SitesSequential(b *testing.B) { benchApplyBatchFanout(b, 1) }
 func BenchmarkApplyBatch8SitesParallel(b *testing.B)   { benchApplyBatchFanout(b, 0) }
 
+// --- batch-grouped protocol rounds: per-update vs coalesced ApplyBatch ---
+//
+// The same system driven through ApplyBatch in unit mode (one protocol
+// round per update, O(|∆D|·n) messages per batch) and in the default
+// coalesced mode (one envelope per destination per phase per wave), under
+// a simulated 100µs per-message round-trip. Each op applies one batch of
+// fresh insertions and one batch deleting them, so index state is steady
+// across iterations; the metrics report the measured messages per batch.
+
+func benchBatchApply(b *testing.B, style string, unit bool, batch int) {
+	gen := workload.NewSized(workload.TPCH, 11, 16000)
+	rules := gen.Rules(50)
+	rel := gen.Relation(2000)
+	var sys Detector
+	var err error
+	if style == "vertical" {
+		sys, err = NewVertical(rel, RoundRobinVertical(gen.Schema(), 8), rules, VerticalOptions{UseOptimizer: true})
+	} else {
+		sys, err = NewHorizontal(rel, HashHorizontal("c_name", 8), rules, HorizontalOptions{})
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.SetUnitMode(unit)
+	sys.Cluster().SetLinkRTT(100 * time.Microsecond)
+	ins := make(UpdateList, batch)
+	del := make(UpdateList, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			t := gen.Next()
+			ins[j] = Update{Kind: Insert, Tuple: t}
+			del[j] = Update{Kind: Delete, Tuple: t}
+		}
+		if _, err := sys.ApplyBatch(ins); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.ApplyBatch(del); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := sys.Stats()
+	b.ReportMetric(float64(st.Messages)/float64(2*b.N), "msgs/batch")
+	b.ReportMetric(float64(st.Bytes)/float64(2*b.N)/1024, "KB/batch")
+}
+
+func BenchmarkBatchApplyHorUnit16(b *testing.B)      { benchBatchApply(b, "horizontal", true, 16) }
+func BenchmarkBatchApplyHorCoalesced16(b *testing.B) { benchBatchApply(b, "horizontal", false, 16) }
+func BenchmarkBatchApplyHorUnit64(b *testing.B)      { benchBatchApply(b, "horizontal", true, 64) }
+func BenchmarkBatchApplyHorCoalesced64(b *testing.B) { benchBatchApply(b, "horizontal", false, 64) }
+func BenchmarkBatchApplyVerUnit16(b *testing.B)      { benchBatchApply(b, "vertical", true, 16) }
+func BenchmarkBatchApplyVerCoalesced16(b *testing.B) { benchBatchApply(b, "vertical", false, 16) }
+func BenchmarkBatchApplyVerUnit64(b *testing.B)      { benchBatchApply(b, "vertical", true, 64) }
+func BenchmarkBatchApplyVerCoalesced64(b *testing.B) { benchBatchApply(b, "vertical", false, 64) }
+
 // --- micro-benchmarks: per-update latency of the core algorithms ---
 
 func benchSetupVertical(b *testing.B, useOpt bool) (*VerticalSystem, *workload.Generator, *Relation) {

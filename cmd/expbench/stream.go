@@ -67,37 +67,7 @@ func writeStreamBaseline(path string, sc harness.Scale, runs []harness.StreamRun
 		Workload: fmt.Sprintf("TPCH-like seed=%d n=%d sites, streams of %s",
 			sc.Seed, sc.Sites, "churn|skew|burst"),
 	}
-	for _, run := range runs {
-		s := run.Summary
-		row := streamRow{
-			Profile:      string(run.Spec.Profile),
-			Engine:       run.Spec.Engine,
-			Batches:      s.Batches,
-			Updates:      s.Updates,
-			Inserts:      s.Inserts,
-			Deletes:      s.Deletes,
-			NetAdded:     s.Net.AddedMarks(),
-			NetRemoved:   s.Net.RemovedMarks(),
-			Violations:   s.Violations,
-			Marks:        s.Marks,
-			WireBytes:    s.WireBytes,
-			WireMessages: s.WireMessages,
-			Eqids:        s.Eqids,
-		}
-		for _, b := range s.Results {
-			row.Batch = append(row.Batch, streamBatchRow{
-				Seq:          b.Seq,
-				Size:         b.Size,
-				AddedMarks:   b.AddedMarks,
-				RemovedMarks: b.RemovedMarks,
-				Violations:   b.Violations,
-				WireBytes:    b.WireBytes,
-				WireMessages: b.WireMessages,
-				Eqids:        b.Eqids,
-			})
-		}
-		base.Rows = append(base.Rows, row)
-	}
+	base.Rows = streamRowsOf(runs)
 	buf, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		return err

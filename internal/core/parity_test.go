@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// The unit-vs-coalesced parity suite: the batch-grouped protocol rounds
+// (the ApplyBatch default) and the per-update protocol (SetUnitMode) must
+// maintain bit-identical violation sets and net ∆V on every batch of
+// every stream profile, while the coalesced mode sends strictly fewer
+// messages on any batch with k ≥ 2 updates that ships at all — the
+// tentpole claim of the batch-grouped refactor.
+
+// parityCase is one (profile, engine) table entry.
+type parityCase struct {
+	profile workload.Profile
+	style   string
+	sites   int
+	seed    int64
+}
+
+func parityCases() []parityCase {
+	var out []parityCase
+	for _, p := range workload.Profiles() {
+		for si, style := range []string{"horizontal", "vertical"} {
+			out = append(out, parityCase{profile: p, style: style, sites: 4 + si, seed: 31 + int64(len(out))})
+		}
+	}
+	return out
+}
+
+// parityBuild constructs one engine over a freshly generated base
+// relation, deterministic in the case's seed.
+func parityBuild(t *testing.T, c parityCase, unit bool) (Detector, *workload.Stream) {
+	t.Helper()
+	gen := workload.NewSized(workload.TPCH, c.seed, 4000)
+	rules := gen.Rules(24)
+	rel := gen.Relation(260)
+	var (
+		d   Detector
+		err error
+	)
+	if c.style == "vertical" {
+		d, err = NewVertical(rel, partition.RoundRobinVertical(rel.Schema, c.sites), rules,
+			VerticalOptions{UseOptimizer: c.seed%2 == 0})
+	} else {
+		d, err = NewHorizontal(rel, partition.HashHorizontal("c_name", c.sites), rules,
+			HorizontalOptions{DisableMD5: c.seed%3 == 0})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetUnitMode(unit)
+	src := workload.NewStream(gen, rel, workload.StreamConfig{
+		Profile: c.profile, BatchSize: 24, Batches: 5, InsFrac: 0.65, Seed: c.seed * 7,
+	})
+	return d, src
+}
+
+// TestUnitCoalescedParity drives both modes through identical update
+// streams: after every batch the violation sets must be bit-identical,
+// the stream's net ∆V must agree, and the coalesced mode must have sent
+// fewer messages overall.
+func TestUnitCoalescedParity(t *testing.T) {
+	for _, c := range parityCases() {
+		c := c
+		t.Run(fmt.Sprintf("%s-%s", c.profile, c.style), func(t *testing.T) {
+			t.Parallel()
+			unitSys, unitSrc := parityBuild(t, c, true)
+			coalSys, coalSrc := parityBuild(t, c, false)
+			v0 := unitSys.Violations().Clone()
+			if !v0.Equal(coalSys.Violations()) {
+				t.Fatal("seeded violation sets differ before any batch")
+			}
+			batches := 0
+			for {
+				ub, uok := unitSrc.Next()
+				cb, cok := coalSrc.Next()
+				if uok != cok {
+					t.Fatal("streams diverged in length")
+				}
+				if !uok {
+					break
+				}
+				batches++
+				if _, err := unitSys.ApplyBatch(ub.Updates); err != nil {
+					t.Fatalf("unit batch %d: %v", ub.Seq, err)
+				}
+				if _, err := coalSys.ApplyBatch(cb.Updates); err != nil {
+					t.Fatalf("coalesced batch %d: %v", cb.Seq, err)
+				}
+				us, cs := unitSys.Violations().Snapshot(), coalSys.Violations().Snapshot()
+				if !us.Equal(cs) {
+					t.Fatalf("batch %d: violation sets diverged\nunit:      %v\ncoalesced: %v\ndiff u\\c:  %v\ndiff c\\u:  %v",
+						ub.Seq, us, cs, us.Diff(cs), cs.Diff(us))
+				}
+			}
+			if batches == 0 {
+				t.Fatal("stream produced no batches")
+			}
+
+			unitNet := cfd.DeltaBetween(v0, unitSys.Violations())
+			coalNet := cfd.DeltaBetween(v0, coalSys.Violations())
+			if unitNet.String() != coalNet.String() {
+				t.Fatalf("net ∆V diverged:\nunit:      %v\ncoalesced: %v", unitNet, coalNet)
+			}
+
+			uSt, cSt := unitSys.Stats(), coalSys.Stats()
+			if uSt.Eqids != cSt.Eqids {
+				t.Errorf("eqid counts diverged: unit %d, coalesced %d (coalescing merges messages, never eqids)",
+					uSt.Eqids, cSt.Eqids)
+			}
+			if uSt.Messages > 0 && cSt.Messages >= uSt.Messages {
+				t.Errorf("coalesced mode sent %d messages, unit mode %d; coalescing must reduce messages",
+					cSt.Messages, uSt.Messages)
+			}
+			if uSt.Messages == 0 && cSt.Messages > 0 {
+				t.Errorf("coalesced mode shipped %d messages where unit mode shipped none", cSt.Messages)
+			}
+		})
+	}
+}
+
+// TestCoalescedSingleUpdate pins the k=1 edge: a lone update must not pay
+// more messages coalesced than the per-update protocol does, and both
+// must agree on ∆V semantics.
+func TestCoalescedSingleUpdate(t *testing.T) {
+	for _, style := range []string{"horizontal", "vertical"} {
+		t.Run(style, func(t *testing.T) {
+			gen := workload.NewSized(workload.TPCH, 5, 2000)
+			rules := gen.Rules(16)
+			rel := gen.Relation(200)
+			mk := func(unit bool) Detector {
+				d := build(t, style, rel.Clone(), rules, false)
+				d.SetUnitMode(unit)
+				return d
+			}
+			unitSys, coalSys := mk(true), mk(false)
+			for i := 0; i < 12; i++ {
+				tup := gen.Next()
+				for _, u := range []relation.Update{{Kind: relation.Insert, Tuple: tup}, {Kind: relation.Delete, Tuple: tup}} {
+					ud, err := unitSys.ApplyBatch(relation.UpdateList{u})
+					if err != nil {
+						t.Fatal(err)
+					}
+					cd, err := coalSys.ApplyBatch(relation.UpdateList{u})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ud.String() != cd.String() {
+						t.Fatalf("unit ∆V %v ≠ coalesced ∆V %v for %v", ud, cd, u.Kind)
+					}
+				}
+			}
+			if !unitSys.Violations().Equal(coalSys.Violations()) {
+				t.Fatal("violation sets diverged after single-update sequence")
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/network"
@@ -501,21 +502,50 @@ func MD5Ablation(sc Scale) (*Result, error) {
 	return r, nil
 }
 
-// All runs every experiment at the given scale, in paper order.
-func All(sc Scale) ([]*Result, error) {
-	type expFn func(Scale) (*Result, error)
-	fns := []expFn{
-		Exp1, Exp2, Exp2DBLP, Exp3, Exp3DBLP, Exp4, Exp5,
-		Exp6, Exp7, Exp8, Exp9,
-		func(s Scale) (*Result, error) { return Exp10(s, "vertical") },
-		func(s Scale) (*Result, error) { return Exp10(s, "horizontal") },
-		MD5Ablation,
-		ExpFanout,
-		func(s Scale) (*Result, error) { return ExpStream(s, StreamKnobs{}) },
+// Experiment names one runnable experiment of the evaluation.
+type Experiment struct {
+	// Name is the experiment id (matches the produced Result.Name) and
+	// Figure the paper figure it reproduces.
+	Name, Figure string
+	Run          func(Scale) (*Result, error)
+}
+
+// Experiments lists every experiment in paper order. The names are
+// static so callers can select a subset before running anything (the
+// sweeps are expensive; filtering output alone would still pay for all
+// of them).
+func Experiments() []Experiment {
+	return []Experiment{
+		{"Exp-1", "Fig 9(a)", Exp1},
+		{"Exp-2", "Fig 9(b)+(c)", Exp2},
+		{"Exp-2-dblp", "Fig 9(k)", Exp2DBLP},
+		{"Exp-3", "Fig 9(d)", Exp3},
+		{"Exp-3-dblp", "Fig 9(l)", Exp3DBLP},
+		{"Exp-4", "Fig 9(e)", Exp4},
+		{"Exp-5", "Fig 10", Exp5},
+		{"Exp-6", "Fig 9(f)", Exp6},
+		{"Exp-7", "Fig 9(g)+(h)", Exp7},
+		{"Exp-8", "Fig 9(i)", Exp8},
+		{"Exp-9", "Fig 9(j)", Exp9},
+		{"Exp-10-vertical", "Fig 11(a)", func(s Scale) (*Result, error) { return Exp10(s, "vertical") }},
+		{"Exp-10-horizontal", "Fig 11(b)", func(s Scale) (*Result, error) { return Exp10(s, "horizontal") }},
+		{"Ablation-md5", "§6 optimization", MD5Ablation},
+		{"Exp-fanout", "engine", ExpFanout},
+		{"Exp-coalesce", "protocol", ExpCoalesce},
+		{"Exp-stream", "pipeline", func(s Scale) (*Result, error) { return ExpStream(s, StreamKnobs{}) }},
 	}
+}
+
+// Matching runs the experiments whose name or figure contains the
+// filter substring (every experiment when the filter is empty), in
+// paper order.
+func Matching(sc Scale, filter string) ([]*Result, error) {
 	var out []*Result
-	for _, fn := range fns {
-		r, err := fn(sc)
+	for _, e := range Experiments() {
+		if filter != "" && !strings.Contains(e.Name, filter) && !strings.Contains(e.Figure, filter) {
+			continue
+		}
+		r, err := e.Run(sc)
 		if err != nil {
 			return out, err
 		}
@@ -523,6 +553,9 @@ func All(sc Scale) ([]*Result, error) {
 	}
 	return out, nil
 }
+
+// All runs every experiment at the given scale, in paper order.
+func All(sc Scale) ([]*Result, error) { return Matching(sc, "") }
 
 func kb(bytes int64) float64 { return float64(bytes) / 1024 }
 

@@ -14,9 +14,41 @@ package horizontal
 
 import (
 	"crypto/md5"
+	"encoding/gob"
+	"io"
 
 	"repro/internal/relation"
 )
+
+// init pins the package's wire types into encoding/gob's process-global
+// type registry in a fixed order. Gob assigns global type ids at first
+// encode, and a descriptor's wire size depends on the id's varint width —
+// so without pinning, the exact bytes a message occupies would depend on
+// which subsystem happened to encode first in the process. The committed
+// byte baselines (and `expbench -verify`) rely on the accounting being a
+// pure function of the workload.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{
+		applyReq{}, insLocalReq{X: keyRef{Digest: []byte{0}, Raw: []string{""}}}, insLocalResp{Added: []int64{0}},
+		probeInsReq{Tuple: []string{""}, Items: []probeItem{{}}}, probeInsResp{Items: []probeInsItemResp{{Added: []int64{0}}}},
+		finishInsReq{}, delLocalReq{}, delLocalResp{LocalOthers: [][]byte{{0}}},
+		probeDelReq{Items: []probeItem{{}}}, probeDelResp{Items: []probeDelItemResp{{Others: [][]byte{{0}}}}},
+		demoteReq{Items: []demoteItem{{}}}, demoteResp{Items: []demoteItemResp{{Removed: []int64{0}}}},
+		constCheckReq{}, constCheckResp{}, shipMatchingReq{}, shipMatchingResp{Rows: []matchRow{{X: []string{""}}}},
+		localDetectReq{}, localDetectResp{IDs: []int64{0}},
+		batchApplyReq{Updates: []batchApplyItem{{Values: []string{""}}}},
+		batchApplyResp{Consts: []constMark{{}}, Groups: []touchedGroup{{X: []byte{0}, PostBs: [][]byte{{0}}, Inserted: []int64{0}, DeletedWasInV: []bool{false}}}},
+		forwardGroupReq{Items: []probeGroupItem{{Bs: [][]byte{{0}}}}},
+		probeGroupReq{Items: []probeGroupItem{{}}}, probeGroupResp{Items: []probeGroupItemResp{{Added: []int64{0}}}},
+		settleGroupReq{Items: []settleGroupItem{{}}}, settleGroupResp{Items: []settleGroupItemResp{{Added: []int64{0}, Removed: []int64{0}}}},
+		empty{},
+	} {
+		if err := enc.Encode(v); err != nil {
+			panic(err)
+		}
+	}
+}
 
 // OpKind distinguishes insertion from deletion processing.
 type OpKind int
@@ -199,6 +231,150 @@ type demoteItemResp struct {
 // demoteResp carries one response per demoted group.
 type demoteResp struct {
 	Items []demoteItemResp
+}
+
+// --- batch-grouped protocol (coalesced ApplyBatch) ---
+//
+// The per-update protocol above pays one probe broadcast (and possibly a
+// demote round) per unit update: O(|∆D| · n) messages per batch. The
+// batch-grouped protocol regroups the same work by (rule, X-group): every
+// owner runs the whole batch's local phase in one same-site call, the
+// driver aggregates the touched groups, and everything bound for one peer
+// — survey questions, promote orders, demote orders — rides in one
+// envelope per (coordinator, peer) per batch: O(n) messages per phase,
+// independent of |∆D|.
+
+// batchApplyItem is one unit update inside an owner's local phase.
+type batchApplyItem struct {
+	Op     OpKind
+	ID     int64
+	Values []string
+}
+
+// batchApplyReq runs the batch's local phase at one owning site: fragment
+// maintenance, constant-rule checks and class-membership updates for every
+// update the site owns, in batch order. RawKeys asks for raw X values in
+// the returned group records (MD5 coding off), for the wire items.
+type batchApplyReq struct {
+	Updates []batchApplyItem
+	RawKeys bool
+}
+
+// constMark is one constant-rule outcome of the local phase: the tuple
+// violates Rule; Add distinguishes an inserted violator (∆V+) from a
+// deleted one (∆V−).
+type constMark struct {
+	Rule string
+	ID   int64
+	Add  bool
+}
+
+// touchedGroup describes one (rule, X-group) the local phase changed at
+// the owner: which tuples entered and left, whether the local class
+// structure changed (a B-class appeared or disappeared — the only way the
+// group's violation status can change), and the local evidence the driver
+// aggregates: the pre-phase flag and the post-phase distinct B digests
+// (capped at two; two means "at least two", which already decides the
+// group).
+type touchedGroup struct {
+	Rule string
+	// X is the 16-byte group code; XRaw carries the raw X values instead
+	// when RawKeys was set (the §6 coding ablation).
+	X    []byte
+	XRaw []string
+	// PreKnown reports the group had local classes before the batch;
+	// PreFlag is their shared violation flag.
+	PreKnown bool
+	PreFlag  bool
+	// PostBs are up to two distinct B digests present locally after the
+	// phase. Structural reports the local class set changed; NewB that a
+	// B value absent before the phase is present after it.
+	PostBs     [][]byte
+	Structural bool
+	NewB       bool
+	// Inserted and Deleted list the batch's member changes in this group;
+	// DeletedWasInV is aligned with Deleted (the pre-batch flag of each
+	// deleted tuple's class).
+	Inserted      []int64
+	Deleted       []int64
+	DeletedWasInV []bool
+}
+
+// batchApplyResp carries the local phase's outcomes.
+type batchApplyResp struct {
+	Consts []constMark
+	Groups []touchedGroup
+}
+
+// probeGroupItem is one group inside a coalesced probe envelope. Bs are
+// the distinct B digests (≤ 2) the coordinator already knows exist after
+// the batch; Decided short-circuits the survey: the coordinator has proof
+// of ≥ 2 distinct B values, so the receiver promotes its classes without
+// answering. An undecided receiver that sees ≥ 2 distinct values across
+// Bs and its own classes promotes inline, exactly like the per-update
+// probe does — a group only ever needs a second (settle) round to demote.
+type probeGroupItem struct {
+	Rule    string
+	X       keyRef
+	Bs      [][]byte
+	Decided bool
+}
+
+// forwardGroupReq ships an owner's unresolved group evidence to the
+// batch's relay site (the aggregation hop of the batch-grouped protocol):
+// one message per probing owner per batch, after which the relay runs a
+// single probe fan-out for every group at once. The receiving handler is
+// state-free — aggregation happens in the driver, like vote counting.
+type forwardGroupReq struct {
+	Items []probeGroupItem
+}
+
+// probeGroupReq is the coalesced probe: every group item bound for one
+// peer, one message per (relay, peer) per batch.
+type probeGroupReq struct {
+	Items []probeGroupItem
+}
+
+// probeGroupItemResp answers one probed group: whether the site holds
+// classes of the group, their shared flag before any inline promotion, up
+// to two distinct local B digests, and the members of classes the inline
+// promotion flipped into V.
+type probeGroupItemResp struct {
+	HasClasses bool
+	Flag       bool
+	Bs         [][]byte
+	Promoted   bool
+	Added      []int64
+}
+
+// probeGroupResp carries one response per probed item.
+type probeGroupResp struct {
+	Items []probeGroupItemResp
+}
+
+// settleGroupItem pins one group's final violation flag at a site.
+type settleGroupItem struct {
+	Rule string
+	X    keyRef
+	Flag bool
+}
+
+// settleGroupReq is the coalesced settle phase: flag corrections for every
+// group bound for one site (demotes after a survey, plus the same-site
+// settles at the touching owners).
+type settleGroupReq struct {
+	Items []settleGroupItem
+}
+
+// settleGroupItemResp lists the members of classes whose flag flipped.
+type settleGroupItemResp struct {
+	Added   []int64
+	Removed []int64
+}
+
+// settleGroupResp carries one response per settled group.
+type settleGroupResp struct {
+	Items []settleGroupItemResp
 }
 
 // constCheckReq classifies a tuple against a constant rule at its owner.

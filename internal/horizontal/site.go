@@ -30,6 +30,9 @@ type site struct {
 	schema *relation.Schema
 	frag   *relation.Relation
 	rules  map[string]*cfd.Compiled
+	// ruleOrder lists the compiled rules in rule-set order, the
+	// deterministic iteration order of the batched local phase.
+	ruleOrder []*cfd.Compiled
 
 	// groups: rule id → X code → B code → class.
 	groups map[string]map[code]map[code]*hClass
@@ -49,6 +52,7 @@ func newSite(id network.SiteID, schema *relation.Schema, comp []cfd.Compiled) *s
 	for i := range comp {
 		r := &comp[i]
 		s.rules[r.ID] = r
+		s.ruleOrder = append(s.ruleOrder, r)
 		if !r.ConstRHS {
 			s.groups[r.ID] = make(map[code]map[code]*hClass)
 		}
@@ -303,6 +307,244 @@ func (s *site) demote(req demoteReq) (demoteResp, error) {
 	return resp, nil
 }
 
+// tupleKeys computes the MD5 codes of t[X] and t[B] under a compiled
+// rule through the site's scratch buffer (the owner-side twin of the
+// driver's keysFor).
+func (s *site) tupleKeys(r *cfd.Compiled, t relation.Tuple) (dx, db code) {
+	s.keyBuf = t.AppendKey(s.keyBuf[:0], r.LHSCols)
+	dx = md5.Sum(s.keyBuf)
+	s.bScratch[0] = t.Values[r.RHSCol]
+	s.keyBuf = relation.AppendKeyVals(s.keyBuf[:0], s.bScratch[:])
+	return dx, md5.Sum(s.keyBuf)
+}
+
+// groupTouch is the site-local record of one (rule, X-group) the batch's
+// local phase changed.
+type groupTouch struct {
+	rule *cfd.Compiled
+	dx   code
+	xRaw []string
+	// preBs and preFlag snapshot the group at first touch: the local B
+	// digests present before the batch and their shared violation flag.
+	preBs   map[code]bool
+	preFlag bool
+
+	inserted, deleted []int64
+	wasInV            []bool
+}
+
+// batchApply runs the whole batch's local phase at the owning site: for
+// every owned update, in batch order, it maintains the fragment, checks
+// constant rules and applies class-membership changes, recording the
+// touched groups. Violation flags are NOT changed here — the driver
+// decides every touched group's final flag from the aggregated evidence
+// and settles it afterwards, so the flags a touch observes are exactly
+// the pre-batch ones.
+func (s *site) batchApply(req batchApplyReq) (batchApplyResp, error) {
+	var resp batchApplyResp
+	touched := make(map[string]map[code]*groupTouch)
+	var order []*groupTouch
+	for _, u := range req.Updates {
+		t := relation.Tuple{ID: relation.TupleID(u.ID), Values: u.Values}
+		if u.Op == OpInsert {
+			if err := s.frag.Insert(t); err != nil {
+				return batchApplyResp{}, err
+			}
+		}
+		for _, r := range s.ruleOrder {
+			if !r.MatchesLHS(t) {
+				continue
+			}
+			if r.ConstRHS {
+				if r.SingleViolation(t) {
+					resp.Consts = append(resp.Consts, constMark{Rule: r.ID, ID: u.ID, Add: u.Op == OpInsert})
+				}
+				continue
+			}
+			dx, db := s.tupleKeys(r, t)
+			byX, ok := touched[r.ID]
+			if !ok {
+				byX = make(map[code]*groupTouch)
+				touched[r.ID] = byX
+			}
+			g, ok := byX[dx]
+			if !ok {
+				g = &groupTouch{rule: r, dx: dx, preBs: make(map[code]bool)}
+				for bd, c := range s.group(r.ID, dx) {
+					g.preBs[bd] = true
+					g.preFlag = c.inV
+				}
+				if req.RawKeys {
+					g.xRaw = make([]string, len(r.LHSCols))
+					for i, col := range r.LHSCols {
+						g.xRaw[i] = t.Values[col]
+					}
+				}
+				byX[dx] = g
+				order = append(order, g)
+			}
+			switch u.Op {
+			case OpInsert:
+				c := s.ensureClass(r.ID, dx, db)
+				c.members[t.ID] = struct{}{}
+				g.inserted = append(g.inserted, u.ID)
+			case OpDelete:
+				c := s.classOf(r.ID, dx, db)
+				if c == nil {
+					return batchApplyResp{}, fmt.Errorf("horizontal: site %d: delete of unindexed tuple %d (rule %s)", s.id, u.ID, r.ID)
+				}
+				if _, ok := c.members[t.ID]; !ok {
+					return batchApplyResp{}, fmt.Errorf("horizontal: site %d: tuple %d not in its class (rule %s)", s.id, u.ID, r.ID)
+				}
+				delete(c.members, t.ID)
+				g.deleted = append(g.deleted, u.ID)
+				g.wasInV = append(g.wasInV, c.inV)
+				s.dropIfEmpty(r.ID, dx, db)
+			}
+		}
+		if u.Op == OpDelete {
+			if _, err := s.frag.Delete(t.ID); err != nil {
+				return batchApplyResp{}, err
+			}
+		}
+	}
+
+	resp.Groups = make([]touchedGroup, 0, len(order))
+	for _, g := range order {
+		tg := touchedGroup{
+			Rule:          g.rule.ID,
+			X:             append([]byte(nil), g.dx[:]...),
+			XRaw:          g.xRaw,
+			PreKnown:      len(g.preBs) > 0,
+			PreFlag:       len(g.preBs) > 0 && g.preFlag,
+			Inserted:      g.inserted,
+			Deleted:       g.deleted,
+			DeletedWasInV: g.wasInV,
+		}
+		post := s.group(g.rule.ID, g.dx)
+		tg.PostBs = distinctDigests(post)
+		if len(post) != len(g.preBs) {
+			tg.Structural = true
+		}
+		for bd := range post {
+			if !g.preBs[bd] {
+				tg.Structural = true
+				tg.NewB = true
+				break
+			}
+		}
+		resp.Groups = append(resp.Groups, tg)
+	}
+	return resp, nil
+}
+
+// distinctDigests returns up to two of a group's B digests, sorted; two
+// digests mean "at least two", which alone decides the group violating.
+func distinctDigests(g map[code]*hClass) [][]byte {
+	digests := make([]code, 0, 2)
+	for bd := range g {
+		digests = append(digests, bd)
+	}
+	slices.SortFunc(digests, func(a, b code) int { return bytes.Compare(a[:], b[:]) })
+	if len(digests) > 2 {
+		digests = digests[:2]
+	}
+	out := make([][]byte, len(digests))
+	for i, d := range digests {
+		out[i] = append([]byte(nil), d[:]...)
+	}
+	return out
+}
+
+// forwardGroup receives an owner's group evidence at the relay site;
+// state-free: the driver aggregates, exactly as with constant-rule votes.
+func (s *site) forwardGroup(forwardGroupReq) (empty, error) { return empty{}, nil }
+
+// probeGroup answers a coalesced probe: for each group item it reports
+// the local evidence (classes present, shared flag, ≤ 2 distinct B
+// digests) and — when the item is Decided, or the item's digests plus its
+// own prove ≥ 2 distinct B values — promotes its classes inline,
+// returning the flipped members. Exactly the per-update probe's
+// semantics, for a whole batch of groups in one message.
+func (s *site) probeGroup(req probeGroupReq) (probeGroupResp, error) {
+	resp := probeGroupResp{Items: make([]probeGroupItemResp, 0, len(req.Items))}
+	for _, item := range req.Items {
+		dx := item.X.code()
+		g := s.group(item.Rule, dx)
+		ir := probeGroupItemResp{HasClasses: len(g) > 0}
+		for _, c := range g {
+			ir.Flag = c.inV
+			break
+		}
+		ir.Bs = distinctDigests(g)
+		if item.Decided || combinedDistinct(item.Bs, ir.Bs) >= 2 {
+			for _, c := range g {
+				if !c.inV {
+					c.inV = true
+					ir.Added = append(ir.Added, toInt64s(sortedMembers(c))...)
+				}
+			}
+			ir.Promoted = true
+			sort.Slice(ir.Added, func(i, j int) bool { return ir.Added[i] < ir.Added[j] })
+		}
+		resp.Items = append(resp.Items, ir)
+	}
+	return resp, nil
+}
+
+// combinedDistinct counts the distinct digests across two ≤2-element
+// digest lists, capped at 2 (all a group decision ever needs).
+func combinedDistinct(a, b [][]byte) int {
+	if len(a) >= 2 || len(b) >= 2 {
+		return 2
+	}
+	var distinct [][]byte
+	for _, d := range [][][]byte{a, b} {
+		for _, x := range d {
+			dup := false
+			for _, y := range distinct {
+				if bytes.Equal(x, y) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				distinct = append(distinct, x)
+				if len(distinct) >= 2 {
+					return 2
+				}
+			}
+		}
+	}
+	return len(distinct)
+}
+
+// settleGroup pins each listed group's final violation flag, returning
+// the members of classes that flipped. It serves both the same-site
+// settles at touching owners and the coalesced cross-site demote round.
+func (s *site) settleGroup(req settleGroupReq) (settleGroupResp, error) {
+	resp := settleGroupResp{Items: make([]settleGroupItemResp, 0, len(req.Items))}
+	for _, item := range req.Items {
+		dx := item.X.code()
+		var ir settleGroupItemResp
+		for _, c := range s.group(item.Rule, dx) {
+			if c.inV == item.Flag {
+				continue
+			}
+			c.inV = item.Flag
+			if item.Flag {
+				ir.Added = append(ir.Added, toInt64s(sortedMembers(c))...)
+			} else {
+				ir.Removed = append(ir.Removed, toInt64s(sortedMembers(c))...)
+			}
+		}
+		sort.Slice(ir.Added, func(i, j int) bool { return ir.Added[i] < ir.Added[j] })
+		sort.Slice(ir.Removed, func(i, j int) bool { return ir.Removed[i] < ir.Removed[j] })
+		resp.Items = append(resp.Items, ir)
+	}
+	return resp, nil
+}
+
 // constCheck classifies a stored tuple against a constant rule.
 func (s *site) constCheck(req constCheckReq) (constCheckResp, error) {
 	rule, ok := s.rules[req.Rule]
@@ -398,6 +640,10 @@ func (s *site) register(c *network.Cluster) {
 	network.RegisterFunc(c, s.id, "h.delLocal", s.delLocal)
 	network.RegisterFunc(c, s.id, "h.probeDel", s.probeDel)
 	network.RegisterFunc(c, s.id, "h.demote", s.demote)
+	network.RegisterFunc(c, s.id, "h.batchApply", s.batchApply)
+	network.RegisterFunc(c, s.id, "h.forwardGroup", s.forwardGroup)
+	network.RegisterFunc(c, s.id, "h.probeGroup", s.probeGroup)
+	network.RegisterFunc(c, s.id, "h.settleGroup", s.settleGroup)
 	network.RegisterFunc(c, s.id, "h.constCheck", s.constCheck)
 	network.RegisterFunc(c, s.id, "h.shipMatching", s.shipMatching)
 	network.RegisterFunc(c, s.id, "h.localDetect", s.localDetect)

@@ -35,9 +35,21 @@ type System struct {
 	cluster *network.Cluster
 	sites   []*site
 
+	// compByID resolves a rule id to its compiled form (the batch-grouped
+	// driver aggregates site responses keyed by rule id).
+	compByID map[string]*cfd.Compiled
+
 	// keyBuf is the driver's grouping-key scratch. Unit updates are
 	// processed one at a time, so a single buffer suffices.
 	keyBuf []byte
+
+	// normScratch backs the per-batch normalized update slice, reused
+	// across ApplyBatch calls so normalization happens exactly once per
+	// batch and allocates nothing in steady state.
+	normScratch relation.UpdateList
+	// waveSeq counts the batch-grouped protocol's waves; the relay role
+	// rotates on it (see coalesce.go).
+	waveSeq int
 
 	// localCheck marks rules needing no shipment ever: constant rules
 	// and variable rules with X_Fi ⊆ X for every fragment (§6 local
@@ -51,6 +63,10 @@ type System struct {
 	v         *cfd.Violations
 	direct    bool
 	noIndexes bool
+	// unitMode restores the per-update protocol rounds (one probe
+	// broadcast per unit update) for ablation; the default is the
+	// batch-grouped protocol with per-destination message coalescing.
+	unitMode bool
 }
 
 // NewSystem partitions rel under scheme, builds the per-site indices for
@@ -70,6 +86,10 @@ func NewSystem(rel *relation.Relation, scheme *partition.HorizontalScheme, rules
 		v:          cfd.NewViolations(),
 	}
 	sys.comp = cfd.CompileAll(rel.Schema, sys.rules)
+	sys.compByID = make(map[string]*cfd.Compiled, len(sys.comp))
+	for i := range sys.comp {
+		sys.compByID[sys.comp[i].ID] = &sys.comp[i]
+	}
 	sys.v.InternRules(sys.rules)
 	n := scheme.NumSites()
 	sys.cluster = network.NewCluster(n)
@@ -168,14 +188,28 @@ func gather[Req, Resp any](sys *System, from network.SiteID, method string, targ
 	return network.GatherVia[Req, Resp](sys.cluster, sys.send, from, method, targets, req, network.FanoutOpts{})
 }
 
-// ApplyBatch runs incHor (Fig. 8): normalizes ∆D, routes every unit update
-// to its owning fragment's protocol, maintains V and returns ∆V.
+// SetUnitMode switches between the batch-grouped protocol (the default:
+// one coalesced envelope per destination per phase per batch) and the
+// per-update protocol rounds of Fig. 8 (one probe broadcast per unit
+// update), the ablation baseline. Both maintain identical violation sets.
+func (sys *System) SetUnitMode(unit bool) { sys.unitMode = unit }
+
+// ApplyBatch runs incHor (Fig. 8): normalizes ∆D once, applies it through
+// the batch-grouped protocol (or the per-update protocol under
+// SetUnitMode), maintains V and returns ∆V.
 func (sys *System) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
 	if sys.noIndexes {
 		return nil, fmt.Errorf("horizontal: system built with NoIndexes cannot apply incremental updates")
 	}
+	norm := updates.NormalizeInto(sys.normScratch)
+	if len(norm) != len(updates) {
+		sys.normScratch = norm // grown scratch: keep the backing array
+	}
+	if !sys.unitMode {
+		return sys.applyCoalesced(norm)
+	}
 	delta := cfd.NewDelta()
-	for _, u := range updates.Normalize() {
+	for _, u := range norm {
 		ud, err := sys.applyUnit(u)
 		if err != nil {
 			return nil, err
@@ -353,7 +387,7 @@ func (sys *System) insertVariable(t relation.Tuple, owner network.SiteID, delta 
 			peerPend[peer] = append(peerPend[peer], p)
 		}
 	}
-	peers := sortedSites(peerItems)
+	peers := network.SortedSites(peerItems)
 	resps, err := gather[probeInsReq, probeInsResp](sys, owner, "h.probeIns", peers, func(peer network.SiteID) probeInsReq {
 		return probeInsReq{Tuple: sys.probeTuple(t), Items: peerItems[peer]}
 	})
@@ -430,7 +464,7 @@ func (sys *System) deleteVariable(t relation.Tuple, owner network.SiteID, delta 
 			peerPend[peer] = append(peerPend[peer], p)
 		}
 	}
-	peers := sortedSites(peerItems)
+	peers := network.SortedSites(peerItems)
 	resps, err := gather[probeDelReq, probeDelResp](sys, owner, "h.probeDel", peers, func(peer network.SiteID) probeDelReq {
 		return probeDelReq{Tuple: sys.probeTuple(t), Items: peerItems[peer]}
 	})
@@ -472,7 +506,7 @@ func (sys *System) deleteVariable(t relation.Tuple, owner network.SiteID, delta 
 			demotePend[s] = append(demotePend[s], p)
 		}
 	}
-	demoteSites := sortedSites(demoteSiteItems)
+	demoteSites := network.SortedSites(demoteSiteItems)
 	demoteResps, err := gather[demoteReq, demoteResp](sys, owner, "h.demote", demoteSites, func(s network.SiteID) demoteReq {
 		return demoteReq{Tuple: sys.probeTuple(t), Items: demoteSiteItems[s]}
 	})
@@ -492,15 +526,6 @@ func (sys *System) deleteVariable(t relation.Tuple, owner network.SiteID, delta 
 		}
 	}
 	return nil
-}
-
-func sortedSites[T any](m map[network.SiteID]T) []network.SiteID {
-	out := make([]network.SiteID, 0, len(m))
-	for s := range m {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 func errResponseShape(method string, site network.SiteID) error {

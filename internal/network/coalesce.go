@@ -1,0 +1,96 @@
+package network
+
+import "sort"
+
+// This file is the message-coalescing surface of the batch-grouped
+// protocol rounds: instead of one message per (unit update, destination),
+// a protocol phase accumulates every item bound for one site into an
+// Envelope and ships it as a single message per destination. The
+// per-message overhead — gob framing, the round-trip a real link charges,
+// the handler dispatch — is then paid once per (phase, destination) per
+// batch rather than once per update, which is what turns a batch's
+// O(|∆D| · n) protocol messages into O(n)-per-phase.
+
+// Coalescer accumulates typed items per destination site. The zero value
+// is ready to use; Reset recycles the allocated per-site slices so a
+// driver can keep one envelope per phase across batches.
+type Coalescer[Item any] struct {
+	items map[SiteID][]Item
+	sites []SiteID // sorted cache; nil when stale
+}
+
+// Add appends an item bound for site to.
+func (e *Coalescer[Item]) Add(to SiteID, it Item) {
+	if e.items == nil {
+		e.items = make(map[SiteID][]Item)
+	}
+	if _, ok := e.items[to]; !ok {
+		e.sites = nil
+	}
+	e.items[to] = append(e.items[to], it)
+}
+
+// Len returns the number of items queued for site to.
+func (e *Coalescer[Item]) Len(to SiteID) int { return len(e.items[to]) }
+
+// Empty reports whether no destination has queued items.
+func (e *Coalescer[Item]) Empty() bool {
+	for _, its := range e.items {
+		if len(its) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Items returns the queued items for site to, in insertion order.
+func (e *Coalescer[Item]) Items(to SiteID) []Item { return e.items[to] }
+
+// Sites returns every destination with at least one queued item, sorted —
+// the deterministic send order of the phase.
+func (e *Coalescer[Item]) Sites() []SiteID {
+	if e.sites == nil {
+		for s, its := range e.items {
+			if len(its) > 0 {
+				e.sites = append(e.sites, s)
+			}
+		}
+		sort.Slice(e.sites, func(i, j int) bool { return e.sites[i] < e.sites[j] })
+	}
+	return e.sites
+}
+
+// Reset clears every destination's queue, retaining the backing arrays.
+func (e *Coalescer[Item]) Reset() {
+	for s := range e.items {
+		e.items[s] = e.items[s][:0]
+	}
+	e.sites = nil
+}
+
+// SortedSites returns a map's SiteID keys in ascending order — the
+// deterministic iteration order protocol drivers use for per-site state.
+func SortedSites[T any](m map[SiteID]T) []SiteID {
+	out := make([]SiteID, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GatherCoalesced ships each destination's queued items as one message
+// (from → site) and collects the replies aligned with Sites(). req wraps
+// a destination's item slice into the wire request. Destinations are
+// contacted concurrently through the scatter/gather engine; reply order
+// is deterministic regardless of scheduling.
+func GatherCoalesced[Item, Req, Resp any](c *Cluster, call CallFunc, from SiteID, method string, e *Coalescer[Item], req func(to SiteID, items []Item) Req, opts FanoutOpts) ([]SiteID, []Resp, error) {
+	sites := e.Sites()
+	resps, err := GatherVia[Req, Resp](c, call, from, method, sites, func(to SiteID) Req {
+		return req(to, e.items[to])
+	}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sites, resps, nil
+}

@@ -62,7 +62,13 @@ func (ul UpdateList) Deletions() UpdateList {
 // other (an insertion later deleted), implementing line 1 of the paper's
 // incVer / incHor batch algorithms. A delete-then-insert of the same id (a
 // modification) is preserved in order.
-func (ul UpdateList) Normalize() UpdateList {
+func (ul UpdateList) Normalize() UpdateList { return ul.NormalizeInto(nil) }
+
+// NormalizeInto is Normalize writing the filtered batch into dst's backing
+// array (grown as needed), so a driver that normalizes every batch of a
+// stream can reuse one scratch slice instead of allocating per batch.
+// When nothing cancels, ul itself is returned and dst is untouched.
+func (ul UpdateList) NormalizeInto(dst UpdateList) UpdateList {
 	cancelled := make(map[int]bool)
 	// lastInsert maps a tuple id to the position of a not-yet-cancelled
 	// insertion of that id.
@@ -82,7 +88,7 @@ func (ul UpdateList) Normalize() UpdateList {
 	if len(cancelled) == 0 {
 		return ul
 	}
-	out := make(UpdateList, 0, len(ul)-len(cancelled))
+	out := dst[:0]
 	for i, u := range ul {
 		if !cancelled[i] {
 			out = append(out, u)

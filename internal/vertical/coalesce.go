@@ -1,0 +1,422 @@
+package vertical
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfd"
+	"repro/internal/network"
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+)
+
+// This file is the batch-grouped incVer driver: the coalesced twin of the
+// per-update path in system.go. A normalized batch is split into waves —
+// maximal runs of updates with pairwise-distinct tuple ids, so the phases
+// below can safely reorder work across updates — and each wave runs the
+// per-update protocol's phases once, over every update at a time:
+//
+//	1. fragment delivery (same-site, batched per site);
+//	2. pattern-constant checks (same-site, batched per checker site);
+//	3. constant-CFD votes, coalesced per (checker, coordinator) pair, and
+//	   the coordinator-side classifications batched per site;
+//	4. plan-node resolution in global topological order, with eqid
+//	   deliveries accumulated per (source, destination) edge and flushed
+//	   lazily — one message per edge per wave instead of per tuple;
+//	5. Fig. 4 case analyses batched per IDX site, replayed in item order;
+//	6. reference-count releases, buffer clears and fragment removals,
+//	   batched per site.
+//
+// The shipped eqid count is identical to the per-update path (the same
+// eqids travel the same edges); what collapses is the message count and
+// the per-message framing. The differential oracle and the parity tests
+// pin the violation sets bit-identical between the two drivers.
+
+// uState tracks one update through a wave's phases.
+type uState struct {
+	update relation.Update
+	tid    int64
+	op     OpKind
+	failed map[string]bool
+	alive  []*cfd.CFD
+	sched  *runSchedule
+	pos    int // cursor into sched.order during node resolution
+}
+
+// SetUnitMode switches between the batch-grouped driver (the default)
+// and the per-update protocol rounds, the ablation baseline. Both
+// maintain identical violation sets and ship identical eqid counts.
+func (sys *System) SetUnitMode(unit bool) { sys.unitMode = unit }
+
+// applyCoalesced runs one normalized batch wave by wave, maintaining V
+// and returning the exact ∆V.
+func (sys *System) applyCoalesced(norm relation.UpdateList) (*cfd.Delta, error) {
+	delta := cfd.NewDelta()
+	for start := 0; start < len(norm); {
+		end := start + 1
+		seen := map[relation.TupleID]bool{norm[start].Tuple.ID: true}
+		for end < len(norm) && !seen[norm[end].Tuple.ID] {
+			seen[norm[end].Tuple.ID] = true
+			end++
+		}
+		if err := sys.applyWave(norm[start:end], delta); err != nil {
+			return nil, err
+		}
+		start = end
+	}
+	delta.Apply(sys.v)
+	if err := sys.barrier(); err != nil {
+		return nil, err
+	}
+	return delta, nil
+}
+
+// applyWave runs one wave (distinct tuple ids) through the grouped
+// phases, appending its ∆V emissions to delta in exact replay order.
+func (sys *System) applyWave(wave relation.UpdateList, delta *cfd.Delta) error {
+	states := make([]*uState, len(wave))
+	for i, u := range wave {
+		op := OpInsert
+		if u.Kind == relation.Delete {
+			op = OpDelete
+		}
+		states[i] = &uState{update: u, tid: int64(u.Tuple.ID), op: op, failed: make(map[string]bool)}
+	}
+
+	// 1. Insertions reach every fragment first (∆Di delivery), one
+	// batched same-site call per site.
+	err := sys.cluster.Fanout(len(sys.sites), network.FanoutOpts{}, func(i int) error {
+		var req batchFragReq
+		for _, us := range states {
+			if us.op != OpInsert {
+				continue
+			}
+			req.Items = append(req.Items, applyReq{
+				Op: OpInsert, ID: us.tid,
+				Values: us.update.Tuple.ProjectTuple(sys.schema, sys.fragSch[i]).Values,
+			})
+		}
+		if len(req.Items) == 0 {
+			return nil
+		}
+		return sys.send(sys.sites[i].id, sys.sites[i].id, "v.batchFrag", req, nil)
+	})
+	if err != nil {
+		return err
+	}
+
+	// 2. Pattern constants, every checker site over the whole wave.
+	ids := make([]int64, len(states))
+	for i, us := range states {
+		ids[i] = us.tid
+	}
+	evalResps := make([]batchEvalResp, len(sys.checkers))
+	err = sys.cluster.Fanout(len(sys.checkers), network.FanoutOpts{}, func(i int) error {
+		c := sys.checkers[i]
+		return sys.send(c, c, "v.batchEval", batchEvalReq{IDs: ids}, &evalResps[i])
+	})
+	if err != nil {
+		return err
+	}
+	for ci := range sys.checkers {
+		if len(evalResps[ci].Failed) != len(states) {
+			return fmt.Errorf("vertical: v.batchEval: malformed batch response from site %d", sys.checkers[ci])
+		}
+		for ui, failed := range evalResps[ci].Failed {
+			for _, rid := range failed {
+				states[ui].failed[rid] = true
+			}
+		}
+	}
+
+	// 3. Constant CFDs: votes coalesced per (checker, coordinator) pair
+	// across the wave, then the coordinator classifications batched per
+	// site; ∆V replays in (update, rule) order.
+	votes := make(map[[2]network.SiteID][]batchVoteItem)
+	voteAt := make(map[[2]network.SiteID]int) // index of the pair's item for the current update
+	for _, us := range states {
+		for k := range voteAt {
+			delete(voteAt, k)
+		}
+		for _, r := range sys.constRules {
+			if us.failed[r.ID] {
+				continue // non-matching tuples ship nothing
+			}
+			coord := sys.constCoord[r.ID]
+			for _, s := range sys.constSites[r.ID] {
+				if s == coord {
+					continue
+				}
+				key := [2]network.SiteID{s, coord}
+				at, ok := voteAt[key]
+				if !ok {
+					votes[key] = append(votes[key], batchVoteItem{ID: us.tid})
+					at = len(votes[key]) - 1
+					voteAt[key] = at
+				}
+				votes[key][at].Rules = append(votes[key][at].Rules, r.ID)
+			}
+		}
+	}
+	pairs := make([][2]network.SiteID, 0, len(votes))
+	for k := range votes {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	err = sys.cluster.Fanout(len(pairs), network.FanoutOpts{}, func(i int) error {
+		k := pairs[i]
+		return sys.send(k[0], k[1], "v.batchVote", batchVoteReq{Items: votes[k]}, nil)
+	})
+	if err != nil {
+		return err
+	}
+
+	constItems := make(map[network.SiteID][]batchConstItem)
+	type constRef struct {
+		us   *uState
+		rule string
+	}
+	constRefs := make(map[network.SiteID][]constRef)
+	for _, us := range states {
+		for _, r := range sys.constRules {
+			if us.failed[r.ID] {
+				continue
+			}
+			coord := sys.constCoord[r.ID]
+			constItems[coord] = append(constItems[coord], batchConstItem{Rule: r.ID, ID: us.tid, Op: us.op})
+			constRefs[coord] = append(constRefs[coord], constRef{us, r.ID})
+		}
+	}
+	constSites := network.SortedSites(constItems)
+	constResps := make([]batchConstResp, len(constSites))
+	err = sys.cluster.Fanout(len(constSites), network.FanoutOpts{}, func(i int) error {
+		s := constSites[i]
+		return sys.send(s, s, "v.batchConst", batchConstReq{Items: constItems[s]}, &constResps[i])
+	})
+	if err != nil {
+		return err
+	}
+	for si, s := range constSites {
+		if len(constResps[si].Violations) != len(constItems[s]) {
+			return fmt.Errorf("vertical: v.batchConst: malformed batch response from site %d", s)
+		}
+		for k, violation := range constResps[si].Violations {
+			if !violation {
+				continue
+			}
+			ref := constRefs[s][k]
+			if ref.us.op == OpInsert {
+				delta.Add(ref.us.update.Tuple.ID, ref.rule)
+			} else {
+				delta.Remove(ref.us.update.Tuple.ID, ref.rule)
+			}
+		}
+	}
+
+	// 4. Variable CFDs: alive sets and memoized schedules per update,
+	// then plan nodes in global topological order. Eqid deliveries
+	// accumulate per (source, destination) edge and flush lazily, right
+	// before a site consumes them.
+	nodeSet := make(map[optimizer.NodeID]bool)
+	var nodeOrder []optimizer.NodeID
+	for _, us := range states {
+		var alivePos []int
+		for i, r := range sys.varRules {
+			if !us.failed[r.ID] {
+				us.alive = append(us.alive, r)
+				alivePos = append(alivePos, i)
+			}
+		}
+		if len(us.alive) == 0 {
+			continue
+		}
+		us.sched = sys.scheduleFor(us.alive, alivePos)
+		for _, n := range us.sched.order {
+			if !nodeSet[n] {
+				nodeSet[n] = true
+				nodeOrder = append(nodeOrder, n)
+			}
+		}
+	}
+	sort.Slice(nodeOrder, func(i, j int) bool { return nodeOrder[i] < nodeOrder[j] }) // plan ids are topo-ordered
+
+	pend := make(map[[2]network.SiteID][]batchDeliverItem)
+	flushTo := func(dest network.SiteID) error {
+		var srcs []network.SiteID
+		for k := range pend {
+			if k[1] == dest && len(pend[k]) > 0 {
+				srcs = append(srcs, k[0])
+			}
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+		for _, src := range srcs {
+			k := [2]network.SiteID{src, dest}
+			if err := sys.send(src, dest, "v.batchDeliver", batchDeliverReq{Items: pend[k]}, nil); err != nil {
+				return err
+			}
+			if !sys.direct {
+				sys.cluster.AddEqids(len(pend[k]))
+			}
+			delete(pend, k)
+		}
+		return nil
+	}
+
+	resolveItems := make([]batchResolveItem, 0, len(states))
+	consumers := make([]*uState, 0, len(states))
+	for _, n := range nodeOrder {
+		src := network.SiteID(sys.plan.Node(n).Site)
+		if err := flushTo(src); err != nil {
+			return err
+		}
+		resolveItems = resolveItems[:0]
+		consumers = consumers[:0]
+		for _, us := range states {
+			if us.sched == nil || us.pos >= len(us.sched.order) || us.sched.order[us.pos] != n {
+				continue
+			}
+			resolveItems = append(resolveItems, batchResolveItem{ID: us.tid, Acquire: us.op == OpInsert})
+			consumers = append(consumers, us)
+		}
+		if len(resolveItems) == 0 {
+			continue
+		}
+		var resp batchResolveResp
+		if err := sys.send(src, src, "v.batchResolve", batchResolveReq{Node: int(n), Items: resolveItems}, &resp); err != nil {
+			return err
+		}
+		if len(resp.Eqs) != len(resolveItems) {
+			return fmt.Errorf("vertical: v.batchResolve: malformed batch response from site %d", src)
+		}
+		for k, us := range consumers {
+			for _, dest := range us.sched.dests[us.pos] {
+				key := [2]network.SiteID{src, dest}
+				pend[key] = append(pend[key], batchDeliverItem{ID: us.tid, Node: int(n), Eq: resp.Eqs[k]})
+			}
+			us.pos++
+		}
+	}
+	// Remaining deliveries feed the IDX sites: flush everything.
+	var restPairs [][2]network.SiteID
+	for k := range pend {
+		if len(pend[k]) > 0 {
+			restPairs = append(restPairs, k)
+		}
+	}
+	sort.Slice(restPairs, func(i, j int) bool {
+		if restPairs[i][1] != restPairs[j][1] {
+			return restPairs[i][1] < restPairs[j][1]
+		}
+		return restPairs[i][0] < restPairs[j][0]
+	})
+	for _, k := range restPairs {
+		if err := sys.send(k[0], k[1], "v.batchDeliver", batchDeliverReq{Items: pend[k]}, nil); err != nil {
+			return err
+		}
+		if !sys.direct {
+			sys.cluster.AddEqids(len(pend[k]))
+		}
+		delete(pend, k)
+	}
+
+	// 5. Fig. 4 at each alive rule's IDX site, batched per site; ∆V
+	// replays in each site's item order (conflicting flips of one
+	// (tuple, rule) mark only ever meet inside one IDX site's list, where
+	// the order is the mutation order).
+	ruleItems := make(map[network.SiteID][]batchRuleItem)
+	type ruleRef struct {
+		us   *uState
+		rule string
+	}
+	ruleRefs := make(map[network.SiteID][]ruleRef)
+	for _, us := range states {
+		for _, r := range us.alive {
+			idxSite := network.SiteID(sys.plan.Bindings[r.ID].IDXSite)
+			ruleItems[idxSite] = append(ruleItems[idxSite], batchRuleItem{Rule: r.ID, ID: us.tid, Op: us.op})
+			ruleRefs[idxSite] = append(ruleRefs[idxSite], ruleRef{us, r.ID})
+		}
+	}
+	ruleSites := network.SortedSites(ruleItems)
+	ruleResps := make([]batchRuleResp, len(ruleSites))
+	err = sys.cluster.Fanout(len(ruleSites), network.FanoutOpts{}, func(i int) error {
+		s := ruleSites[i]
+		return sys.send(s, s, "v.batchRule", batchRuleReq{Items: ruleItems[s]}, &ruleResps[i])
+	})
+	if err != nil {
+		return err
+	}
+	for si, s := range ruleSites {
+		if len(ruleResps[si].Items) != len(ruleItems[s]) {
+			return fmt.Errorf("vertical: v.batchRule: malformed batch response from site %d", s)
+		}
+		for k, ir := range ruleResps[si].Items {
+			rule := ruleRefs[s][k].rule
+			for _, id := range ir.Added {
+				delta.Add(relation.TupleID(id), rule)
+			}
+			for _, id := range ir.Removed {
+				delta.Remove(relation.TupleID(id), rule)
+			}
+		}
+	}
+
+	// 6. Deletions release reference counts top-down, batched per site.
+	releaseItems := make(map[network.SiteID][]batchReleaseItem)
+	for _, us := range states {
+		if us.op != OpDelete || us.sched == nil {
+			continue
+		}
+		for i := len(us.sched.order) - 1; i >= 0; i-- {
+			n := us.sched.order[i]
+			src := network.SiteID(sys.plan.Node(n).Site)
+			releaseItems[src] = append(releaseItems[src], batchReleaseItem{ID: us.tid, Node: int(n)})
+		}
+	}
+	releaseSites := network.SortedSites(releaseItems)
+	err = sys.cluster.Fanout(len(releaseSites), network.FanoutOpts{}, func(i int) error {
+		s := releaseSites[i]
+		return sys.send(s, s, "v.batchRelease", batchReleaseReq{Items: releaseItems[s]}, nil)
+	})
+	if err != nil {
+		return err
+	}
+
+	// Clear the wave's eqid buffers, one call per involved site.
+	endIDs := make(map[network.SiteID][]int64)
+	for _, us := range states {
+		if us.sched == nil {
+			continue
+		}
+		for _, s := range us.sched.involved {
+			endIDs[s] = append(endIDs[s], us.tid)
+		}
+	}
+	endSites := network.SortedSites(endIDs)
+	err = sys.cluster.Fanout(len(endSites), network.FanoutOpts{}, func(i int) error {
+		s := endSites[i]
+		return sys.send(s, s, "v.batchEnd", batchEndReq{IDs: endIDs[s]}, nil)
+	})
+	if err != nil {
+		return err
+	}
+
+	// 7. Deletions leave the fragments last (values were needed above).
+	return sys.cluster.Fanout(len(sys.sites), network.FanoutOpts{}, func(i int) error {
+		var req batchFragReq
+		for _, us := range states {
+			if us.op != OpDelete {
+				continue
+			}
+			req.Items = append(req.Items, applyReq{Op: OpDelete, ID: us.tid})
+		}
+		if len(req.Items) == 0 {
+			return nil
+		}
+		return sys.send(sys.sites[i].id, sys.sites[i].id, "v.batchFrag", req, nil)
+	})
+}

@@ -11,7 +11,39 @@
 // ∆V locally, exactly as in the paper's Figs. 4 and 5.
 package vertical
 
-import "repro/internal/relation"
+import (
+	"encoding/gob"
+	"io"
+
+	"repro/internal/relation"
+)
+
+// init pins the package's wire types into encoding/gob's process-global
+// type registry in a fixed order (see the matching init in package
+// horizontal): a descriptor's wire size depends on the globally assigned
+// type id, so pinning keeps the byte meters a pure function of the
+// workload regardless of which subsystem encodes first in the process.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{
+		applyReq{Values: []string{""}}, evalConstsReq{}, evalConstsResp{Failed: []string{""}},
+		resolveReq{}, resolveResp{}, deliverReq{}, applyRuleReq{}, applyRuleResp{Added: []int64{0}, Removed: []int64{0}},
+		releaseReq{}, endUpdateReq{}, voteReq{Rules: []string{""}}, barrierReq{},
+		applyConstReq{}, applyConstResp{}, shipColsReq{}, shipColsResp{Attrs: []string{""}, Rows: []colRow{{Vals: []string{""}}}},
+		batchFragReq{Items: []applyReq{{}}}, batchEvalReq{IDs: []int64{0}}, batchEvalResp{Failed: [][]string{{""}}},
+		batchVoteReq{Items: []batchVoteItem{{Rules: []string{""}}}},
+		batchConstReq{Items: []batchConstItem{{}}}, batchConstResp{Violations: []bool{false}},
+		batchResolveReq{Items: []batchResolveItem{{}}}, batchResolveResp{Eqs: []int64{0}},
+		batchDeliverReq{Items: []batchDeliverItem{{}}},
+		batchRuleReq{Items: []batchRuleItem{{}}}, batchRuleResp{Items: []applyRuleResp{{}}},
+		batchReleaseReq{Items: []batchReleaseItem{{}}}, batchEndReq{IDs: []int64{0}},
+		empty{},
+	} {
+		if err := enc.Encode(v); err != nil {
+			panic(err)
+		}
+	}
+}
 
 // OpKind says whether a unit update is an insertion or a deletion.
 type OpKind int
@@ -116,6 +148,128 @@ type applyConstReq struct {
 // applyConstResp reports whether the tuple violates the constant rule.
 type applyConstResp struct {
 	Violation bool
+}
+
+// --- batch-grouped protocol (coalesced ApplyBatch) ---
+//
+// The per-update driver pays one eqid delivery per (node, consumer) and
+// one vote per (checker, coordinator) for every unit update: O(|∆D|)
+// messages per plan edge per batch. The batch-grouped driver runs the
+// same phases once per wave (a maximal run of updates with distinct
+// tuple ids), coalescing everything bound for one site into a single
+// message: eqid deliveries merge per (source, destination) edge, votes
+// merge per (checker, coordinator) pair, and the same-site phases
+// (fragment delivery, constant checks, Fig. 4 case analyses, releases,
+// buffer clears) batch into one dispatch per site.
+
+// batchFragReq delivers a wave's fragment projections and removals to one
+// site, in wave order.
+type batchFragReq struct {
+	Items []applyReq
+}
+
+// batchEvalReq checks the site's pattern constants for every listed
+// tuple; Failed is aligned with IDs.
+type batchEvalReq struct {
+	IDs []int64
+}
+
+// batchEvalResp lists, per tuple, the rules whose local constants failed.
+type batchEvalResp struct {
+	Failed [][]string
+}
+
+// batchVoteItem is one tuple's constant-rule match notice inside a
+// coalesced vote message.
+type batchVoteItem struct {
+	ID    int64
+	Rules []string
+}
+
+// batchVoteReq carries every vote of a wave sharing one (checker,
+// coordinator) pair: one message per pair per wave instead of per tuple.
+type batchVoteReq struct {
+	Items []batchVoteItem
+}
+
+// batchConstItem asks a constant rule's coordinator to classify one
+// tuple; a batchConstReq carries a whole wave's classifications for the
+// site, answered positionally by batchConstResp.
+type batchConstItem struct {
+	Rule string
+	ID   int64
+	Op   OpKind
+}
+
+type batchConstReq struct {
+	Items []batchConstItem
+}
+
+type batchConstResp struct {
+	Violations []bool
+}
+
+// batchResolveItem resolves one plan node for one tuple (Acquire on
+// insertion, lookup on deletion).
+type batchResolveItem struct {
+	ID      int64
+	Acquire bool
+}
+
+// batchResolveReq resolves one node for every listed tuple at the node's
+// site; Eqs is aligned with Items.
+type batchResolveReq struct {
+	Node  int
+	Items []batchResolveItem
+}
+
+type batchResolveResp struct {
+	Eqs []int64
+}
+
+// batchDeliverItem is one shipped eqid inside a coalesced delivery: items
+// for every (tuple, node) pair riding one (source, destination) edge.
+type batchDeliverItem struct {
+	ID   int64
+	Node int
+	Eq   int64
+}
+
+// batchDeliverReq is the coalesced eqid shipment — the metered message of
+// §4, now one per edge per wave instead of one per edge per tuple.
+type batchDeliverReq struct {
+	Items []batchDeliverItem
+}
+
+// batchRuleItem runs one (rule, tuple) Fig. 4 case analysis at the rule's
+// IDX site; batchRuleResp answers positionally with each item's local ∆V.
+type batchRuleItem struct {
+	Rule string
+	ID   int64
+	Op   OpKind
+}
+
+type batchRuleReq struct {
+	Items []batchRuleItem
+}
+
+type batchRuleResp struct {
+	Items []applyRuleResp
+}
+
+// batchReleaseItem undoes one (tuple, node) reference count.
+type batchReleaseItem struct {
+	ID   int64
+	Node int
+}
+
+type batchReleaseReq struct {
+	Items []batchReleaseItem
+}
+
+// batchEndReq clears the wave's eqid buffers at one site.
+type batchEndReq struct {
+	IDs []int64
 }
 
 // shipColsReq asks a site for its columns relevant to one rule (batVer).

@@ -329,6 +329,104 @@ func (s *site) endUpdate(req endUpdateReq) (empty, error) {
 	return empty{}, nil
 }
 
+// --- batch-grouped handlers: the coalesced twins of the unit handlers
+// above, each processing a whole wave's items in one dispatch.
+
+// batchFrag applies a wave's fragment projections/removals in wave order.
+func (s *site) batchFrag(req batchFragReq) (empty, error) {
+	for _, item := range req.Items {
+		if _, err := s.apply(item); err != nil {
+			return empty{}, err
+		}
+	}
+	return empty{}, nil
+}
+
+// batchEval checks the local pattern constants for every listed tuple.
+func (s *site) batchEval(req batchEvalReq) (batchEvalResp, error) {
+	resp := batchEvalResp{Failed: make([][]string, len(req.IDs))}
+	for i, id := range req.IDs {
+		r, err := s.evalConsts(evalConstsReq{ID: id})
+		if err != nil {
+			return batchEvalResp{}, err
+		}
+		resp.Failed[i] = r.Failed
+	}
+	return resp, nil
+}
+
+// batchVote receives a wave's coalesced constant-rule votes; state-free
+// like vote.
+func (s *site) batchVote(batchVoteReq) (empty, error) { return empty{}, nil }
+
+// batchConst classifies every listed tuple against its constant rule.
+func (s *site) batchConst(req batchConstReq) (batchConstResp, error) {
+	resp := batchConstResp{Violations: make([]bool, len(req.Items))}
+	for i, item := range req.Items {
+		r, err := s.applyConst(applyConstReq{Rule: item.Rule, ID: item.ID, Op: item.Op})
+		if err != nil {
+			return batchConstResp{}, err
+		}
+		resp.Violations[i] = r.Violation
+	}
+	return resp, nil
+}
+
+// batchResolve resolves one plan node for every listed tuple.
+func (s *site) batchResolve(req batchResolveReq) (batchResolveResp, error) {
+	resp := batchResolveResp{Eqs: make([]int64, len(req.Items))}
+	for i, item := range req.Items {
+		r, err := s.resolve(resolveReq{ID: item.ID, Node: req.Node, Acquire: item.Acquire})
+		if err != nil {
+			return batchResolveResp{}, err
+		}
+		resp.Eqs[i] = r.Eq
+	}
+	return resp, nil
+}
+
+// batchDeliver buffers a coalesced eqid shipment.
+func (s *site) batchDeliver(req batchDeliverReq) (empty, error) {
+	for _, item := range req.Items {
+		s.bufPut(item.ID, optimizer.NodeID(item.Node), item.Eq)
+	}
+	return empty{}, nil
+}
+
+// batchRule runs the wave's Fig. 4 case analyses at this IDX site, in
+// item order (the order the driver replays the per-item ∆Vs in).
+func (s *site) batchRule(req batchRuleReq) (batchRuleResp, error) {
+	resp := batchRuleResp{Items: make([]applyRuleResp, len(req.Items))}
+	for i, item := range req.Items {
+		r, err := s.applyRule(applyRuleReq{Rule: item.Rule, ID: item.ID, Op: item.Op})
+		if err != nil {
+			return batchRuleResp{}, err
+		}
+		resp.Items[i] = r
+	}
+	return resp, nil
+}
+
+// batchRelease undoes the wave's reference counts.
+func (s *site) batchRelease(req batchReleaseReq) (empty, error) {
+	for _, item := range req.Items {
+		if _, err := s.release(releaseReq{ID: item.ID, Node: item.Node}); err != nil {
+			return empty{}, err
+		}
+	}
+	return empty{}, nil
+}
+
+// batchEnd clears the wave's eqid buffers.
+func (s *site) batchEnd(req batchEndReq) (empty, error) {
+	for _, id := range req.IDs {
+		if _, err := s.endUpdate(endUpdateReq{ID: id}); err != nil {
+			return empty{}, err
+		}
+	}
+	return empty{}, nil
+}
+
 // vote is the receipt of a constant-rule match notice (Fig. 5 line 6);
 // state-free: the coordinator's applyConst decides from its own fragment.
 func (s *site) vote(voteReq) (empty, error) { return empty{}, nil }
@@ -396,6 +494,15 @@ func (s *site) register(c *network.Cluster) {
 	network.RegisterFunc(c, s.id, "v.endUpdate", s.endUpdate)
 	network.RegisterFunc(c, s.id, "v.vote", s.vote)
 	network.RegisterFunc(c, s.id, "v.barrier", s.barrier)
+	network.RegisterFunc(c, s.id, "v.batchFrag", s.batchFrag)
+	network.RegisterFunc(c, s.id, "v.batchEval", s.batchEval)
+	network.RegisterFunc(c, s.id, "v.batchVote", s.batchVote)
+	network.RegisterFunc(c, s.id, "v.batchConst", s.batchConst)
+	network.RegisterFunc(c, s.id, "v.batchResolve", s.batchResolve)
+	network.RegisterFunc(c, s.id, "v.batchDeliver", s.batchDeliver)
+	network.RegisterFunc(c, s.id, "v.batchRule", s.batchRule)
+	network.RegisterFunc(c, s.id, "v.batchRelease", s.batchRelease)
+	network.RegisterFunc(c, s.id, "v.batchEnd", s.batchEnd)
 	network.RegisterFunc(c, s.id, "v.applyConst", s.applyConst)
 	network.RegisterFunc(c, s.id, "v.shipCols", s.shipCols)
 }

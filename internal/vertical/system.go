@@ -73,6 +73,15 @@ type System struct {
 	// of any measured detection.
 	direct    bool
 	noIndexes bool
+	// unitMode restores the per-update protocol rounds (one eqid
+	// delivery per edge per update) for ablation; the default is the
+	// batch-grouped driver in coalesce.go.
+	unitMode bool
+
+	// normScratch backs the per-batch normalized update slice, reused
+	// across ApplyBatch calls so normalization happens exactly once per
+	// batch and allocates nothing in steady state.
+	normScratch relation.UpdateList
 
 	// Per-update scratch, reused across applyUnit calls (the driver
 	// processes unit updates one at a time). varIdxSite and checkers are
@@ -260,15 +269,22 @@ func gather[Req, Resp any](sys *System, from network.SiteID, method string, targ
 	return network.GatherVia[Req, Resp](sys.cluster, sys.send, from, method, targets, req, network.FanoutOpts{})
 }
 
-// ApplyBatch runs incVer (Fig. 5): it normalizes ∆D, processes each unit
-// update through the incremental machinery, maintains V(Σ, D) and returns
-// the accumulated ∆V.
+// ApplyBatch runs incVer (Fig. 5): it normalizes ∆D once, processes it
+// through the batch-grouped driver (or the per-update machinery under
+// SetUnitMode), maintains V(Σ, D) and returns the accumulated ∆V.
 func (sys *System) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
 	if sys.noIndexes {
 		return nil, fmt.Errorf("vertical: system built with NoIndexes cannot apply incremental updates")
 	}
+	norm := updates.NormalizeInto(sys.normScratch)
+	if len(norm) != len(updates) {
+		sys.normScratch = norm // grown scratch: keep the backing array
+	}
+	if !sys.unitMode {
+		return sys.applyCoalesced(norm)
+	}
 	delta := cfd.NewDelta()
-	for _, u := range updates.Normalize() {
+	for _, u := range norm {
 		ud, err := sys.applyUnit(u)
 		if err != nil {
 			return nil, err
