@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench stream coalesce bench-verify profile fuzz verify clean
+.PHONY: test race bench stream coalesce bench-verify profile fuzz api apicheck verify clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -50,10 +50,22 @@ profile:
 fuzz:
 	$(GO) test -fuzz=FuzzAppendKey -fuzztime=10s -run '^$$' ./internal/relation
 
+# api regenerates the committed API-surface lockfile; apicheck fails when
+# the public repro surface (go doc -all) drifts from it, so façade changes
+# are always an explicit, reviewed diff. CI runs apicheck.
+api:
+	$(GO) doc -all . > api/repro.txt
+
+apicheck:
+	@$(GO) doc -all . > /tmp/repro-api-check.txt
+	@diff -u api/repro.txt /tmp/repro-api-check.txt \
+		|| (echo "API surface drifted from api/repro.txt — review and run 'make api'"; exit 1)
+	@echo "API surface matches api/repro.txt"
+
 # clean removes compiled test binaries and profiles (e.g. a stray
 # repro.test from `go test -c`) so the working tree stays tidy.
 clean:
 	rm -f *.test *.out *.prof
 	find . -name '*.test' -type f -delete
 
-verify: test race clean
+verify: test race apicheck clean

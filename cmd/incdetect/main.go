@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -51,24 +52,15 @@ func main() {
 	}
 	fmt.Printf("loaded %d tuples × %d attrs, %d rules\n", rel.Len(), rel.Schema.Width(), len(rules))
 
-	var sys repro.Detector
+	var opts []repro.Option
 	switch *mode {
 	case "central":
-		start := time.Now()
-		v := repro.DetectCentralized(rel, rules)
-		fmt.Printf("centralized: %d violating tuples in %v\n", v.Len(), time.Since(start).Round(time.Millisecond))
-		if *verbose {
-			fmt.Println(v)
-		}
-		return
+		opts = append(opts, repro.WithCentralized())
 	case "vertical":
-		scheme := repro.RoundRobinVertical(rel.Schema, *sites)
-		s, err := repro.NewVertical(rel, scheme, rules, repro.VerticalOptions{UseOptimizer: *optimize})
-		if err != nil {
-			log.Fatal(err)
+		opts = append(opts, repro.WithVertical(repro.RoundRobinVertical(rel.Schema, *sites)))
+		if *optimize {
+			opts = append(opts, repro.WithOptimizer())
 		}
-		fmt.Printf("vertical plan ships %d eqids per unit update\n", s.Plan().Neqid())
-		sys = s
 	case "horizontal":
 		var scheme *repro.HorizontalScheme
 		if *shardAttr != "" {
@@ -76,34 +68,48 @@ func main() {
 		} else {
 			scheme = repro.IDHorizontal(*sites)
 		}
-		s, err := repro.NewHorizontal(rel, scheme, rules, repro.HorizontalOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		sys = s
+		opts = append(opts, repro.WithHorizontal(scheme))
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	fmt.Printf("initial violations: %d tuples (%s mode, %d sites)\n", sys.Violations().Len(), *mode, *sites)
+	start := time.Now()
+	sess, err := repro.Open(rel, rules, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	if p := sess.Plan(); p != nil {
+		fmt.Printf("vertical plan ships %d eqids per unit update\n", p.Neqid())
+	}
+
+	fmt.Printf("initial violations: %d tuples in %v (%s mode, %d sites)\n",
+		sess.Violations().Len(), time.Since(start).Round(time.Millisecond), *mode, *sites)
 	if *verbose {
-		fmt.Println(sys.Violations())
+		fmt.Println(sess.Violations())
+		for _, rc := range sess.Count() {
+			if rc.Count > 0 {
+				fmt.Printf("  %-12s %d tuples\n", rc.Rule, rc.Count)
+			}
+		}
 	}
 
 	if *updPath != "" {
 		updates := loadUpdates(*updPath, rel.Schema)
 		start := time.Now()
-		delta, err := sys.ApplyBatch(updates)
+		delta, err := sess.ApplyBatch(context.Background(), updates)
 		if err != nil {
 			log.Fatal(err)
 		}
-		st := sys.Stats()
+		st := sess.Stats()
 		fmt.Printf("applied |∆D|=%d in %v: |∆V|=%d (+%d/−%d marks)\n",
 			len(updates), time.Since(start).Round(time.Millisecond),
 			delta.Size(), delta.AddedMarks(), delta.RemovedMarks())
 		fmt.Printf("shipment: %d messages, %.1f KB, %d eqids\n",
 			st.Messages, float64(st.Bytes)/1024, st.Eqids)
-		fmt.Printf("violations now: %d tuples\n", sys.Violations().Len())
+		m := sess.Measures()
+		fmt.Printf("violations now: %d tuples (%d marks, |V|/|D| = %.3f)\n",
+			m.ViolatingTuples, m.Marks, m.TupleRatio)
 	}
 }
 

@@ -2,10 +2,11 @@
 // deployment: a TPCH-like table hash-partitioned by customer across eight
 // sites, with incremental violation maintenance under a mixed update
 // stream — optionally over the real net/rpc TCP transport — and the MD5
-// tuple-coding ablation of §6.
+// tuple-coding ablation of §6. Everything is built through repro.Open.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,28 +32,22 @@ func main() {
 
 	batch := gen.Updates(rel, updates, 0.8)
 
-	run := func(label string, opts repro.HorizontalOptions) {
-		sys, err := repro.NewHorizontal(rel, scheme, rules, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+	run := func(label string, extra ...repro.Option) {
+		opts := append([]repro.Option{repro.WithHorizontal(scheme)}, extra...)
 		if *useRPC {
-			closeFn, err := repro.UseRPCTransport(sys)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer func() {
-				if err := closeFn(); err != nil {
-					log.Printf("closing rpc transport: %v", err)
-				}
-			}()
+			opts = append(opts, repro.WithRPCTransport())
 		}
-		start := time.Now()
-		delta, err := sys.ApplyBatch(batch)
+		sess, err := repro.Open(rel, rules, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		st := sys.Stats()
+		defer sess.Close() // tears down RPC listeners and site goroutines
+		start := time.Now()
+		delta, err := sess.ApplyBatch(context.Background(), batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := sess.Stats()
 		fmt.Printf("%-22s |∆D|=%d → |∆V|=%d in %v; %d messages, %.1f KB shipped\n",
 			label, len(batch), delta.Size(), time.Since(start).Round(time.Millisecond),
 			st.Messages, float64(st.Bytes)/1024)
@@ -65,20 +60,21 @@ func main() {
 	fmt.Printf("shards: %d rows over %d sites (hash by c_name), 40 CFDs, transport: %s\n\n",
 		dbSize, sites, transport)
 
-	run("incHor (MD5 coding):", repro.HorizontalOptions{})
-	run("incHor (raw tuples):", repro.HorizontalOptions{DisableMD5: true})
+	run("incHor (MD5 coding):")
+	run("incHor (raw tuples):", repro.WithoutMD5())
 
-	// Batch baseline for contrast.
-	sys, err := repro.NewHorizontal(rel, scheme, rules, repro.HorizontalOptions{NoIndexes: true})
+	// Batch baseline for contrast: fragments only, no indexes.
+	sess, err := repro.Open(rel, rules, repro.WithHorizontal(scheme), repro.WithNoIndexes())
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
 	start := time.Now()
-	v, err := sys.BatchDetect()
+	v, err := sess.BatchDetect()
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := sys.Stats()
+	st := sess.Stats()
 	fmt.Printf("\nbatHor on |D|=%d:       %d violating tuples in %v; %.1f KB shipped\n",
 		rel.Len(), v.Len(), time.Since(start).Round(time.Millisecond), float64(st.Bytes)/1024)
 }

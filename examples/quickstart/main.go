@@ -1,10 +1,12 @@
 // Quickstart walks through the paper's running example (Figs. 1–2): the
 // EMP relation, CFDs φ1 and φ2, the insertion of t6 and the deletion of
-// t4, in both partition styles — printing the violations, the ∆V of each
-// update, and how little data the incremental algorithms ship.
+// t4 — through the engine-agnostic Session API. One constructor,
+// repro.Open, builds every engine; the same handle then answers
+// read-side queries ("which tuples violate φ2?") and manages rules live.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	schema := repro.MustSchema("EMP",
 		"name", "sex", "grade", "street", "city", "zip", "CC", "AC", "phn", "salary", "hd")
 
@@ -40,14 +43,19 @@ phi2: ([CC, AC] -> [city], (44, 131, EDI))
 		log.Fatal(err)
 	}
 
-	fmt.Println("== centralized detection (the paper's Fig. 1) ==")
-	fmt.Println("V(Σ, D0) =", repro.DetectCentralized(rel, rules))
+	fmt.Println("== centralized session (the paper's Fig. 1) ==")
+	cent, err := repro.Open(rel, rules) // centralized is the default engine
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cent.Close()
+	fmt.Println("V(Σ, D0) =", cent.Violations())
 
 	t6 := repro.Tuple{ID: 6, Values: []string{
 		"George", "M", "C", "Mayfield", "EDI", "EH4 8LE", "44", "131", "9595858", "120k", "01/07/1993"}}
 	t4, _ := rel.Get(4)
 
-	fmt.Println("\n== vertical partition (DV1 | DV2 | DV3 of Fig. 2) ==")
+	fmt.Println("\n== vertical session (DV1 | DV2 | DV3 of Fig. 2) ==")
 	vscheme, err := repro.NewVerticalScheme(schema, 3, map[string][]int{
 		"name": {0}, "sex": {0}, "grade": {0},
 		"street": {1}, "city": {1}, "zip": {1},
@@ -56,45 +64,74 @@ phi2: ([CC, AC] -> [city], (44, 131, EDI))
 	if err != nil {
 		log.Fatal(err)
 	}
-	vsys, err := repro.NewVertical(rel, vscheme, rules, repro.VerticalOptions{})
+	vsess, err := repro.Open(rel, rules, repro.WithVertical(vscheme))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("initial V:", vsys.Violations())
+	defer vsess.Close()
+	fmt.Println("initial V:", vsess.Violations())
 
-	delta, err := vsys.ApplyBatch(repro.UpdateList{{Kind: repro.Insert, Tuple: t6}})
+	delta, err := vsess.ApplyBatch(ctx, repro.UpdateList{{Kind: repro.Insert, Tuple: t6}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := vsys.Stats()
-	fmt.Printf("insert t6: %v  (eqids shipped: %d — paper Example 2 says one suffices)\n", delta, st.Eqids)
+	fmt.Printf("insert t6: %v  (eqids shipped: %d — paper Example 2 says one suffices)\n",
+		delta, vsess.Stats().Eqids)
 
-	delta, err = vsys.ApplyBatch(repro.UpdateList{{Kind: repro.Delete, Tuple: t4}})
+	delta, err = vsess.ApplyBatch(ctx, repro.UpdateList{{Kind: repro.Delete, Tuple: t4}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("delete t4: %v  (eqids shipped so far: %d)\n", delta, vsys.Stats().Eqids)
+	fmt.Printf("delete t4: %v  (eqids shipped so far: %d)\n", delta, vsess.Stats().Eqids)
 
-	fmt.Println("\n== horizontal partition (DH1 | DH2 | DH3: grade A/B/C) ==")
-	hscheme := repro.BySetHorizontal("grade", [][]string{{"A"}, {"B"}, {"C"}})
-	hsys, err := repro.NewHorizontal(rel, hscheme, rules, repro.HorizontalOptions{})
+	fmt.Println("\n== horizontal session (DH1 | DH2 | DH3: grade A/B/C) ==")
+	hsess, err := repro.Open(rel, rules, repro.WithHorizontal(
+		repro.BySetHorizontal("grade", [][]string{{"A"}, {"B"}, {"C"}})))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("initial V:", hsys.Violations())
+	defer hsess.Close()
+	fmt.Println("initial V:", hsess.Violations())
 
-	delta, err = hsys.ApplyBatch(repro.UpdateList{{Kind: repro.Insert, Tuple: t6}})
+	delta, err = hsess.ApplyBatch(ctx, repro.UpdateList{{Kind: repro.Insert, Tuple: t6}})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("insert t6: %v  (messages shipped: %d — the paper: none are needed)\n",
-		delta, hsys.Stats().Messages)
+		delta, hsess.Stats().Messages)
 
-	delta, err = hsys.ApplyBatch(repro.UpdateList{{Kind: repro.Delete, Tuple: t4}})
+	delta, err = hsess.ApplyBatch(ctx, repro.UpdateList{{Kind: repro.Delete, Tuple: t4}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("delete t4: %v  (messages shipped: %d)\n", delta, hsys.Stats().Messages)
+	fmt.Printf("delete t4: %v  (messages shipped: %d)\n", delta, hsess.Stats().Messages)
 
-	fmt.Println("\nfinal V:", hsys.Violations())
+	// The read-side surface: per-rule drill-down from the posting index
+	// and the aggregate inconsistency measures.
+	fmt.Println("\nfinal V:", hsess.Violations())
+	fmt.Println("per-rule histogram:", hsess.Count())
+	for _, row := range hsess.Query(repro.ByRule("phi2")) {
+		fmt.Printf("  t%d violates %v\n", row.Tuple, row.Rules)
+	}
+	m := hsess.Measures()
+	fmt.Printf("measures: drastic=%d |V|=%d marks=%d ratio=%.2f\n",
+		m.Drastic, m.ViolatingTuples, m.Marks, m.TupleRatio)
+
+	// Live rule management: a third rule arrives while the system runs;
+	// only its marks are seeded (a metered seed-delta round), and
+	// retiring it removes exactly them.
+	phi3, err := repro.ParseRules(`phi3: ([zip] -> [street], (_, _))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed, err := hsess.AddRules(phi3...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAddRules(phi3): seeded %v\n", seed)
+	retired, err := hsess.RemoveRules("phi3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RemoveRules(phi3): retired %v\n", retired)
 }

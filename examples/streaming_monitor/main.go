@@ -1,9 +1,9 @@
-// streaming_monitor drives a horizontally sharded detection system with
+// streaming_monitor drives a horizontally sharded detection session with
 // continuous mixed-update traffic and prints a live per-batch monitor:
 // the batch's ∆V, the maintained violation count, what crossed the wire,
-// and how long apply took. It then replays the same stream through a
-// centralized single-site maintainer and checks both land on the same
-// final violation set — the pipeline's correctness invariant.
+// and how long apply took. A Watch subscription consumes the same
+// stream's ∆V events on the side — the shape of a downstream consumer —
+// and a centralized replay cross-checks the final violation set.
 //
 // This is the shape of a production deployment of the paper's incHor:
 // updates arrive in bursts, the violation set is continuously
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const (
 		sites    = 8
 		baseRows = 12000
@@ -29,12 +31,14 @@ func main() {
 	rules := gen.Rules(numRules)
 	rel := gen.Relation(baseRows)
 
-	sys, err := repro.NewHorizontal(rel.Clone(), repro.HashHorizontal("c_name", sites), rules, repro.HorizontalOptions{})
+	sess, err := repro.Open(rel.Clone(), rules,
+		repro.WithHorizontal(repro.HashHorizontal("c_name", sites)))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
 	fmt.Printf("monitor: %d rows over %d shards, %d CFDs, %d initial violations\n\n",
-		rel.Len(), sites, numRules, sys.Violations().Len())
+		rel.Len(), sites, numRules, sess.Violations().Len())
 
 	// A bursty stream: three quiet batches, then a 3¼× burst, repeated.
 	newStream := func() *repro.UpdateStream {
@@ -49,8 +53,21 @@ func main() {
 		})
 	}
 
+	// A downstream subscriber: every applied batch's ∆V arrives on the
+	// watch channel; here it just tallies marks.
+	events, unsubscribe := sess.Watch(batches + 1)
+	defer unsubscribe()
+	subscriberMarks := make(chan int)
+	go func() {
+		total := 0
+		for ev := range events {
+			total += ev.Delta.Size()
+		}
+		subscriberMarks <- total
+	}()
+
 	fmt.Println("batch  size  +marks  -marks  |V|    wireKB  msgs  apply")
-	sum, err := repro.RunStream(sys, newStream(), repro.StreamOptions{
+	sum, err := sess.Run(ctx, newStream(), repro.StreamOptions{
 		OnBatch: func(b repro.StreamBatch, r repro.StreamBatchResult, snap *repro.Violations) {
 			tag := " "
 			if r.Size > 600 {
@@ -69,17 +86,21 @@ func main() {
 		sum.Updates, sum.Inserts, sum.Deletes, sum.Batches,
 		float64(sum.WireBytes)/1024, sum.Net.Size())
 
-	// The conservation law: a single-site maintainer fed the identical
+	unsubscribe()
+	fmt.Printf("watch subscriber saw %d raw ∆V marks across the stream\n", <-subscriberMarks)
+
+	// The conservation law: a centralized session fed the identical
 	// stream must end on the identical violation set.
-	oracle, err := repro.NewCentralizedApplier(rel, rules)
+	oracle, err := repro.Open(rel, rules)
 	if err != nil {
 		log.Fatal(err)
 	}
-	osum, err := repro.RunStream(oracle, newStream(), repro.StreamOptions{})
+	defer oracle.Close()
+	osum, err := oracle.Run(ctx, newStream(), repro.StreamOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !sys.Violations().Equal(oracle.Violations()) {
+	if !sess.Violations().Equal(oracle.Violations()) {
 		log.Fatal("distributed and centralized violation sets diverged")
 	}
 	fmt.Printf("cross-check: centralized replay agrees — |V| = %d tuples, net |∆V| = %d marks, 0 bytes shipped\n",

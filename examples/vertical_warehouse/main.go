@@ -1,12 +1,14 @@
 // vertical_warehouse demonstrates incremental detection over a columnar
 // warehouse: a wide TPCH-style joined table split vertically across ten
 // sites (as in C-Store-style deployments the paper motivates), a rule set
-// of fifty CFDs, and a stream of update batches. It contrasts incVer
-// against batVer on time and shipment, and shows what §5's HEV-sharing
-// optimizer saves.
+// of fifty CFDs, and a stream of update batches — all through repro.Open.
+// It contrasts incVer against batVer on time and shipment, shows what
+// §5's HEV-sharing optimizer saves, and finishes with the session's
+// read-side drill-down over the maintained violation set.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const (
 		sites    = 10
 		dbSize   = 20000
@@ -31,26 +34,28 @@ func main() {
 	fmt.Printf("warehouse: %d rows × %d attributes over %d sites, %d CFDs\n",
 		rel.Len(), gen.Schema().Width(), sites, numRules)
 
-	// Build twice to compare HEV plans: naive chains vs optVer.
-	naive, err := repro.NewVertical(rel, scheme, rules, repro.VerticalOptions{})
+	// Open twice to compare HEV plans: naive chains vs optVer.
+	naive, err := repro.Open(rel, rules, repro.WithVertical(scheme))
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt, err := repro.NewVertical(rel, scheme, rules, repro.VerticalOptions{UseOptimizer: true})
+	defer naive.Close()
+	opt, err := repro.Open(rel, rules, repro.WithVertical(scheme), repro.WithOptimizer())
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer opt.Close()
 	fmt.Printf("HEV plans: naive ships %d eqids per unit update, optVer %d (%.1f%% saved)\n",
 		naive.Plan().Neqid(), opt.Plan().Neqid(),
 		100*float64(naive.Plan().Neqid()-opt.Plan().Neqid())/float64(naive.Plan().Neqid()))
 	fmt.Printf("initial violations: %d tuples\n\n", opt.Violations().Len())
 
-	// Stream update batches through the optimized system.
+	// Stream update batches through the optimized session.
 	mirror := rel.Clone()
 	for b := 1; b <= batches; b++ {
 		updates := gen.Updates(mirror, batchSz, 0.8)
 		start := time.Now()
-		delta, err := opt.ApplyBatch(updates)
+		delta, err := opt.ApplyBatch(ctx, updates)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -76,6 +81,24 @@ func main() {
 	fmt.Printf("\nbatVer recomputation: %d violating tuples in %v, shipping %.1f KB\n",
 		bv.Len(), batTime.Round(time.Millisecond), float64(bst.Bytes)/1024)
 	fmt.Printf("incremental state agrees: %v\n", bv.Equal(opt.Violations()))
+
+	// The read side a warehouse client actually wants: which rules are
+	// dirtiest, and which tuples violate the worst one.
+	hist := opt.Count()
+	worst := hist[0]
+	for _, rc := range hist {
+		if rc.Count > worst.Count {
+			worst = rc
+		}
+	}
+	m := opt.Measures()
+	fmt.Printf("\nmeasures: |V|=%d tuples, %d marks over %d violated rules, |V|/|D| = %.3f\n",
+		m.ViolatingTuples, m.Marks, m.RulesViolated, m.TupleRatio)
+	top := opt.Query(repro.ByRule(worst.Rule), repro.Limit(5))
+	fmt.Printf("dirtiest rule %s (%d tuples); first %d offenders:\n", worst.Rule, worst.Count, len(top))
+	for _, row := range top {
+		fmt.Printf("  t%d\n", row.Tuple)
+	}
 
 	// Busiest shipment edges, the paper's M(i,j).
 	fmt.Println("\nbusiest site pairs by batch shipment:")

@@ -190,3 +190,6 @@ func (inc *Incremental) applyUnit(u relation.Update) (*cfd.Delta, error) {
 	}
 	return delta, nil
 }
+
+// Rules returns the rule set in force.
+func (inc *Incremental) Rules() []cfd.CFD { return inc.rules }

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/relation"
+	"repro/internal/xerr"
 )
 
 // Wildcard is the unnamed variable '_' of pattern tuples. It matches any
@@ -73,13 +74,13 @@ func (c *CFD) Validate(s *relation.Schema) error {
 		return fmt.Errorf("cfd: rule %s has empty LHS", c.ID)
 	}
 	if len(c.LHSPattern) != len(c.LHS) {
-		return fmt.Errorf("cfd: rule %s has %d LHS attributes but %d pattern entries",
-			c.ID, len(c.LHS), len(c.LHSPattern))
+		return fmt.Errorf("cfd: rule %s has %d LHS attributes but %d pattern entries: %w",
+			c.ID, len(c.LHS), len(c.LHSPattern), xerr.ErrArityMismatch)
 	}
 	seen := make(map[string]bool, len(c.LHS))
 	for _, a := range c.LHS {
 		if !s.Has(a) {
-			return fmt.Errorf("cfd: rule %s: schema %q has no attribute %q", c.ID, s.Name, a)
+			return fmt.Errorf("cfd: rule %s: schema %q has no attribute %q: %w", c.ID, s.Name, a, xerr.ErrUnknownAttribute)
 		}
 		if seen[a] {
 			return fmt.Errorf("cfd: rule %s: duplicate LHS attribute %q", c.ID, a)
@@ -87,7 +88,7 @@ func (c *CFD) Validate(s *relation.Schema) error {
 		seen[a] = true
 	}
 	if !s.Has(c.RHS) {
-		return fmt.Errorf("cfd: rule %s: schema %q has no attribute %q", c.ID, s.Name, c.RHS)
+		return fmt.Errorf("cfd: rule %s: schema %q has no attribute %q: %w", c.ID, s.Name, c.RHS, xerr.ErrUnknownAttribute)
 	}
 	if seen[c.RHS] {
 		// X → B with B ∈ X is trivially satisfied; reject as a likely
@@ -156,7 +157,7 @@ func ValidateAll(s *relation.Schema, rules []CFD) error {
 			return err
 		}
 		if ids[rules[i].ID] {
-			return fmt.Errorf("cfd: duplicate rule id %q", rules[i].ID)
+			return fmt.Errorf("cfd: duplicate rule id %q: %w", rules[i].ID, xerr.ErrDuplicateRule)
 		}
 		ids[rules[i].ID] = true
 	}

@@ -1,0 +1,136 @@
+package cfd
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// This file is the read-side query surface over Violations: per-rule
+// drill-down answered from the posting index (O(answer), never a scan of
+// V) and the aggregate inconsistency measures of the database-repair
+// literature (Livshits et al.; Parisi & Grant), computed from the same
+// postings in O(|Σ|).
+
+// RuleIDs returns every interned rule id in lexicographic order,
+// including rules currently violated by no tuple.
+func (v *Violations) RuleIDs() []string {
+	idxs := v.rs.sortedIdx()
+	out := make([]string, len(idxs))
+	for i, idx := range idxs {
+		out[i] = v.rs.names[idx]
+	}
+	return out
+}
+
+// LookupRule returns the interned index of rule, if any.
+func (v *Violations) LookupRule(rule string) (RuleIdx, bool) {
+	return v.rs.lookup(rule)
+}
+
+// CountIdx returns the number of tuples violating the rule with the
+// given interned index, in O(1).
+func (v *Violations) CountIdx(idx RuleIdx) int {
+	if int(idx) < 0 || int(idx) >= len(v.post) {
+		return 0
+	}
+	return len(v.post[idx])
+}
+
+// CountRule returns the number of tuples violating rule, in O(1); zero
+// for unknown rules.
+func (v *Violations) CountRule(rule string) int {
+	idx, ok := v.rs.lookup(rule)
+	if !ok {
+		return 0
+	}
+	return v.CountIdx(idx)
+}
+
+// EachTupleOfRuleIdx calls f for every tuple violating the rule with the
+// given interned index, in map order; f returning false stops the
+// iteration. Cost is O(visited), independent of |V|.
+func (v *Violations) EachTupleOfRuleIdx(idx RuleIdx, f func(relation.TupleID) bool) {
+	if int(idx) < 0 || int(idx) >= len(v.post) {
+		return
+	}
+	for id := range v.post[idx] {
+		if !f(id) {
+			return
+		}
+	}
+}
+
+// EachTupleOfRule is EachTupleOfRuleIdx by rule id; unknown rules visit
+// nothing.
+func (v *Violations) EachTupleOfRule(rule string, f func(relation.TupleID) bool) {
+	if idx, ok := v.rs.lookup(rule); ok {
+		v.EachTupleOfRuleIdx(idx, f)
+	}
+}
+
+// TuplesOfRule returns the tuples violating rule in ascending order:
+// O(answer log answer), never a scan of V.
+func (v *Violations) TuplesOfRule(rule string) []relation.TupleID {
+	idx, ok := v.rs.lookup(rule)
+	if !ok {
+		return nil
+	}
+	out := make([]relation.TupleID, 0, len(v.post[idx]))
+	for id := range v.post[idx] {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RuleCount pairs a rule id with the number of tuples violating it.
+type RuleCount struct {
+	Rule  string
+	Count int
+}
+
+// Histogram returns the per-rule violation counts in lexicographic rule
+// order (every interned rule, including zero rows): the per-rule
+// inconsistency histogram, from the postings in O(|Σ|).
+func (v *Violations) Histogram() []RuleCount {
+	idxs := v.rs.sortedIdx()
+	out := make([]RuleCount, len(idxs))
+	for i, idx := range idxs {
+		out[i] = RuleCount{Rule: v.rs.names[idx], Count: len(v.post[idx])}
+	}
+	return out
+}
+
+// Measures are aggregate inconsistency measures over V(Σ, D), after
+// Livshits et al. ("Properties of Inconsistency Measures for Databases")
+// and Parisi & Grant. All derive from the posting index in O(|Σ|).
+type Measures struct {
+	// Drastic is I_d: 1 when the database is inconsistent at all, else 0.
+	Drastic int
+	// ViolatingTuples is |V|: the number of tuples in at least one
+	// violation (the problematic-tuples measure I_P).
+	ViolatingTuples int
+	// Marks is the total number of (tuple, rule) violation marks —
+	// Σ_φ |V(φ)|, the minimal-inconsistent-sets-style count I_MI where
+	// each mark witnesses one violated constraint instance.
+	Marks int
+	// RulesViolated counts the rules with at least one violating tuple.
+	RulesViolated int
+}
+
+// Measure computes the aggregate measures.
+func (v *Violations) Measure() Measures {
+	var m Measures
+	m.ViolatingTuples = v.ms.lenTuples()
+	if m.ViolatingTuples > 0 {
+		m.Drastic = 1
+	}
+	for _, p := range v.post {
+		m.Marks += len(p)
+		if len(p) > 0 {
+			m.RulesViolated++
+		}
+	}
+	return m
+}

@@ -1,0 +1,116 @@
+package cfd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestPostingsMatchScan churns random marks through a Violations and
+// asserts, after every few operations, that the posting index answers
+// exactly what a linear scan of the bitsets answers — counts, per-rule
+// tuple sets, histogram and measures.
+func TestPostingsMatchScan(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		v := NewViolations()
+		nRules := 3 + rng.Intn(70) // crosses the 64-rule spill boundary
+		rules := make([]string, nRules)
+		for i := range rules {
+			rules[i] = "phi" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+			v.Intern(rules[i])
+		}
+		for op := 0; op < 2000; op++ {
+			id := relation.TupleID(rng.Intn(200))
+			r := rules[rng.Intn(nRules)]
+			if rng.Intn(3) == 0 {
+				v.Remove(id, r)
+			} else {
+				v.Add(id, r)
+			}
+			if op%97 != 0 {
+				continue
+			}
+			checkPostings(t, v, rules)
+		}
+		checkPostings(t, v, rules)
+	}
+}
+
+func checkPostings(t *testing.T, v *Violations, rules []string) {
+	t.Helper()
+	totalMarks := 0
+	for _, r := range rules {
+		idx, ok := v.rs.lookup(r)
+		if !ok {
+			t.Fatalf("rule %s not interned", r)
+		}
+		// Linear scan over the bitsets.
+		scan := make(map[relation.TupleID]bool)
+		v.ms.eachTuple(func(id relation.TupleID) {
+			if v.ms.has(id, idx) {
+				scan[id] = true
+			}
+		})
+		if got := v.CountRule(r); got != len(scan) {
+			t.Fatalf("CountRule(%s) = %d, scan says %d", r, got, len(scan))
+		}
+		for _, id := range v.TuplesOfRule(r) {
+			if !scan[id] {
+				t.Fatalf("TuplesOfRule(%s) includes %d, scan does not", r, id)
+			}
+		}
+		seen := 0
+		v.EachTupleOfRule(r, func(id relation.TupleID) bool {
+			if !scan[id] {
+				t.Fatalf("EachTupleOfRule(%s) visited %d, scan does not have it", r, id)
+			}
+			seen++
+			return true
+		})
+		if seen != len(scan) {
+			t.Fatalf("EachTupleOfRule(%s) visited %d tuples, scan says %d", r, seen, len(scan))
+		}
+		totalMarks += len(scan)
+	}
+	if got := v.Measure(); got.Marks != v.Marks() || got.Marks != totalMarks ||
+		got.ViolatingTuples != v.Len() || (got.Drastic == 1) != (v.Len() > 0) {
+		t.Fatalf("Measure() = %+v inconsistent with Marks=%d Len=%d scanned=%d",
+			got, v.Marks(), v.Len(), totalMarks)
+	}
+	hist := v.Histogram()
+	histSum := 0
+	for _, rc := range hist {
+		if rc.Count != v.CountRule(rc.Rule) {
+			t.Fatalf("Histogram count for %s = %d, CountRule = %d", rc.Rule, rc.Count, v.CountRule(rc.Rule))
+		}
+		histSum += rc.Count
+	}
+	if histSum != totalMarks {
+		t.Fatalf("Histogram sums to %d marks, scan says %d", histSum, totalMarks)
+	}
+}
+
+// TestPostingsCloneSnapshot pins that clones carry independent postings
+// and snapshots share them read-only.
+func TestPostingsCloneSnapshot(t *testing.T) {
+	v := NewViolations()
+	v.Add(1, "phi1")
+	v.Add(2, "phi1")
+	v.Add(2, "phi2")
+
+	c := v.Clone()
+	v.Remove(2, "phi1")
+	if c.CountRule("phi1") != 2 {
+		t.Fatalf("clone postings mutated with original: CountRule(phi1) = %d", c.CountRule("phi1"))
+	}
+	if v.CountRule("phi1") != 1 {
+		t.Fatalf("original CountRule(phi1) = %d, want 1", v.CountRule("phi1"))
+	}
+
+	s := v.Snapshot()
+	if s.CountRule("phi2") != 1 || len(s.TuplesOfRule("phi2")) != 1 {
+		t.Fatalf("snapshot postings wrong: %d", s.CountRule("phi2"))
+	}
+}

@@ -120,57 +120,63 @@ func (m *markSet) spill() {
 func (m *markSet) spilled() bool { return m.big != nil }
 
 // set marks (id, idx); newTuple reports whether id was previously
-// unmarked entirely.
-func (m *markSet) set(id relation.TupleID, idx RuleIdx) (newTuple bool) {
+// unmarked entirely, changed whether the (id, idx) bit was newly set.
+func (m *markSet) set(id relation.TupleID, idx RuleIdx) (newTuple, changed bool) {
 	if m.big == nil {
 		w, ok := m.small[id]
 		if m.small == nil {
 			m.small = make(map[relation.TupleID]uint64)
 		}
-		m.small[id] = w | 1<<uint(idx)
-		return !ok
+		bit := uint64(1) << uint(idx)
+		m.small[id] = w | bit
+		return !ok, w&bit == 0
 	}
 	ws, ok := m.big[id]
 	word, bit := int(idx)/64, uint(idx)%64
 	for len(ws) <= word {
 		ws = append(ws, 0)
 	}
+	changed = ws[word]&(1<<bit) == 0
 	ws[word] |= 1 << bit
 	m.big[id] = ws
-	return !ok
+	return !ok, changed
 }
 
-// clear unmarks (id, idx); gone reports whether id's last mark left.
-func (m *markSet) clear(id relation.TupleID, idx RuleIdx) (gone bool) {
+// clear unmarks (id, idx); gone reports whether id's last mark left,
+// changed whether the (id, idx) bit was actually cleared.
+func (m *markSet) clear(id relation.TupleID, idx RuleIdx) (gone, changed bool) {
 	if m.big == nil {
 		w, ok := m.small[id]
 		if !ok {
-			return false
+			return false, false
 		}
-		w &^= 1 << uint(idx)
+		bit := uint64(1) << uint(idx)
+		changed = w&bit != 0
+		w &^= bit
 		if w == 0 {
 			delete(m.small, id)
-			return true
+			return true, changed
 		}
 		m.small[id] = w
-		return false
+		return false, changed
 	}
 	ws, ok := m.big[id]
 	if !ok {
-		return false
+		return false, false
 	}
 	word, bit := int(idx)/64, uint(idx)%64
 	if word >= len(ws) {
-		return false
+		return false, false
 	}
+	changed = ws[word]&(1<<bit) != 0
 	ws[word] &^= 1 << bit
 	for _, w := range ws {
 		if w != 0 {
-			return false
+			return false, changed
 		}
 	}
 	delete(m.big, id)
-	return true
+	return true, changed
 }
 
 func (m *markSet) has(id relation.TupleID, idx RuleIdx) bool {
@@ -307,6 +313,14 @@ type Violations struct {
 	rs ruleSpace
 	ms markSet
 
+	// post holds the per-rule secondary index: post[idx] is the posting
+	// set of rule idx — exactly the tuples carrying that mark. The
+	// postings are maintained in lockstep by AddIdx/RemoveIdx, so
+	// per-rule queries (CountIdx, EachTupleOfRuleIdx) answer in
+	// O(answer) without scanning V. Maps are pre-sized at Intern time so
+	// warm mark churn stays allocation-free.
+	post []map[relation.TupleID]struct{}
+
 	// tuplesCache holds Tuples()' sorted output; nil when stale.
 	tuplesCache []relation.TupleID
 	// frozen marks a Snapshot view: mutators panic.
@@ -326,6 +340,12 @@ func (v *Violations) Intern(rule string) RuleIdx {
 	if fresh && int(idx) == smallWidth {
 		v.ms.spill()
 	}
+	if fresh {
+		// Pre-size the posting map (one bucket) so the first marks of
+		// the rule — and churn on a previously emptied posting — never
+		// allocate on the mark path.
+		v.post = append(v.post, make(map[relation.TupleID]struct{}, 8))
+	}
 	return idx
 }
 
@@ -344,8 +364,12 @@ func (v *Violations) Add(id relation.TupleID, rule string) {
 // AddIdx records a violation mark through a pre-interned index.
 func (v *Violations) AddIdx(id relation.TupleID, idx RuleIdx) {
 	v.mutable()
-	if v.ms.set(id, idx) {
+	newTuple, changed := v.ms.set(id, idx)
+	if newTuple {
 		v.tuplesCache = nil
+	}
+	if changed {
+		v.post[idx][id] = struct{}{}
 	}
 }
 
@@ -362,8 +386,12 @@ func (v *Violations) Remove(id relation.TupleID, rule string) {
 // RemoveIdx clears a violation mark through a pre-interned index.
 func (v *Violations) RemoveIdx(id relation.TupleID, idx RuleIdx) {
 	v.mutable()
-	if v.ms.clear(id, idx) {
+	gone, changed := v.ms.clear(id, idx)
+	if gone {
 		v.tuplesCache = nil
+	}
+	if changed {
+		delete(v.post[idx], id)
 	}
 }
 
@@ -420,14 +448,23 @@ func (v *Violations) Marks() int { return v.ms.marks() }
 
 // Clone returns a deep copy.
 func (v *Violations) Clone() *Violations {
-	return &Violations{rs: v.rs.clone(), ms: v.ms.clone()}
+	c := &Violations{rs: v.rs.clone(), ms: v.ms.clone()}
+	c.post = make([]map[relation.TupleID]struct{}, len(v.post))
+	for i, p := range v.post {
+		cp := make(map[relation.TupleID]struct{}, len(p))
+		for id := range p {
+			cp[id] = struct{}{}
+		}
+		c.post[i] = cp
+	}
+	return c
 }
 
 // Snapshot returns a read-only view sharing v's storage: an O(1)
 // alternative to Clone when the caller only compares or inspects.
 // The view is valid until v next mutates; mutators on the view panic.
 func (v *Violations) Snapshot() *Violations {
-	return &Violations{rs: v.rs, ms: v.ms, frozen: true}
+	return &Violations{rs: v.rs, ms: v.ms, post: v.post, frozen: true}
 }
 
 // Equal reports whether two violation sets hold identical marks. Rule

@@ -46,6 +46,24 @@ type Detector interface {
 	Cluster() *network.Cluster
 	// Rules returns the rule set in force.
 	Rules() []cfd.CFD
+	// AddRules brings new rules into force without rebuilding the
+	// system: only the new rules' per-site state and violation marks are
+	// seeded, through metered seed-delta rounds. Returns the seeded ∆V.
+	AddRules([]cfd.CFD) (*cfd.Delta, error)
+	// RemoveRules retires rules by id, dropping their per-site state and
+	// their marks from the maintained violation set. Returns the retired
+	// ∆V.
+	RemoveRules([]string) (*cfd.Delta, error)
+}
+
+// init pins the rule-management wire types of both engines into gob's
+// type registry. Both engine packages pinned their protocol types in
+// their own inits (which have already run by the time this one does), so
+// these later additions take type ids after every pre-existing wire type
+// — keeping the committed byte baselines stable.
+func init() {
+	horizontal.PinRuleWireTypes()
+	vertical.PinRuleWireTypes()
 }
 
 // Compile-time checks that both engines satisfy the façade.

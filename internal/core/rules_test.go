@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/centralized"
+	"repro/internal/cfd"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// TestEngineRuleManagementOracle interleaves AddRules/RemoveRules with
+// update batches on both distributed engines and, after every step,
+// asserts the maintained violation set bit-identical to a fresh
+// centralized detection over mirrored data with the rule set then in
+// force — the engine-level half of the paper-faithful differential
+// oracle (the session layer runs the 20-seed version).
+func TestEngineRuleManagementOracle(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		for _, style := range []string{"horizontal", "vertical"} {
+			t.Run(style, func(t *testing.T) {
+				gen := workload.NewSized(workload.TPCH, seed, 800)
+				allRules := gen.Rules(6)
+				rel := gen.Relation(300)
+				mirror := rel.Clone()
+
+				var sys Detector
+				var err error
+				switch style {
+				case "vertical":
+					sys, err = NewVertical(rel, partition.RoundRobinVertical(rel.Schema, 4), allRules[:3], VerticalOptions{})
+				case "horizontal":
+					sys, err = NewHorizontal(rel, partition.HashHorizontal("c_name", 4), allRules[:3], HorizontalOptions{})
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				active := append([]cfd.CFD(nil), allRules[:3]...)
+
+				check := func(stage string) {
+					t.Helper()
+					oracle := centralized.Detect(mirror, active)
+					if !sys.Violations().Equal(oracle) {
+						t.Fatalf("seed %d %s: %s: V diverged\n got: %v\nwant: %v",
+							seed, style, stage, sys.Violations(), oracle)
+					}
+				}
+				applyBatch := func(n int) {
+					t.Helper()
+					updates := gen.Updates(mirror, n, 0.7)
+					if _, err := sys.ApplyBatch(updates); err != nil {
+						t.Fatalf("seed %d %s: ApplyBatch: %v", seed, style, err)
+					}
+					if err := updates.Normalize().Apply(mirror); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				check("initial")
+				applyBatch(40)
+				check("after batch 1")
+
+				before := sys.Stats()
+				addDelta, err := sys.AddRules(allRules[3:5])
+				if err != nil {
+					t.Fatalf("seed %d %s: AddRules: %v", seed, style, err)
+				}
+				active = append(active, allRules[3:5]...)
+				check("after AddRules")
+				if w := sys.Stats().Sub(before); w.Messages == 0 {
+					t.Errorf("seed %d %s: AddRules seed-delta round shipped no messages", seed, style)
+				}
+				// The seed delta must be exactly the new rules' marks.
+				for _, id := range addDelta.AddedTuples() {
+					for _, r := range addDelta.AddedRules(id) {
+						if r != allRules[3].ID && r != allRules[4].ID {
+							t.Fatalf("seed %d %s: AddRules delta touched old rule %s", seed, style, r)
+						}
+					}
+				}
+
+				applyBatch(40)
+				check("after batch 2")
+
+				rmDelta, err := sys.RemoveRules([]string{active[1].ID})
+				if err != nil {
+					t.Fatalf("seed %d %s: RemoveRules: %v", seed, style, err)
+				}
+				if rmDelta.AddedMarks() != 0 {
+					t.Fatalf("seed %d %s: RemoveRules added marks", seed, style)
+				}
+				active = append(active[:1:1], active[2:]...)
+				check("after RemoveRules")
+
+				applyBatch(40)
+				check("after batch 3")
+
+				// Re-add a previously removed-name-free rule and finish
+				// with one more batch.
+				if _, err := sys.AddRules(allRules[5:6]); err != nil {
+					t.Fatalf("seed %d %s: AddRules #2: %v", seed, style, err)
+				}
+				active = append(active, allRules[5])
+				check("after AddRules #2")
+				applyBatch(40)
+				check("final")
+			})
+		}
+	}
+}
+
+// TestRuleManagementMatchesFreshSeed pins the acceptance criterion
+// directly: after AddRules/RemoveRules, V is bit-identical to a system
+// freshly seeded with the final rule set.
+func TestRuleManagementMatchesFreshSeed(t *testing.T) {
+	gen := workload.NewSized(workload.TPCH, 7, 600)
+	rules := gen.Rules(5)
+	rel := gen.Relation(250)
+
+	for _, style := range []string{"horizontal", "vertical"} {
+		var sys, fresh Detector
+		var err, err2 error
+		switch style {
+		case "vertical":
+			scheme := partition.RoundRobinVertical(rel.Schema, 3)
+			sys, err = NewVertical(rel, scheme, rules[:2], VerticalOptions{})
+			fresh, err2 = NewVertical(rel, scheme, append(append([]cfd.CFD(nil), rules[0]), rules[3], rules[4]), VerticalOptions{})
+		case "horizontal":
+			scheme := partition.HashHorizontal("c_name", 3)
+			sys, err = NewHorizontal(rel, scheme, rules[:2], HorizontalOptions{})
+			fresh, err2 = NewHorizontal(rel, scheme, append(append([]cfd.CFD(nil), rules[0]), rules[3], rules[4]), HorizontalOptions{})
+		}
+		if err != nil || err2 != nil {
+			t.Fatal(err, err2)
+		}
+		if _, err := sys.AddRules(rules[3:5]); err != nil {
+			t.Fatalf("%s: AddRules: %v", style, err)
+		}
+		if _, err := sys.RemoveRules([]string{rules[1].ID}); err != nil {
+			t.Fatalf("%s: RemoveRules: %v", style, err)
+		}
+		if !sys.Violations().Equal(fresh.Violations()) {
+			t.Fatalf("%s: live-managed V != fresh full seed\n got: %v\nwant: %v",
+				style, sys.Violations(), fresh.Violations())
+		}
+		_ = relation.TupleID(0)
+	}
+}

@@ -1,12 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/cfd"
-	"repro/internal/core"
 	"repro/internal/partition"
+	"repro/internal/session"
 	"repro/internal/workload"
 )
 
@@ -54,26 +55,24 @@ func RunCoalesce(sc Scale, rtt time.Duration) ([]CoalesceRow, error) {
 				gen := workload.NewSized(workload.TPCH, sc.Seed, 8*sc.Unit)
 				rules := gen.Rules(tpchRulesDefault)
 				rel := gen.Relation(3 * sc.Unit)
-				var sys core.Detector
-				var err error
-				if style == "ver" {
-					sys, err = core.NewVertical(rel, partition.RoundRobinVertical(gen.Schema(), sc.Sites),
-						rules, core.VerticalOptions{UseOptimizer: true})
-				} else {
-					sys, err = core.NewHorizontal(rel, partition.HashHorizontal("c_name", sc.Sites),
-						rules, core.HorizontalOptions{})
+				opts := []session.Option{session.WithVertical(partition.RoundRobinVertical(gen.Schema(), sc.Sites)), session.WithOptimizer()}
+				if style == "hor" {
+					opts = []session.Option{session.WithHorizontal(partition.HashHorizontal("c_name", sc.Sites))}
 				}
+				if unit {
+					opts = append(opts, session.WithUnitMode())
+				}
+				if rtt > 0 {
+					opts = append(opts, session.WithLinkRTT(rtt))
+				}
+				sys, err := session.Open(rel, rules, opts...)
 				if err != nil {
 					return nil, err
-				}
-				sys.SetUnitMode(unit)
-				if rtt > 0 {
-					sys.Cluster().SetLinkRTT(rtt)
 				}
 				updates := gen.Updates(rel, batch, 0.7)
 				v0 := sys.Violations().Clone()
 				start := time.Now()
-				if _, err := sys.ApplyBatch(updates); err != nil {
+				if _, err := sys.ApplyBatch(context.Background(), updates); err != nil {
 					return nil, err
 				}
 				elapsed := time.Since(start).Seconds()

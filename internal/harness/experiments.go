@@ -533,6 +533,7 @@ func Experiments() []Experiment {
 		{"Exp-fanout", "engine", ExpFanout},
 		{"Exp-coalesce", "protocol", ExpCoalesce},
 		{"Exp-stream", "pipeline", func(s Scale) (*Result, error) { return ExpStream(s, StreamKnobs{}) }},
+		{"Exp-query", "session", ExpQuery},
 	}
 }
 

@@ -11,14 +11,15 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/cfd"
-	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/session"
 	"repro/internal/workload"
 )
 
@@ -126,15 +127,26 @@ func (s spec) gen() *workload.Generator {
 	return workload.NewSized(s.dataset, s.seed, hint)
 }
 
-// build constructs a detector over rel for the spec.
-func (s spec) build(rel *relation.Relation, rules []cfd.CFD, noIndexes bool) (core.Detector, error) {
+// build opens a session over rel for the spec: the harness drives every
+// engine through the same repro.Open construction path as the examples
+// and tools.
+func (s spec) build(rel *relation.Relation, rules []cfd.CFD, noIndexes bool) (*session.Session, error) {
+	opts := s.options(rel, noIndexes)
+	if opts == nil {
+		return nil, fmt.Errorf("harness: unknown style %q", s.style)
+	}
+	return session.Open(rel, rules, opts...)
+}
+
+// options maps the spec's knobs onto session options.
+func (s spec) options(rel *relation.Relation, noIndexes bool) []session.Option {
+	var opts []session.Option
 	switch s.style {
 	case "vertical":
-		scheme := partition.RoundRobinVertical(rel.Schema, s.sites)
-		return core.NewVertical(rel, scheme, rules, core.VerticalOptions{
-			UseOptimizer: s.useOptimizer,
-			NoIndexes:    noIndexes,
-		})
+		opts = append(opts, session.WithVertical(partition.RoundRobinVertical(rel.Schema, s.sites)))
+		if s.useOptimizer {
+			opts = append(opts, session.WithOptimizer())
+		}
 	case "horizontal":
 		// Partition on a data attribute (customers by name), as the
 		// paper's own EMP example partitions by grade: equivalence
@@ -144,24 +156,23 @@ func (s spec) build(rel *relation.Relation, rules []cfd.CFD, noIndexes bool) (co
 		if s.dataset == workload.DBLP {
 			attr = "title"
 		}
-		scheme := partition.HashHorizontal(attr, s.sites)
-		return core.NewHorizontal(rel, scheme, rules, core.HorizontalOptions{
-			DisableMD5: s.disableMD5,
-			NoIndexes:  noIndexes,
-		})
+		opts = append(opts, session.WithHorizontal(partition.HashHorizontal(attr, s.sites)))
+		if s.disableMD5 {
+			opts = append(opts, session.WithoutMD5())
+		}
 	default:
-		return nil, fmt.Errorf("harness: unknown style %q", s.style)
+		return nil
 	}
-}
-
-// tune applies the spec's cluster knobs to a freshly built detector.
-func (s spec) tune(d core.Detector) {
+	if noIndexes {
+		opts = append(opts, session.WithNoIndexes())
+	}
 	if s.serialFanout {
-		d.Cluster().SetMaxFanout(1)
+		opts = append(opts, session.WithMaxFanout(1))
 	}
 	if s.linkRTT > 0 {
-		d.Cluster().SetLinkRTT(s.linkRTT)
+		opts = append(opts, session.WithLinkRTT(s.linkRTT))
 	}
+	return opts
 }
 
 // run executes one configuration: generate D, Σ and ∆D, then measure the
@@ -179,9 +190,8 @@ func run(s spec) (out, error) {
 		if err != nil {
 			return o, err
 		}
-		s.tune(sys)
 		start := time.Now()
-		delta, err := sys.ApplyBatch(updates)
+		delta, err := sys.ApplyBatch(context.Background(), updates)
 		if err != nil {
 			return o, err
 		}
@@ -202,7 +212,6 @@ func run(s spec) (out, error) {
 			if err != nil {
 				return o, err
 			}
-			s.tune(bsys)
 			bsys.Cluster().ResetStats()
 			start := time.Now()
 			if _, err := bsys.BatchDetect(); err != nil {
@@ -220,14 +229,13 @@ func run(s spec) (out, error) {
 			if err != nil {
 				return o, err
 			}
-			s.tune(isys)
 			var inserts relation.UpdateList
 			updated.Each(func(t relation.Tuple) bool {
 				inserts = append(inserts, relation.Update{Kind: relation.Insert, Tuple: t})
 				return true
 			})
 			start := time.Now()
-			if _, err := isys.ApplyBatch(inserts); err != nil {
+			if _, err := isys.ApplyBatch(context.Background(), inserts); err != nil {
 				return o, err
 			}
 			o.ibatSeconds = time.Since(start).Seconds()

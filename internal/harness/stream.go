@@ -6,10 +6,12 @@ import (
 	"sort"
 	"time"
 
+	"context"
+
 	"repro/internal/cfd"
-	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/session"
 	"repro/internal/stream"
 	"repro/internal/workload"
 )
@@ -79,15 +81,16 @@ func (sp StreamSpec) base() (*workload.Generator, *relation.Relation) {
 	return gen, rel
 }
 
-// applierOver builds the spec's engine over an existing base relation.
-func (sp StreamSpec) applierOver(rel *relation.Relation, rules []cfd.CFD) (stream.Applier, error) {
+// sessionOver opens the spec's engine over an existing base relation,
+// through the same repro.Open construction path as every other caller.
+func (sp StreamSpec) sessionOver(rel *relation.Relation, rules []cfd.CFD) (*session.Session, error) {
 	switch sp.Engine {
 	case "cent":
-		return stream.NewCentralized(rel, rules)
+		return session.Open(rel, rules)
 	case "hor":
-		return core.NewHorizontal(rel, partition.HashHorizontal("c_name", sp.Scale.Sites), rules, core.HorizontalOptions{})
+		return session.Open(rel, rules, session.WithHorizontal(partition.HashHorizontal("c_name", sp.Scale.Sites)))
 	case "ver":
-		return core.NewVertical(rel, partition.RoundRobinVertical(rel.Schema, sp.Scale.Sites), rules, core.VerticalOptions{UseOptimizer: true})
+		return session.Open(rel, rules, session.WithVertical(partition.RoundRobinVertical(rel.Schema, sp.Scale.Sites)), session.WithOptimizer())
 	default:
 		return nil, fmt.Errorf("harness: unknown stream engine %q", sp.Engine)
 	}
@@ -105,11 +108,11 @@ func (sp StreamSpec) streamCfg() workload.StreamConfig {
 	}
 }
 
-// Build constructs the spec's applier over a freshly generated base
+// Build opens the spec's session over a freshly generated base
 // relation, seeded and with zeroed meters.
-func (sp StreamSpec) Build() (stream.Applier, error) {
+func (sp StreamSpec) Build() (*session.Session, error) {
 	gen, rel := sp.base()
-	return sp.applierOver(rel, gen.Rules(sp.Knobs.NumRules))
+	return sp.sessionOver(rel, gen.Rules(sp.Knobs.NumRules))
 }
 
 // Source regenerates the spec's batch sequence. Every call — and every
@@ -119,13 +122,13 @@ func (sp StreamSpec) Source() *workload.Stream {
 	return workload.NewStream(gen, rel, sp.streamCfg())
 }
 
-// instantiate builds the applier and its source from one base
+// instantiate opens the session and its source from one base
 // generation (Build + Source would generate the identical base twice;
 // rule derivation and stream composition use rngs independent of the
 // generator's row position, so sharing one base is equivalent).
-func (sp StreamSpec) instantiate() (stream.Applier, *workload.Stream, error) {
+func (sp StreamSpec) instantiate() (*session.Session, *workload.Stream, error) {
 	gen, rel := sp.base()
-	a, err := sp.applierOver(rel, gen.Rules(sp.Knobs.NumRules))
+	a, err := sp.sessionOver(rel, gen.Rules(sp.Knobs.NumRules))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -151,7 +154,7 @@ func RunStream(sc Scale, k StreamKnobs) ([]StreamRun, error) {
 			if err != nil {
 				return nil, err
 			}
-			sum, err := stream.Run(a, src, stream.Options{Realtime: k.Realtime})
+			sum, err := a.Run(context.Background(), src, stream.Options{Realtime: k.Realtime})
 			if err != nil {
 				return nil, fmt.Errorf("stream %s/%s: %w", profile, engine, err)
 			}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestStreamAcceptance(t *testing.T) {
 		if len(concat) != run.Summary.Updates {
 			t.Fatalf("%s: concatenated stream has %d updates, summary counted %d", name, len(concat), run.Summary.Updates)
 		}
-		if _, err := oneShot.ApplyBatch(concat); err != nil {
+		if _, err := oneShot.ApplyBatch(context.Background(), concat); err != nil {
 			t.Fatalf("%s: one-shot apply: %v", name, err)
 		}
 		wantNet := cfd.DeltaBetween(v0, oneShot.Violations())

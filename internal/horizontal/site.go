@@ -647,6 +647,8 @@ func (s *site) register(c *network.Cluster) {
 	network.RegisterFunc(c, s.id, "h.constCheck", s.constCheck)
 	network.RegisterFunc(c, s.id, "h.shipMatching", s.shipMatching)
 	network.RegisterFunc(c, s.id, "h.localDetect", s.localDetect)
+	network.RegisterFunc(c, s.id, "h.seedRules", s.seedRules)
+	network.RegisterFunc(c, s.id, "h.dropRules", s.dropRules)
 }
 
 func sortedMembers(c *hClass) []relation.TupleID {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/xerr"
 )
 
 // Options configures a horizontal detection system.
@@ -199,7 +200,7 @@ func (sys *System) SetUnitMode(unit bool) { sys.unitMode = unit }
 // SetUnitMode), maintains V and returns ∆V.
 func (sys *System) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
 	if sys.noIndexes {
-		return nil, fmt.Errorf("horizontal: system built with NoIndexes cannot apply incremental updates")
+		return nil, fmt.Errorf("horizontal: cannot apply incremental updates: %w", xerr.ErrNoIndexes)
 	}
 	norm := updates.NormalizeInto(sys.normScratch)
 	if len(norm) != len(updates) {

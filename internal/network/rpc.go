@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -41,11 +42,26 @@ type RPCTransport struct {
 	listeners []net.Listener
 	clients   []*rpc.Client
 	addrs     []string
+
+	// wg tracks every server-side goroutine (accept loops and per-
+	// connection servers); Close waits for all of them, so a closed
+	// transport leaves no goroutines behind.
+	wg sync.WaitGroup
+	// cancel stops the context watcher of NewRPCTransportContext.
+	cancel context.CancelFunc
 }
 
 // NewRPCTransport starts n servers (one per cluster site) on ephemeral
 // localhost ports and connects a client to each. The caller must Close it.
 func NewRPCTransport(c *Cluster) (*RPCTransport, error) {
+	return NewRPCTransportContext(context.Background(), c)
+}
+
+// NewRPCTransportContext is NewRPCTransport under a context: when ctx is
+// cancelled the transport closes itself (listeners, clients and every
+// server goroutine), so a cancelled session tears its sites down without
+// a separate Close call. Close remains safe to call either way.
+func NewRPCTransportContext(ctx context.Context, c *Cluster) (*RPCTransport, error) {
 	t := &RPCTransport{
 		listeners: make([]net.Listener, c.n),
 		clients:   make([]*rpc.Client, c.n),
@@ -64,13 +80,19 @@ func NewRPCTransport(c *Cluster) (*RPCTransport, error) {
 		}
 		t.listeners[i] = ln
 		t.addrs[i] = ln.Addr().String()
+		t.wg.Add(1)
 		go func() {
+			defer t.wg.Done()
 			for {
 				conn, err := ln.Accept()
 				if err != nil {
 					return
 				}
-				go srv.ServeConn(conn)
+				t.wg.Add(1)
+				go func() {
+					defer t.wg.Done()
+					srv.ServeConn(conn)
+				}()
 			}
 		}()
 	}
@@ -81,6 +103,18 @@ func NewRPCTransport(c *Cluster) (*RPCTransport, error) {
 			return nil, fmt.Errorf("network: dialing site %d: %w", i, err)
 		}
 		t.clients[i] = client
+	}
+	if ctx.Done() != nil {
+		watchCtx, cancel := context.WithCancel(ctx)
+		t.cancel = cancel
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			<-watchCtx.Done()
+			if ctx.Err() != nil {
+				t.closeConns()
+			}
+		}()
 	}
 	return t, nil
 }
@@ -103,24 +137,40 @@ func (t *RPCTransport) Invoke(to SiteID, method string, data []byte) ([]byte, er
 	return resp.Data, nil
 }
 
-// Close shuts down all clients and listeners.
-func (t *RPCTransport) Close() error {
+// closeConns closes all clients and listeners (idempotent), unblocking
+// the accept loops and per-connection servers.
+func (t *RPCTransport) closeConns() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var first error
-	for _, cl := range t.clients {
+	for i, cl := range t.clients {
 		if cl != nil {
-			if err := cl.Close(); err != nil && first == nil {
+			if err := cl.Close(); err != nil && err != rpc.ErrShutdown && first == nil {
 				first = err
 			}
+			t.clients[i] = nil
 		}
 	}
-	for _, ln := range t.listeners {
+	for i, ln := range t.listeners {
 		if ln != nil {
 			if err := ln.Close(); err != nil && first == nil {
 				first = err
 			}
+			t.listeners[i] = nil
 		}
 	}
 	return first
+}
+
+// Close shuts down all clients and listeners and waits until every
+// server goroutine (accept loops, per-connection servers, the context
+// watcher) has exited: after Close returns, the transport has leaked
+// nothing.
+func (t *RPCTransport) Close() error {
+	err := t.closeConns()
+	if t.cancel != nil {
+		t.cancel()
+	}
+	t.wg.Wait()
+	return err
 }

@@ -1,0 +1,87 @@
+package optimizer
+
+// This file supports live rule management on a running vertical system:
+// grafting a freshly planned sub-plan (for newly added rules) onto an
+// existing plan without disturbing the nodes already seeded at the sites,
+// and dropping a retired rule's binding while keeping shared nodes alive.
+
+// Graft appends every node of sub to p with fresh ids (sub's internal
+// topological order is preserved, and all grafted ids are greater than
+// the pre-existing ones, keeping p globally topo-ordered) and merges
+// sub's rule bindings. It returns the id of the first grafted node.
+// Bindings in sub must not collide with rules already bound in p.
+func (p *Plan) Graft(sub *Plan) NodeID {
+	base := NodeID(len(p.Nodes))
+	for _, n := range sub.Nodes {
+		g := Node{
+			ID:    n.ID + base,
+			Kind:  n.Kind,
+			Attrs: append([]string(nil), n.Attrs...),
+			Site:  n.Site,
+		}
+		for _, in := range n.Inputs {
+			g.Inputs = append(g.Inputs, in+base)
+		}
+		p.Nodes = append(p.Nodes, g)
+	}
+	if p.Bindings == nil {
+		p.Bindings = make(map[string]RuleBinding, len(sub.Bindings))
+	}
+	for id, b := range sub.Bindings {
+		p.Bindings[id] = RuleBinding{
+			RuleID:  b.RuleID,
+			XNode:   b.XNode + base,
+			BNode:   b.BNode + base,
+			IDXSite: b.IDXSite,
+		}
+	}
+	p.rebuildEdges()
+	return base
+}
+
+// DropRule removes a rule's binding from the plan. Nodes reachable only
+// through the dropped rule stay in the node table (sites may still hold
+// their seeded equivalence state) but no longer contribute shipments:
+// Neqid counts only edges live under the remaining bindings.
+func (p *Plan) DropRule(ruleID string) {
+	delete(p.Bindings, ruleID)
+	p.rebuildEdges()
+}
+
+// rebuildEdges recomputes the deduplicated cross-site shipment set from
+// the nodes reachable through the current bindings.
+func (p *Plan) rebuildEdges() {
+	live := make(map[NodeID]bool)
+	var visit func(NodeID)
+	visit = func(id NodeID) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		for _, in := range p.Nodes[id].Inputs {
+			visit(in)
+		}
+	}
+	for _, b := range p.Bindings {
+		visit(b.XNode)
+		visit(b.BNode)
+	}
+	p.edges = make(map[edge]struct{})
+	add := func(src NodeID, dest int) {
+		if p.Nodes[src].Site != dest {
+			p.edges[edge{src: src, dest: dest}] = struct{}{}
+		}
+	}
+	for _, n := range p.Nodes {
+		if !live[n.ID] {
+			continue
+		}
+		for _, in := range n.Inputs {
+			add(in, n.Site)
+		}
+	}
+	for _, b := range p.Bindings {
+		add(b.XNode, b.IDXSite)
+		add(b.BNode, b.IDXSite)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/relation"
+	"repro/internal/xerr"
 )
 
 // VerticalScheme assigns every attribute of a schema to one or more sites.
@@ -61,7 +62,7 @@ func NewVerticalScheme(s *relation.Schema, numSites int, attrSites map[string][]
 	}
 	for a := range attrSites {
 		if !s.Has(a) {
-			return nil, fmt.Errorf("partition: scheme assigns unknown attribute %q", a)
+			return nil, fmt.Errorf("partition: scheme assigns unknown attribute %q: %w", a, xerr.ErrUnknownAttribute)
 		}
 	}
 	return vs, nil

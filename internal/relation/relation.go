@@ -3,6 +3,8 @@ package relation
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/xerr"
 )
 
 // Relation is an in-memory instance of a schema: a set of tuples keyed by
@@ -37,8 +39,8 @@ func (r *Relation) Get(id TupleID) (Tuple, bool) {
 // treats modification as deletion followed by insertion).
 func (r *Relation) Insert(t Tuple) error {
 	if len(t.Values) != r.Schema.Width() {
-		return fmt.Errorf("relation: insert into %q: tuple %d has %d values, want %d",
-			r.Schema.Name, t.ID, len(t.Values), r.Schema.Width())
+		return fmt.Errorf("relation: insert into %q: tuple %d has %d values, want %d: %w",
+			r.Schema.Name, t.ID, len(t.Values), r.Schema.Width(), xerr.ErrArityMismatch)
 	}
 	if _, dup := r.tuples[t.ID]; dup {
 		return fmt.Errorf("relation: insert into %q: duplicate tuple id %d", r.Schema.Name, t.ID)

@@ -12,6 +12,8 @@ package relation
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/xerr"
 	"strings"
 )
 
@@ -92,7 +94,7 @@ func (s *Schema) Width() int { return len(s.Attrs) }
 func (s *Schema) Project(name string, attrs []string) (*Schema, error) {
 	for _, a := range attrs {
 		if !s.Has(a) {
-			return nil, fmt.Errorf("relation: cannot project %q: schema %q has no attribute %q", name, s.Name, a)
+			return nil, fmt.Errorf("relation: cannot project %q: schema %q has no attribute %q: %w", name, s.Name, a, xerr.ErrUnknownAttribute)
 		}
 	}
 	return NewSchema(name, attrs)

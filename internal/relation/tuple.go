@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+
+	"repro/internal/xerr"
 )
 
 // TupleID uniquely identifies a tuple across the whole (distributed)
@@ -20,8 +22,8 @@ type Tuple struct {
 // NewTuple builds a tuple over schema s, checking arity.
 func NewTuple(s *Schema, id TupleID, values []string) (Tuple, error) {
 	if len(values) != s.Width() {
-		return Tuple{}, fmt.Errorf("relation: tuple %d has %d values, schema %q has %d attributes",
-			id, len(values), s.Name, s.Width())
+		return Tuple{}, fmt.Errorf("relation: tuple %d has %d values, schema %q has %d attributes: %w",
+			id, len(values), s.Name, s.Width(), xerr.ErrArityMismatch)
 	}
 	return Tuple{ID: id, Values: append([]string(nil), values...)}, nil
 }

@@ -1,0 +1,150 @@
+package session
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/centralized"
+	"repro/internal/cfd"
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+// TestRuleManagementDifferentialOracle is the acceptance test of the
+// live rule-management path: for 20 seeds, AddRules/RemoveRules calls
+// interleave with update batches on horizontal and vertical sessions,
+// and after every step the maintained violation set must be
+// bit-identical to a fresh centralized detection over mirrored data with
+// the rule set then in force. Wire meters must move on every
+// distributed seed-delta round.
+func TestRuleManagementDifferentialOracle(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed) * 7919))
+			gen := workload.NewSized(workload.TPCH, int64(seed)+100, 900)
+			pool := gen.Rules(7)
+			rel := gen.Relation(250 + rng.Intn(100))
+			sites := 3 + rng.Intn(3)
+
+			hor, err := Open(rel, pool[:3], WithHorizontal(partition.HashHorizontal("c_name", sites)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hor.Close()
+			ver, err := Open(rel, pool[:3], WithVertical(partition.RoundRobinVertical(rel.Schema, sites)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ver.Close()
+
+			mirror := rel.Clone()
+			active := append([]cfd.CFD(nil), pool[:3]...)
+			inForce := map[string]bool{pool[0].ID: true, pool[1].ID: true, pool[2].ID: true}
+
+			check := func(step int, action string) {
+				t.Helper()
+				oracle := centralized.Detect(mirror, active)
+				if !hor.Violations().Equal(oracle) {
+					t.Fatalf("seed %d step %d (%s): horizontal V diverged", seed, step, action)
+				}
+				if !ver.Violations().Equal(oracle) {
+					t.Fatalf("seed %d step %d (%s): vertical V diverged", seed, step, action)
+				}
+			}
+
+			check(0, "initial")
+			for step := 1; step <= 12; step++ {
+				switch rng.Intn(3) {
+				case 0: // update batch
+					updates := gen.Updates(mirror, 10+rng.Intn(30), 0.5+rng.Float64()*0.4)
+					if _, err := hor.ApplyBatch(context.Background(), updates); err != nil {
+						t.Fatalf("seed %d step %d: hor ApplyBatch: %v", seed, step, err)
+					}
+					if _, err := ver.ApplyBatch(context.Background(), updates); err != nil {
+						t.Fatalf("seed %d step %d: ver ApplyBatch: %v", seed, step, err)
+					}
+					if err := updates.Normalize().Apply(mirror); err != nil {
+						t.Fatal(err)
+					}
+					check(step, "batch")
+				case 1: // add a not-in-force rule, if any
+					var candidate *cfd.CFD
+					for i := range pool {
+						if !inForce[pool[i].ID] {
+							candidate = &pool[i]
+							break
+						}
+					}
+					if candidate == nil {
+						continue
+					}
+					hBefore, vBefore := hor.Stats(), ver.Stats()
+					hd, err := hor.AddRules(*candidate)
+					if err != nil {
+						t.Fatalf("seed %d step %d: hor AddRules: %v", seed, step, err)
+					}
+					vd, err := ver.AddRules(*candidate)
+					if err != nil {
+						t.Fatalf("seed %d step %d: ver AddRules: %v", seed, step, err)
+					}
+					if hor.Stats().Sub(hBefore).Messages == 0 {
+						t.Fatalf("seed %d step %d: hor AddRules unmetered", seed, step)
+					}
+					if ver.Stats().Sub(vBefore).Messages == 0 {
+						t.Fatalf("seed %d step %d: ver AddRules unmetered", seed, step)
+					}
+					if hd.RemovedMarks() != 0 || vd.RemovedMarks() != 0 {
+						t.Fatalf("seed %d step %d: AddRules removed marks", seed, step)
+					}
+					inForce[candidate.ID] = true
+					active = append(active, *candidate)
+					check(step, "add "+candidate.ID)
+				case 2: // remove a random in-force rule (keep at least one)
+					if len(active) <= 1 {
+						continue
+					}
+					victim := active[rng.Intn(len(active))]
+					if _, err := hor.RemoveRules(victim.ID); err != nil {
+						t.Fatalf("seed %d step %d: hor RemoveRules: %v", seed, step, err)
+					}
+					if _, err := ver.RemoveRules(victim.ID); err != nil {
+						t.Fatalf("seed %d step %d: ver RemoveRules: %v", seed, step, err)
+					}
+					delete(inForce, victim.ID)
+					kept := active[:0:0]
+					for _, r := range active {
+						if r.ID != victim.ID {
+							kept = append(kept, r)
+						}
+					}
+					active = kept
+					check(step, "remove "+victim.ID)
+				}
+			}
+
+			// Query-index consistency on the final state: postings ==
+			// linear scan, on both engines.
+			for name, s := range map[string]*Session{"hor": hor, "ver": ver} {
+				v := s.Violations()
+				for _, rc := range s.Count() {
+					n := 0
+					for _, id := range v.Tuples() {
+						if v.HasRule(id, rc.Rule) {
+							n++
+						}
+					}
+					if n != rc.Count {
+						t.Fatalf("seed %d %s: postings count %d != scan %d for %s", seed, name, rc.Count, n, rc.Rule)
+					}
+				}
+			}
+		})
+	}
+}

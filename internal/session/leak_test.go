@@ -1,0 +1,112 @@
+package session
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+// TestCloseLeaksNoGoroutines is the goleak-style assertion of the
+// teardown bugfix: an RPC-transported session spawns one server
+// goroutine per site plus per-connection servers, and Close must reap
+// every one of them.
+func TestCloseLeaksNoGoroutines(t *testing.T) {
+	gen := workload.NewSized(workload.TPCH, 11, 300)
+	rules := gen.Rules(3)
+	rel := gen.Relation(100)
+
+	// Warm up runtime pools (timers, GC workers) before baselining.
+	for i := 0; i < 2; i++ {
+		s, err := Open(rel, rules, WithHorizontal(partition.HashHorizontal("c_name", 3)), WithRPCTransport())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ApplyBatch(context.Background(), gen.Updates(rel, 5, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := runtime.NumGoroutine()
+
+	for _, style := range []string{"horizontal", "vertical"} {
+		var opts []Option
+		switch style {
+		case "horizontal":
+			opts = []Option{WithHorizontal(partition.HashHorizontal("c_name", 4)), WithRPCTransport()}
+		case "vertical":
+			opts = []Option{WithVertical(partition.RoundRobinVertical(rel.Schema, 4)), WithRPCTransport()}
+		}
+		s, err := Open(rel, rules, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ApplyBatch(context.Background(), gen.Updates(rel, 5, 1)); err != nil {
+			t.Fatalf("%s: ApplyBatch over RPC: %v", style, err)
+		}
+		if runtime.NumGoroutine() <= base {
+			t.Fatalf("%s: expected live RPC server goroutines above baseline %d", style, base)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", style, err)
+		}
+		// Double Close is a no-op.
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s: second Close: %v", style, err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after Close: %d > baseline %d\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRPCContextTeardown pins WithRPCTransportContext: cancelling the
+// context tears the transport down without an explicit Close.
+func TestRPCContextTeardown(t *testing.T) {
+	gen := workload.NewSized(workload.TPCH, 12, 200)
+	rules := gen.Rules(2)
+	rel := gen.Relation(60)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := Open(rel, rules,
+		WithHorizontal(partition.HashHorizontal("c_name", 2)),
+		WithRPCTransportContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyBatch(context.Background(), gen.Updates(rel, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// After cancellation the sockets die; cross-site calls must fail
+	// rather than hang.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := s.ApplyBatch(context.Background(), gen.Updates(rel, 3, 1))
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("RPC calls still succeed long after context cancellation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after context teardown: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/partition"
+)
+
+// Kind is the partition style behind a session.
+type Kind int
+
+const (
+	// Centralized runs the single-site incremental maintainer: no
+	// partition, no shipment, the ground-truth oracle.
+	Centralized Kind = iota
+	// Horizontal runs §6's incHor over a horizontal partition.
+	Horizontal
+	// Vertical runs §4/§5's incVer (+ optVer) over a vertical partition.
+	Vertical
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Centralized:
+		return "centralized"
+	case Horizontal:
+		return "horizontal"
+	case Vertical:
+		return "vertical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// config collects the Open options.
+type config struct {
+	kind    Kind
+	kindSet bool
+	hScheme *partition.HorizontalScheme
+	vScheme *partition.VerticalScheme
+
+	useOptimizer bool
+	beamWidth    int
+	disableMD5   bool
+	noIndexes    bool
+	unitMode     bool
+	maxFanout    int // -1 = engine default
+	linkRTT      time.Duration
+	rpc          bool
+	rpcCtx       context.Context
+}
+
+// Option configures Open.
+type Option func(*config) error
+
+func (c *config) setKind(k Kind) error {
+	if c.kindSet && c.kind != k {
+		return fmt.Errorf("session: conflicting partition styles %s and %s", c.kind, k)
+	}
+	c.kind, c.kindSet = k, true
+	return nil
+}
+
+func (c *config) validate() error {
+	if c.kind == Centralized {
+		switch {
+		case c.unitMode:
+			return fmt.Errorf("session: WithUnitMode requires a distributed session")
+		case c.maxFanout >= 0:
+			return fmt.Errorf("session: WithMaxFanout requires a distributed session")
+		case c.linkRTT > 0:
+			return fmt.Errorf("session: WithLinkRTT requires a distributed session")
+		case c.rpc:
+			return fmt.Errorf("session: WithRPCTransport requires a distributed session")
+		case c.noIndexes:
+			return fmt.Errorf("session: WithNoIndexes requires a distributed session")
+		}
+	}
+	if c.useOptimizer && c.kind != Vertical {
+		return fmt.Errorf("session: WithOptimizer requires a vertical session")
+	}
+	if c.beamWidth > 0 && !c.useOptimizer {
+		return fmt.Errorf("session: WithBeamWidth requires WithOptimizer on a vertical session")
+	}
+	if c.disableMD5 && c.kind != Horizontal {
+		return fmt.Errorf("session: WithoutMD5 requires a horizontal session")
+	}
+	if c.rpc && c.rpcCtx == nil {
+		c.rpcCtx = context.Background()
+	}
+	return nil
+}
+
+// WithCentralized selects the single-site maintainer (the default).
+func WithCentralized() Option {
+	return func(c *config) error { return c.setKind(Centralized) }
+}
+
+// WithHorizontal partitions the relation horizontally under scheme and
+// runs incHor.
+func WithHorizontal(scheme *partition.HorizontalScheme) Option {
+	return func(c *config) error {
+		if scheme == nil {
+			return fmt.Errorf("session: WithHorizontal: nil scheme")
+		}
+		c.hScheme = scheme
+		return c.setKind(Horizontal)
+	}
+}
+
+// WithVertical partitions the relation vertically under scheme and runs
+// incVer.
+func WithVertical(scheme *partition.VerticalScheme) Option {
+	return func(c *config) error {
+		if scheme == nil {
+			return fmt.Errorf("session: WithVertical: nil scheme")
+		}
+		c.vScheme = scheme
+		return c.setKind(Vertical)
+	}
+}
+
+// WithOptimizer builds the vertical HEVs with §5's optVer beam search
+// (falling back to the naive chains when those ship fewer eqids).
+func WithOptimizer() Option {
+	return func(c *config) error {
+		c.useOptimizer = true
+		return nil
+	}
+}
+
+// WithBeamWidth sets optVer's beam width k (0 = default).
+func WithBeamWidth(k int) Option {
+	return func(c *config) error {
+		c.beamWidth = k
+		return nil
+	}
+}
+
+// WithoutMD5 ships raw values instead of 128-bit MD5 tuple codes in the
+// horizontal protocols — §6's optimization switched off, for ablations.
+func WithoutMD5() Option {
+	return func(c *config) error {
+		c.disableMD5 = true
+		return nil
+	}
+}
+
+// WithNoIndexes loads the fragments only, skipping index construction
+// and initial detection: the session serves BatchDetect (the batch
+// baselines, whose setup the paper does not charge for) but rejects
+// incremental operations with ErrNoIndexes.
+func WithNoIndexes() Option {
+	return func(c *config) error {
+		c.noIndexes = true
+		return nil
+	}
+}
+
+// WithUnitMode starts the session on the per-update protocol rounds (the
+// ablation baseline) instead of the batch-grouped default.
+func WithUnitMode() Option {
+	return func(c *config) error {
+		c.unitMode = true
+		return nil
+	}
+}
+
+// WithMaxFanout caps the scatter/gather engine's concurrent workers per
+// round (1 = the serial coordinator; 0 or unset = GOMAXPROCS).
+func WithMaxFanout(k int) Option {
+	return func(c *config) error {
+		if k < 0 {
+			return fmt.Errorf("session: WithMaxFanout: negative cap %d", k)
+		}
+		c.maxFanout = k
+		return nil
+	}
+}
+
+// WithLinkRTT charges a simulated network round-trip to every cross-site
+// message (the in-process loopback is otherwise instantaneous).
+func WithLinkRTT(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("session: WithLinkRTT: negative RTT %v", d)
+		}
+		c.linkRTT = d
+		return nil
+	}
+}
+
+// WithRPCTransport runs the cluster over a real net/rpc-over-TCP
+// transport: one server goroutine per site on localhost. Session.Close
+// tears the listeners and server goroutines down.
+func WithRPCTransport() Option {
+	return func(c *config) error {
+		c.rpc = true
+		return nil
+	}
+}
+
+// WithRPCTransportContext is WithRPCTransport bound to ctx: cancelling
+// it tears the transport down even without Close.
+func WithRPCTransportContext(ctx context.Context) Option {
+	return func(c *config) error {
+		c.rpc = true
+		c.rpcCtx = ctx
+		return nil
+	}
+}

@@ -1,0 +1,162 @@
+package session
+
+import (
+	"sort"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// query collects the filters of one Query call.
+type query struct {
+	rules  []string
+	tuples []relation.TupleID
+	limit  int // 0 = unlimited
+}
+
+// Filter narrows a Query.
+type Filter func(*query)
+
+// ByRule restricts the result to tuples violating at least one of the
+// given rules; each result's Rules list is restricted to those rules.
+// Answered from the per-rule posting index: O(answer), no scan of V.
+func ByRule(rules ...string) Filter {
+	return func(q *query) { q.rules = append(q.rules, rules...) }
+}
+
+// ByTuple restricts the result to the given tuples. Answered from the
+// per-tuple mark bitsets: O(len(ids)).
+func ByTuple(ids ...relation.TupleID) Filter {
+	return func(q *query) { q.tuples = append(q.tuples, ids...) }
+}
+
+// Limit caps the number of results (after the deterministic
+// ascending-TupleID ordering).
+func Limit(n int) Filter {
+	return func(q *query) { q.limit = n }
+}
+
+// Violation is one Query result: a violating tuple and the rules it
+// violates (restricted to the queried rules under ByRule), sorted.
+type Violation struct {
+	Tuple relation.TupleID
+	Rules []string
+}
+
+// Query answers a read-side drill-down over the maintained violation
+// set: which tuples violate which rules. Results are sorted by TupleID.
+// With ByRule and/or ByTuple the answer comes from the posting indexes
+// and mark bitsets — cost proportional to the answer (plus its sort),
+// independent of |V|; with no filter it enumerates all of V.
+func (s *Session) Query(filters ...Filter) []Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var q query
+	for _, f := range filters {
+		f(&q)
+	}
+	v := s.eng.Violations()
+
+	// Candidate tuples.
+	var candidates []relation.TupleID
+	switch {
+	case len(q.tuples) > 0:
+		seen := make(map[relation.TupleID]bool, len(q.tuples))
+		for _, id := range q.tuples {
+			if !seen[id] && v.Has(id) {
+				seen[id] = true
+				candidates = append(candidates, id)
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	case len(q.rules) > 0:
+		seen := make(map[relation.TupleID]bool)
+		for _, r := range q.rules {
+			v.EachTupleOfRule(r, func(id relation.TupleID) bool {
+				if !seen[id] {
+					seen[id] = true
+					candidates = append(candidates, id)
+				}
+				return true
+			})
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	default:
+		candidates = v.Tuples()
+	}
+
+	out := make([]Violation, 0, min(len(candidates), maxIfZero(q.limit, len(candidates))))
+	for _, id := range candidates {
+		var rules []string
+		if len(q.rules) > 0 {
+			for _, r := range q.rules {
+				idx, ok := v.LookupRule(r)
+				if ok && v.HasRuleIdx(id, idx) {
+					rules = append(rules, r)
+				}
+			}
+			if len(rules) == 0 {
+				continue
+			}
+			sort.Strings(rules)
+		} else {
+			rules = v.Rules(id)
+		}
+		out = append(out, Violation{Tuple: id, Rules: rules})
+		if q.limit > 0 && len(out) >= q.limit {
+			break
+		}
+	}
+	return out
+}
+
+func maxIfZero(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// Count returns the per-rule violation histogram — every rule in force
+// with the number of tuples violating it — from the posting index in
+// O(|Σ|). Rules retired with RemoveRules do not appear, even though the
+// violation set still remembers their interned ids.
+func (s *Session) Count() []cfd.RuleCount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inForce := make(map[string]bool)
+	for _, r := range s.eng.Rules() {
+		inForce[r.ID] = true
+	}
+	hist := s.eng.Violations().Histogram()
+	out := hist[:0:0]
+	for _, rc := range hist {
+		if inForce[rc.Rule] {
+			out = append(out, rc)
+		}
+	}
+	return out
+}
+
+// Measures are the session's aggregate inconsistency measures: the
+// drastic and MI-style measures over V plus the |V|/|D| ratio (Parisi &
+// Grant's normalized problematic-tuples measure).
+type Measures struct {
+	cfd.Measures
+	// Rows is |D| at measurement time.
+	Rows int
+	// TupleRatio is ViolatingTuples / Rows (0 when the relation is
+	// empty).
+	TupleRatio float64
+}
+
+// Measures computes the aggregate inconsistency measures in O(|Σ|).
+func (s *Session) Measures() Measures {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Measures{Measures: s.eng.Violations().Measure(), Rows: s.rows}
+	if m.Rows > 0 {
+		m.TupleRatio = float64(m.ViolatingTuples) / float64(m.Rows)
+	}
+	return m
+}

@@ -1,0 +1,341 @@
+// Package session is the engine-agnostic service layer over the
+// detection engines: one constructor, Open, builds a centralized,
+// horizontal or vertical incremental detection system behind a single
+// handle with functional options, and the handle adds the capabilities a
+// long-lived service needs that the raw engines structurally could not
+// offer —
+//
+//   - live rule management: AddRules/RemoveRules seed or retire only the
+//     affected rules' per-site state and violation marks, through metered
+//     seed-delta rounds, instead of rebuilding the system;
+//   - a read-side query surface: Query (per-rule/per-tuple drill-down
+//     answered from posting indexes in O(answer)), Count histograms and
+//     the drastic/MI-style aggregate inconsistency measures;
+//   - subscriptions: Watch streams every applied batch's ∆V;
+//   - lifecycle: context-aware ApplyBatch/Run, and Close that reliably
+//     tears down RPC listeners and site goroutines.
+//
+// The experiment harness, the stream pipeline and every example drive
+// their engines through this one handle; the root repro package
+// re-exports it as repro.Open.
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/cfd"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+	"repro/internal/stream"
+	"repro/internal/xerr"
+)
+
+// engine is the narrow surface a Session drives; both core.Detector
+// implementations and the centralized stream applier satisfy it.
+type engine interface {
+	ApplyBatch(relation.UpdateList) (*cfd.Delta, error)
+	Violations() *cfd.Violations
+	Stats() network.Stats
+	Rules() []cfd.CFD
+	AddRules([]cfd.CFD) (*cfd.Delta, error)
+	RemoveRules([]string) (*cfd.Delta, error)
+}
+
+var (
+	_ engine = (core.Detector)(nil)
+	_ engine = (*stream.Centralized)(nil)
+)
+
+// Session is a live, engine-agnostic incremental detection handle. All
+// methods are safe for concurrent use; writes (ApplyBatch, rule
+// management, Run) serialize on an internal lock, and reads observe the
+// state between writes.
+type Session struct {
+	mu   sync.Mutex
+	cfg  config
+	eng  engine
+	det  core.Detector         // nil when centralized
+	rpc  *network.RPCTransport // nil without WithRPCTransport
+	rows int
+	seq  int
+
+	closed   bool
+	watchers map[int]*watcher
+	nextW    int
+}
+
+// Open builds, partitions and seeds a detection system over rel with the
+// given rules, per the options (default: the single-site centralized
+// maintainer), and returns the live handle. rel itself is not mutated by
+// subsequent batches.
+func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, error) {
+	cfg := config{maxFanout: -1}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	s := &Session{cfg: cfg, rows: rel.Len(), watchers: make(map[int]*watcher)}
+	switch cfg.kind {
+	case Centralized:
+		eng, err := stream.NewCentralized(rel, rules)
+		if err != nil {
+			return nil, err
+		}
+		s.eng = eng
+	case Horizontal:
+		sys, err := core.NewHorizontal(rel, cfg.hScheme, rules, core.HorizontalOptions{
+			DisableMD5: cfg.disableMD5,
+			NoIndexes:  cfg.noIndexes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.det, s.eng = sys, sys
+	case Vertical:
+		sys, err := core.NewVertical(rel, cfg.vScheme, rules, core.VerticalOptions{
+			UseOptimizer: cfg.useOptimizer,
+			BeamWidth:    cfg.beamWidth,
+			NoIndexes:    cfg.noIndexes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.det, s.eng = sys, sys
+	}
+	if s.det != nil {
+		if cfg.unitMode {
+			s.det.SetUnitMode(true)
+		}
+		if cfg.maxFanout >= 0 {
+			s.det.Cluster().SetMaxFanout(cfg.maxFanout)
+		}
+		if cfg.linkRTT > 0 {
+			s.det.Cluster().SetLinkRTT(cfg.linkRTT)
+		}
+		if cfg.rpc {
+			t, err := network.NewRPCTransportContext(cfg.rpcCtx, s.det.Cluster())
+			if err != nil {
+				return nil, err
+			}
+			s.det.Cluster().UseTransport(t)
+			s.rpc = t
+		}
+	}
+	return s, nil
+}
+
+// Kind returns the partition style behind the session.
+func (s *Session) Kind() Kind { return s.cfg.kind }
+
+// Detector exposes the underlying distributed engine (nil for
+// centralized sessions): the escape hatch the deprecated constructor
+// shims and low-level tests unwrap. Prefer the Session surface.
+func (s *Session) Detector() core.Detector { return s.det }
+
+// Rules returns the rule set currently in force.
+func (s *Session) Rules() []cfd.CFD {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]cfd.CFD(nil), s.eng.Rules()...)
+}
+
+// Violations returns the maintained violation set V(Σ, D). The returned
+// set is live — it changes with subsequent batches; Clone or Snapshot it
+// for a stable view.
+func (s *Session) Violations() *cfd.Violations {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Violations()
+}
+
+// Stats returns the cumulative communication meters (identically zero
+// for a centralized session).
+func (s *Session) Stats() network.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Stats()
+}
+
+// Rows returns |D|: the number of tuples currently in the maintained
+// relation.
+func (s *Session) Rows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// Cluster exposes the message fabric of a distributed session (nil for
+// centralized ones).
+func (s *Session) Cluster() *network.Cluster {
+	if s.det == nil {
+		return nil
+	}
+	return s.det.Cluster()
+}
+
+// Plan returns the §5 HEV plan of a vertical session, nil otherwise.
+func (s *Session) Plan() *optimizer.Plan {
+	type planner interface{ Plan() *optimizer.Plan }
+	if p, ok := s.det.(planner); ok {
+		return p.Plan()
+	}
+	return nil
+}
+
+// SetUnitMode switches a distributed session between the batch-grouped
+// protocol (default) and per-update protocol rounds (the ablation
+// baseline). No-op on centralized sessions, which have no rounds.
+func (s *Session) SetUnitMode(unit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.det != nil {
+		s.det.SetUnitMode(unit)
+	}
+}
+
+// ApplyBatch applies one batch update ∆D through the engine's
+// incremental algorithm, maintaining V(Σ, D) and returning ∆V. The
+// context is honored between protocol steps: a cancelled ctx fails the
+// call before any work.
+func (s *Session) ApplyBatch(ctx context.Context, updates relation.UpdateList) (*cfd.Delta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session: ApplyBatch: %w", xerr.ErrClosed)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.applyLocked(updates)
+}
+
+// applyLocked is the shared batch path of ApplyBatch and Run's stream
+// applier: normalize, apply, account rows, publish. Callers hold s.mu.
+func (s *Session) applyLocked(updates relation.UpdateList) (*cfd.Delta, error) {
+	norm := updates.Normalize()
+	delta, err := s.eng.ApplyBatch(norm)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range norm {
+		if u.Kind == relation.Insert {
+			s.rows++
+		} else {
+			s.rows--
+		}
+	}
+	s.publish(EventBatch, delta)
+	return delta, nil
+}
+
+// AddRules brings new rules into force without rebuilding the system:
+// only the new rules' per-site state and violation marks are seeded,
+// through seed-delta rounds metered like any other round. Returns the
+// seeded ∆V (exactly the new rules' marks). Like ApplyBatch, the
+// distributed rounds are not atomic: on a transport error the session
+// should be rebuilt.
+func (s *Session) AddRules(rules ...cfd.CFD) (*cfd.Delta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session: AddRules: %w", xerr.ErrClosed)
+	}
+	delta, err := s.eng.AddRules(rules)
+	if err != nil {
+		return nil, err
+	}
+	s.publish(EventRulesAdded, delta)
+	return delta, nil
+}
+
+// RemoveRules retires rules by id, dropping their per-site state and
+// their marks from V. Returns the retired ∆V.
+func (s *Session) RemoveRules(ids ...string) (*cfd.Delta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session: RemoveRules: %w", xerr.ErrClosed)
+	}
+	delta, err := s.eng.RemoveRules(ids)
+	if err != nil {
+		return nil, err
+	}
+	s.publish(EventRulesRemoved, delta)
+	return delta, nil
+}
+
+// BatchDetect recomputes the violations from scratch with the engine's
+// batch baseline (batVer/batHor; a fresh centralized detection for
+// centralized sessions) without touching the maintained set.
+func (s *Session) BatchDetect() (*cfd.Violations, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session: BatchDetect: %w", xerr.ErrClosed)
+	}
+	type batcher interface {
+		BatchDetect() (*cfd.Violations, error)
+	}
+	return s.eng.(batcher).BatchDetect()
+}
+
+// Run pumps a batch source through the session's engine with the stream
+// pipeline, metering every batch, until the source is exhausted or ctx
+// is cancelled (the arrival queue is drained cleanly either way). Every
+// applied batch is also published to Watch subscribers. The session is
+// locked for the duration: reads observe the pre- or post-stream state,
+// and Watch is the live view in between.
+func (s *Session) Run(ctx context.Context, src stream.Source, opts stream.Options) (*stream.Summary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session: Run: %w", xerr.ErrClosed)
+	}
+	return stream.RunCtx(ctx, &publishingApplier{s: s}, src, opts)
+}
+
+// publishingApplier threads stream batches through the session's row
+// accounting and Watch subscribers. Run holds the session lock and the
+// stream engine applies batches from the calling goroutine, so no extra
+// locking is needed here.
+type publishingApplier struct{ s *Session }
+
+func (p *publishingApplier) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
+	return p.s.applyLocked(updates)
+}
+
+func (p *publishingApplier) Violations() *cfd.Violations { return p.s.eng.Violations() }
+func (p *publishingApplier) Stats() network.Stats        { return p.s.eng.Stats() }
+
+// Close tears the session down: RPC listeners, site server goroutines
+// and watch channels. After Close every mutating operation (ApplyBatch,
+// AddRules, RemoveRules, BatchDetect, Run) fails with ErrClosed; read
+// accessors (Violations, Query, Count, Measures, Stats) keep serving
+// the final state. Close is idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for id, w := range s.watchers {
+		close(w.ch)
+		delete(s.watchers, id)
+	}
+	if s.rpc != nil {
+		err := s.rpc.Close()
+		s.rpc = nil
+		return err
+	}
+	return nil
+}

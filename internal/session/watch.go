@@ -1,0 +1,83 @@
+package session
+
+import "repro/internal/cfd"
+
+// EventKind says what produced a Watch event.
+type EventKind int
+
+const (
+	// EventBatch is an applied update batch (ApplyBatch or one stream
+	// batch under Run).
+	EventBatch EventKind = iota
+	// EventRulesAdded is an AddRules seed-delta.
+	EventRulesAdded
+	// EventRulesRemoved is a RemoveRules retirement delta.
+	EventRulesRemoved
+)
+
+// Event is one published change to the maintained violation set.
+type Event struct {
+	// Seq numbers the session's events from 1.
+	Seq int
+	// Kind says what produced the delta.
+	Kind EventKind
+	// Delta is the change's ∆V. Subscribers must treat it as read-only;
+	// it is shared with the caller of the producing operation.
+	Delta *cfd.Delta
+	// Violations and Marks are |V| (tuples) and total marks after the
+	// change.
+	Violations, Marks int
+}
+
+// watcher is one subscription.
+type watcher struct {
+	ch chan Event
+}
+
+// Watch subscribes to the session's per-batch ∆V stream: every
+// ApplyBatch, stream batch under Run, AddRules and RemoveRules publishes
+// one event. buffer is the channel depth (min 1); a subscriber that
+// falls behind misses events rather than blocking detection — Watch is a
+// monitoring surface, not a replication log. The returned cancel
+// function unsubscribes and closes the channel; Close does the same for
+// all subscribers.
+func (s *Session) Watch(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan Event, buffer)
+	if s.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := s.nextW
+	s.nextW++
+	s.watchers[id] = &watcher{ch: ch}
+	return ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if w, ok := s.watchers[id]; ok {
+			delete(s.watchers, id)
+			close(w.ch)
+		}
+	}
+}
+
+// publish fans an event out to every subscriber. Callers hold s.mu.
+func (s *Session) publish(kind EventKind, delta *cfd.Delta) {
+	if len(s.watchers) == 0 {
+		s.seq++
+		return
+	}
+	s.seq++
+	v := s.eng.Violations()
+	ev := Event{Seq: s.seq, Kind: kind, Delta: delta, Violations: v.Len(), Marks: v.Marks()}
+	for _, w := range s.watchers {
+		select {
+		case w.ch <- ev:
+		default: // slow subscriber: drop rather than block detection
+		}
+	}
+}

@@ -97,4 +97,25 @@ func (c *Centralized) Violations() *cfd.Violations { return c.inc.Violations() }
 // Stats returns zeroed meters: a single site ships nothing.
 func (c *Centralized) Stats() network.Stats { return network.Stats{} }
 
+// AddRules brings new rules into force, seeding only their marks; the
+// single-site maintainer is the oracle for the distributed engines'
+// seed-delta rounds.
+func (c *Centralized) AddRules(rules []cfd.CFD) (*cfd.Delta, error) {
+	return c.inc.AddRules(rules)
+}
+
+// RemoveRules retires rules by id, dropping their marks.
+func (c *Centralized) RemoveRules(ids []string) (*cfd.Delta, error) {
+	return c.inc.RemoveRules(ids)
+}
+
+// Rules returns the rule set in force.
+func (c *Centralized) Rules() []cfd.CFD { return c.inc.Rules() }
+
+// BatchDetect recomputes V(Σ, D) from scratch over the maintained
+// relation — the centralized batch baseline.
+func (c *Centralized) BatchDetect() (*cfd.Violations, error) {
+	return centralized.Detect(c.inc.Relation(), c.inc.Rules()), nil
+}
+
 var _ Applier = (*Centralized)(nil)

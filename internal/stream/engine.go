@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -102,6 +103,15 @@ type arrival struct {
 // summary. It must be called at most once per engine: the summary's
 // deltas are anchored to the applier's violation state at entry.
 func (e *Engine) Run() (*Summary, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run under a context. Cancellation stops the producer,
+// drains the arrival queue cleanly (no batch is half-applied: the check
+// sits between batches) and returns ctx's error. The engine owns no site
+// goroutines — those belong to the applier's transport, which the
+// session layer tears down on Close.
+func (e *Engine) RunContext(ctx context.Context) (*Summary, error) {
 	if e.ran {
 		return nil, fmt.Errorf("stream: engine already ran")
 	}
@@ -113,6 +123,11 @@ func (e *Engine) Run() (*Summary, error) {
 
 	arrivals := make(chan arrival, e.opts.Buffer)
 	stop := make(chan struct{})
+	drain := func() {
+		close(stop)
+		for range arrivals { // unblock and run off the producer
+		}
+	}
 	go func() {
 		defer close(arrivals)
 		for {
@@ -127,11 +142,16 @@ func (e *Engine) Run() (*Summary, error) {
 				case <-stop:
 					t.Stop()
 					return
+				case <-ctx.Done():
+					t.Stop()
+					return
 				}
 			}
 			select {
 			case arrivals <- arrival{b: b, at: time.Now()}:
 			case <-stop:
+				return
+			case <-ctx.Done():
 				return
 			}
 		}
@@ -139,11 +159,13 @@ func (e *Engine) Run() (*Summary, error) {
 
 	start := time.Now()
 	for arr := range arrivals {
+		if err := ctx.Err(); err != nil {
+			drain()
+			return nil, err
+		}
 		res, err := e.applyOne(arr, prev)
 		if err != nil {
-			close(stop)
-			for range arrivals { // unblock the producer
-			}
+			drain()
 			return nil, err
 		}
 		prev = e.a.Stats()
@@ -206,4 +228,9 @@ func (e *Engine) applyOne(arr arrival, prev network.Stats) (applied, error) {
 // Run is the convenience wrapper: build an engine and run it.
 func Run(a Applier, src Source, opts Options) (*Summary, error) {
 	return NewEngine(a, src, opts).Run()
+}
+
+// RunCtx is Run under a context (see Engine.RunContext).
+func RunCtx(ctx context.Context, a Applier, src Source, opts Options) (*Summary, error) {
+	return NewEngine(a, src, opts).RunContext(ctx)
 }

@@ -1,0 +1,675 @@
+package vertical
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cfd"
+	"repro/internal/eqclass"
+	"repro/internal/network"
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+	"repro/internal/xerr"
+)
+
+// This file is the live rule-management path of the vertical engine.
+// AddRules grafts a naive-chain sub-plan for the new variable rules onto
+// the running plan (existing nodes and their seeded equivalence state are
+// untouched), installs the new per-site structures in one metered round,
+// and then seeds only the new rules' HEV/IDX state and violation marks by
+// replaying the resident tuple ids through the batch-grouped phases —
+// eqid deliveries coalesced per edge and metered exactly like an
+// ApplyBatch wave. RemoveRules retires the rules' IDX state and marks;
+// plan nodes shared with surviving rules stay live, and orphaned nodes
+// keep their (now inert) equivalence state, which costs memory but never
+// correctness.
+
+// addRulesReq installs new rules at a site. The plan has already been
+// grafted by the driver (sites share the plan object, as they do at
+// construction); FirstNode marks where the grafted nodes begin.
+type addRulesReq struct {
+	Rules     []cfd.CFD
+	FirstNode int
+}
+
+// vDropRulesReq retires rules at a site.
+type vDropRulesReq struct {
+	Rules []string
+}
+
+// listIDsReq asks a site for its resident tuple ids (every vertical
+// fragment holds a projection of every tuple, so one site suffices).
+type listIDsReq struct{}
+
+type listIDsResp struct {
+	IDs []int64
+}
+
+// PinRuleWireTypes encodes the rule-management wire types into gob's
+// type registry. Called by package core's init — after both engines'
+// message pins — so pre-existing wire-type ids (and the committed byte
+// baselines) stay stable.
+func PinRuleWireTypes() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{
+		addRulesReq{Rules: []cfd.CFD{{LHS: []string{""}, LHSPattern: []string{""}}}},
+		vDropRulesReq{Rules: []string{""}},
+		listIDsReq{}, listIDsResp{IDs: []int64{0}},
+	} {
+		if err := enc.Encode(v); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// addRules is the site half of AddRules: install the rules' constant
+// checks, the grafted nodes this site owns, and the new IDX structures.
+func (s *site) addRules(req addRulesReq) (empty, error) {
+	for i := range req.Rules {
+		r := req.Rules[i]
+		if _, dup := s.rules[r.ID]; dup {
+			return empty{}, fmt.Errorf("vertical: site %d: rule %q already in force: %w", s.id, r.ID, xerr.ErrDuplicateRule)
+		}
+		rc := r
+		s.rules[rc.ID] = &rc
+		var cc constChecks
+		for li, a := range rc.LHS {
+			if rc.LHSPattern[li] == cfd.Wildcard {
+				continue
+			}
+			if col, ok := s.schema.Index(a); ok {
+				cc.cols = append(cc.cols, col)
+				cc.values = append(cc.values, rc.LHSPattern[li])
+			}
+		}
+		if len(cc.cols) > 0 {
+			cc.ruleID = rc.ID
+			s.checks = append(s.checks, cc)
+		}
+	}
+	for _, n := range s.plan.Nodes[req.FirstNode:] {
+		if n.Site != int(s.id) {
+			continue
+		}
+		switch n.Kind {
+		case optimizer.Base:
+			if _, ok := s.base[n.Attrs[0]]; !ok {
+				s.base[n.Attrs[0]] = eqclass.NewBaseHEV(n.Attrs[0])
+			}
+		case optimizer.Composed:
+			s.hevs[n.ID] = eqclass.NewHEV(n.Attrs)
+		}
+	}
+	for i := range req.Rules {
+		if b, ok := s.plan.Bindings[req.Rules[i].ID]; ok && b.IDXSite == int(s.id) {
+			s.idx[req.Rules[i].ID] = eqclass.NewIDX()
+		}
+	}
+	// Pooled eqid buffers were sized to the pre-graft node count; drop
+	// them so bufPut re-sizes lazily.
+	s.bufPool = nil
+	return empty{}, nil
+}
+
+// vDropRules is the site half of RemoveRules.
+func (s *site) vDropRules(req vDropRulesReq) (empty, error) {
+	drop := make(map[string]bool, len(req.Rules))
+	for _, id := range req.Rules {
+		if _, ok := s.rules[id]; !ok {
+			return empty{}, fmt.Errorf("vertical: site %d: dropping rule %q: %w", s.id, id, xerr.ErrUnknownRule)
+		}
+		drop[id] = true
+		delete(s.rules, id)
+		delete(s.idx, id)
+	}
+	kept := s.checks[:0]
+	for _, c := range s.checks {
+		if !drop[c.ruleID] {
+			kept = append(kept, c)
+		}
+	}
+	s.checks = kept
+	return empty{}, nil
+}
+
+// listIDs returns the fragment's tuple ids, ascending.
+func (s *site) listIDs(listIDsReq) (listIDsResp, error) {
+	ids := s.frag.IDs()
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return listIDsResp{IDs: out}, nil
+}
+
+// AddRules brings new rules into force on the running system without
+// rebuilding it. New variable rules are planned as §4 naive chains and
+// grafted onto the running plan; one metered round installs the per-site
+// structures, and a batch-grouped seed wave replays the resident tuples
+// through only the new rules' constant checks, eqid resolution/shipment
+// and Fig. 4 analyses. The returned ∆V holds exactly the new rules'
+// marks, already applied to Violations(). Like ApplyBatch, the rounds
+// are not atomic: a mid-round transport error leaves driver and sites
+// desynchronized, and the system should be rebuilt.
+func (sys *System) AddRules(rules []cfd.CFD) (*cfd.Delta, error) {
+	if sys.noIndexes {
+		return nil, fmt.Errorf("vertical: cannot add rules: %w", xerr.ErrNoIndexes)
+	}
+	delta := cfd.NewDelta()
+	if len(rules) == 0 {
+		return delta, nil
+	}
+	all := append(append([]cfd.CFD(nil), sys.rules...), rules...)
+	if err := cfd.ValidateAll(sys.schema, all); err != nil {
+		return nil, err
+	}
+
+	// Plan the new variable rules as self-contained §4 chains and graft
+	// them; existing nodes (and the equivalence state seeded under them)
+	// are untouched.
+	subIn := optimizer.Input{NumSites: sys.scheme.NumSites, AttrSites: sys.scheme.AttrSites}
+	for i := range rules {
+		if !rules[i].IsConstant() {
+			subIn.Rules = append(subIn.Rules, optimizer.RuleSpec{ID: rules[i].ID, LHS: rules[i].LHS, RHS: rules[i].RHS})
+		}
+	}
+	firstNode := len(sys.plan.Nodes)
+	if len(subIn.Rules) > 0 {
+		sub, err := optimizer.NaiveChainPlan(subIn)
+		if err != nil {
+			return nil, err
+		}
+		sys.plan.Graft(sub)
+	}
+
+	// Coordinator facts for the new constant rules (as in NewSystem).
+	for i := range rules {
+		r := &rules[i]
+		if !r.IsConstant() {
+			continue
+		}
+		coord, ok := sys.scheme.PrimarySiteOf(r.RHS)
+		if !ok {
+			return nil, fmt.Errorf("vertical: rule %s: RHS %q not assigned to a site: %w", r.ID, r.RHS, xerr.ErrUnknownAttribute)
+		}
+		sys.constCoord[r.ID] = network.SiteID(coord)
+		attrs, _ := r.ConstantLHS()
+		seen := make(map[network.SiteID]bool)
+		for _, a := range attrs {
+			p, ok := sys.scheme.PrimarySiteOf(a)
+			if !ok {
+				return nil, fmt.Errorf("vertical: rule %s: attribute %q not assigned to a site: %w", r.ID, a, xerr.ErrUnknownAttribute)
+			}
+			if !seen[network.SiteID(p)] {
+				seen[network.SiteID(p)] = true
+				sys.constSites[r.ID] = append(sys.constSites[r.ID], network.SiteID(p))
+			}
+		}
+		sort.Slice(sys.constSites[r.ID], func(a, b int) bool {
+			return sys.constSites[r.ID][a] < sys.constSites[r.ID][b]
+		})
+	}
+
+	// Metered install round: every site learns the new rules and creates
+	// its grafted structures.
+	coord := network.SiteID(0)
+	targets := make([]network.SiteID, len(sys.sites))
+	for i := range sys.sites {
+		targets[i] = network.SiteID(i)
+	}
+	req := addRulesReq{Rules: rules, FirstNode: firstNode}
+	if _, err := gather[addRulesReq, empty](sys, coord, "v.addRules", targets, func(network.SiteID) addRulesReq {
+		return req
+	}); err != nil {
+		return nil, err
+	}
+
+	// Driver state: the rule slices are rebuilt over the grown backing
+	// array (positions of existing variable rules are unchanged, so the
+	// memoized schedules for old alive-sets stay valid; only the
+	// full-set shortcut is stale).
+	sys.rules = all
+	sys.varRules, sys.constRules = nil, nil
+	var newVar, newConst []*cfd.CFD
+	for i := range sys.rules {
+		r := &sys.rules[i]
+		isNew := i >= len(all)-len(rules)
+		if r.IsConstant() {
+			sys.constRules = append(sys.constRules, r)
+			if isNew {
+				newConst = append(newConst, r)
+			}
+		} else {
+			sys.varRules = append(sys.varRules, r)
+			if isNew {
+				newVar = append(newVar, r)
+			}
+		}
+	}
+	sys.varIdxSite = make([]network.SiteID, len(sys.varRules))
+	for i, r := range sys.varRules {
+		sys.varIdxSite[i] = network.SiteID(sys.plan.Bindings[r.ID].IDXSite)
+	}
+	sys.checkers = nil
+	for _, st := range sys.sites {
+		if len(st.checks) > 0 {
+			sys.checkers = append(sys.checkers, st.id)
+		}
+	}
+	sys.fullSched = nil
+
+	// Seed wave: replay the resident ids through the new rules only.
+	var idResp listIDsResp
+	if err := sys.send(coord, network.SiteID(0), "v.listIDs", listIDsReq{}, &idResp); err != nil {
+		return nil, err
+	}
+	if len(idResp.IDs) > 0 {
+		if err := sys.seedWave(idResp.IDs, newConst, newVar, delta); err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.barrier(); err != nil {
+		return nil, err
+	}
+	delta.Apply(sys.v)
+	return delta, nil
+}
+
+// seedWave runs the batch-grouped phases of one insertion wave restricted
+// to the given (new) rules, without touching the fragments: constant
+// checks, constant-rule votes and classifications, eqid resolution and
+// coalesced shipment for the new plan nodes, Fig. 4 at the new IDX sites,
+// and buffer clears. Mirrors applyWave's phases 2–5 plus cleanup.
+func (sys *System) seedWave(ids []int64, newConst, newVar []*cfd.CFD, delta *cfd.Delta) error {
+	// Phase 1: pattern constants. Only sites holding a new rule's
+	// constant-pattern attribute can fail one, so the fan-out skips
+	// checker sites that serve old rules exclusively.
+	failed := make([]map[string]bool, len(ids))
+	for i := range failed {
+		failed[i] = make(map[string]bool)
+	}
+	checkSites := make(map[network.SiteID]bool)
+	for _, list := range [][]*cfd.CFD{newConst, newVar} {
+		for _, r := range list {
+			attrs, _ := r.ConstantLHS()
+			for _, a := range attrs {
+				for _, si := range sys.scheme.AttrSites[a] {
+					checkSites[network.SiteID(si)] = true
+				}
+			}
+		}
+	}
+	var checkers []network.SiteID
+	for _, c := range sys.checkers {
+		if checkSites[c] {
+			checkers = append(checkers, c)
+		}
+	}
+	evalResps := make([]batchEvalResp, len(checkers))
+	err := sys.cluster.Fanout(len(checkers), network.FanoutOpts{}, func(i int) error {
+		c := checkers[i]
+		return sys.send(c, c, "v.batchEval", batchEvalReq{IDs: ids}, &evalResps[i])
+	})
+	if err != nil {
+		return err
+	}
+	newRule := make(map[string]bool, len(newConst)+len(newVar))
+	for _, r := range newConst {
+		newRule[r.ID] = true
+	}
+	for _, r := range newVar {
+		newRule[r.ID] = true
+	}
+	for ci := range checkers {
+		if len(evalResps[ci].Failed) != len(ids) {
+			return fmt.Errorf("vertical: v.batchEval: malformed batch response from site %d", checkers[ci])
+		}
+		for ui, fl := range evalResps[ci].Failed {
+			for _, rid := range fl {
+				if newRule[rid] {
+					failed[ui][rid] = true
+				}
+			}
+		}
+	}
+
+	// Phase 2: new constant rules — votes per (checker, coordinator)
+	// pair, then coordinator classifications, exactly as in applyWave.
+	votes := make(map[[2]network.SiteID][]batchVoteItem)
+	voteAt := make(map[[2]network.SiteID]int)
+	for ui, tid := range ids {
+		for k := range voteAt {
+			delete(voteAt, k)
+		}
+		for _, r := range newConst {
+			if failed[ui][r.ID] {
+				continue
+			}
+			coord := sys.constCoord[r.ID]
+			for _, s := range sys.constSites[r.ID] {
+				if s == coord {
+					continue
+				}
+				key := [2]network.SiteID{s, coord}
+				at, ok := voteAt[key]
+				if !ok {
+					votes[key] = append(votes[key], batchVoteItem{ID: tid})
+					at = len(votes[key]) - 1
+					voteAt[key] = at
+				}
+				votes[key][at].Rules = append(votes[key][at].Rules, r.ID)
+			}
+		}
+	}
+	pairs := make([][2]network.SiteID, 0, len(votes))
+	for k := range votes {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	err = sys.cluster.Fanout(len(pairs), network.FanoutOpts{}, func(i int) error {
+		k := pairs[i]
+		return sys.send(k[0], k[1], "v.batchVote", batchVoteReq{Items: votes[k]}, nil)
+	})
+	if err != nil {
+		return err
+	}
+
+	constItems := make(map[network.SiteID][]batchConstItem)
+	type constRef struct {
+		id   int64
+		rule string
+	}
+	constRefs := make(map[network.SiteID][]constRef)
+	for ui, tid := range ids {
+		for _, r := range newConst {
+			if failed[ui][r.ID] {
+				continue
+			}
+			coord := sys.constCoord[r.ID]
+			constItems[coord] = append(constItems[coord], batchConstItem{Rule: r.ID, ID: tid, Op: OpInsert})
+			constRefs[coord] = append(constRefs[coord], constRef{tid, r.ID})
+		}
+	}
+	constSites := network.SortedSites(constItems)
+	constResps := make([]batchConstResp, len(constSites))
+	err = sys.cluster.Fanout(len(constSites), network.FanoutOpts{}, func(i int) error {
+		s := constSites[i]
+		return sys.send(s, s, "v.batchConst", batchConstReq{Items: constItems[s]}, &constResps[i])
+	})
+	if err != nil {
+		return err
+	}
+	for si, s := range constSites {
+		if len(constResps[si].Violations) != len(constItems[s]) {
+			return fmt.Errorf("vertical: v.batchConst: malformed batch response from site %d", s)
+		}
+		for k, violation := range constResps[si].Violations {
+			if violation {
+				ref := constRefs[s][k]
+				delta.Add(relation.TupleID(ref.id), ref.rule)
+			}
+		}
+	}
+
+	if len(newVar) == 0 {
+		return nil
+	}
+
+	// Phase 3: per-tuple alive sets over the new variable rules, with
+	// schedules restricted to the new rules' (grafted) nodes, memoized by
+	// alive positions within newVar.
+	type seedState struct {
+		tid   int64
+		alive []*cfd.CFD
+		sched *runSchedule
+		pos   int
+	}
+	schedMemo := make(map[string]*runSchedule)
+	var keyBuf []byte
+	states := make([]*seedState, 0, len(ids))
+	nodeSet := make(map[optimizer.NodeID]bool)
+	var nodeOrder []optimizer.NodeID
+	for ui, tid := range ids {
+		st := &seedState{tid: tid}
+		keyBuf = keyBuf[:0]
+		for vi, r := range newVar {
+			if !failed[ui][r.ID] {
+				st.alive = append(st.alive, r)
+				keyBuf = binary.AppendUvarint(keyBuf, uint64(vi))
+			}
+		}
+		if len(st.alive) == 0 {
+			continue
+		}
+		sched, ok := schedMemo[string(keyBuf)]
+		if !ok {
+			sched = sys.buildSchedule(st.alive)
+			schedMemo[string(keyBuf)] = sched
+		}
+		st.sched = sched
+		for _, n := range sched.order {
+			if !nodeSet[n] {
+				nodeSet[n] = true
+				nodeOrder = append(nodeOrder, n)
+			}
+		}
+		states = append(states, st)
+	}
+	sort.Slice(nodeOrder, func(i, j int) bool { return nodeOrder[i] < nodeOrder[j] })
+
+	pend := make(map[[2]network.SiteID][]batchDeliverItem)
+	flushTo := func(dest network.SiteID) error {
+		var srcs []network.SiteID
+		for k := range pend {
+			if k[1] == dest && len(pend[k]) > 0 {
+				srcs = append(srcs, k[0])
+			}
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+		for _, src := range srcs {
+			k := [2]network.SiteID{src, dest}
+			if err := sys.send(src, dest, "v.batchDeliver", batchDeliverReq{Items: pend[k]}, nil); err != nil {
+				return err
+			}
+			if !sys.direct {
+				sys.cluster.AddEqids(len(pend[k]))
+			}
+			delete(pend, k)
+		}
+		return nil
+	}
+
+	resolveItems := make([]batchResolveItem, 0, len(states))
+	consumers := make([]*seedState, 0, len(states))
+	for _, n := range nodeOrder {
+		src := network.SiteID(sys.plan.Node(n).Site)
+		if err := flushTo(src); err != nil {
+			return err
+		}
+		resolveItems = resolveItems[:0]
+		consumers = consumers[:0]
+		for _, st := range states {
+			if st.pos >= len(st.sched.order) || st.sched.order[st.pos] != n {
+				continue
+			}
+			resolveItems = append(resolveItems, batchResolveItem{ID: st.tid, Acquire: true})
+			consumers = append(consumers, st)
+		}
+		if len(resolveItems) == 0 {
+			continue
+		}
+		var resp batchResolveResp
+		if err := sys.send(src, src, "v.batchResolve", batchResolveReq{Node: int(n), Items: resolveItems}, &resp); err != nil {
+			return err
+		}
+		if len(resp.Eqs) != len(resolveItems) {
+			return fmt.Errorf("vertical: v.batchResolve: malformed batch response from site %d", src)
+		}
+		for k, st := range consumers {
+			for _, dest := range st.sched.dests[st.pos] {
+				key := [2]network.SiteID{src, dest}
+				pend[key] = append(pend[key], batchDeliverItem{ID: st.tid, Node: int(n), Eq: resp.Eqs[k]})
+			}
+			st.pos++
+		}
+	}
+	var restPairs [][2]network.SiteID
+	for k := range pend {
+		if len(pend[k]) > 0 {
+			restPairs = append(restPairs, k)
+		}
+	}
+	sort.Slice(restPairs, func(i, j int) bool {
+		if restPairs[i][1] != restPairs[j][1] {
+			return restPairs[i][1] < restPairs[j][1]
+		}
+		return restPairs[i][0] < restPairs[j][0]
+	})
+	for _, k := range restPairs {
+		if err := sys.send(k[0], k[1], "v.batchDeliver", batchDeliverReq{Items: pend[k]}, nil); err != nil {
+			return err
+		}
+		if !sys.direct {
+			sys.cluster.AddEqids(len(pend[k]))
+		}
+		delete(pend, k)
+	}
+
+	// Phase 4: Fig. 4 at the new rules' IDX sites.
+	ruleItems := make(map[network.SiteID][]batchRuleItem)
+	ruleRefs := make(map[network.SiteID][]string)
+	for _, st := range states {
+		for _, r := range st.alive {
+			idxSite := network.SiteID(sys.plan.Bindings[r.ID].IDXSite)
+			ruleItems[idxSite] = append(ruleItems[idxSite], batchRuleItem{Rule: r.ID, ID: st.tid, Op: OpInsert})
+			ruleRefs[idxSite] = append(ruleRefs[idxSite], r.ID)
+		}
+	}
+	ruleSites := network.SortedSites(ruleItems)
+	ruleResps := make([]batchRuleResp, len(ruleSites))
+	err = sys.cluster.Fanout(len(ruleSites), network.FanoutOpts{}, func(i int) error {
+		s := ruleSites[i]
+		return sys.send(s, s, "v.batchRule", batchRuleReq{Items: ruleItems[s]}, &ruleResps[i])
+	})
+	if err != nil {
+		return err
+	}
+	for si, s := range ruleSites {
+		if len(ruleResps[si].Items) != len(ruleItems[s]) {
+			return fmt.Errorf("vertical: v.batchRule: malformed batch response from site %d", s)
+		}
+		for k, ir := range ruleResps[si].Items {
+			rule := ruleRefs[s][k]
+			for _, id := range ir.Added {
+				delta.Add(relation.TupleID(id), rule)
+			}
+			for _, id := range ir.Removed {
+				delta.Remove(relation.TupleID(id), rule)
+			}
+		}
+	}
+
+	// Cleanup: clear the wave's eqid buffers at every involved site.
+	endIDs := make(map[network.SiteID][]int64)
+	for _, st := range states {
+		for _, s := range st.sched.involved {
+			endIDs[s] = append(endIDs[s], st.tid)
+		}
+	}
+	endSites := network.SortedSites(endIDs)
+	return sys.cluster.Fanout(len(endSites), network.FanoutOpts{}, func(i int) error {
+		s := endSites[i]
+		return sys.send(s, s, "v.batchEnd", batchEndReq{IDs: endIDs[s]}, nil)
+	})
+}
+
+// RemoveRules retires rules by id: their marks leave Violations() via
+// the posting index, one metered round drops the per-site IDX state and
+// constant checks, and the plan sheds the rules' bindings (nodes shared
+// with surviving rules stay live). The returned ∆V holds exactly the
+// retired marks.
+func (sys *System) RemoveRules(ids []string) (*cfd.Delta, error) {
+	if sys.noIndexes {
+		return nil, fmt.Errorf("vertical: cannot remove rules: %w", xerr.ErrNoIndexes)
+	}
+	drop := make(map[string]bool, len(ids))
+	inForce := make(map[string]bool, len(sys.rules))
+	for i := range sys.rules {
+		inForce[sys.rules[i].ID] = true
+	}
+	for _, id := range ids {
+		if drop[id] {
+			return nil, fmt.Errorf("vertical: rule %q listed twice: %w", id, xerr.ErrDuplicateRule)
+		}
+		if !inForce[id] {
+			return nil, fmt.Errorf("vertical: removing rule %q: %w", id, xerr.ErrUnknownRule)
+		}
+		drop[id] = true
+	}
+	delta := cfd.NewDelta()
+	if len(ids) == 0 {
+		return delta, nil
+	}
+	for _, id := range ids {
+		sys.v.EachTupleOfRule(id, func(t relation.TupleID) bool {
+			delta.Remove(t, id)
+			return true
+		})
+	}
+
+	coord := network.SiteID(0)
+	targets := make([]network.SiteID, len(sys.sites))
+	for i := range sys.sites {
+		targets[i] = network.SiteID(i)
+	}
+	if _, err := gather[vDropRulesReq, empty](sys, coord, "v.dropRules", targets, func(network.SiteID) vDropRulesReq {
+		return vDropRulesReq{Rules: ids}
+	}); err != nil {
+		return nil, err
+	}
+
+	for _, id := range ids {
+		sys.plan.DropRule(id)
+		delete(sys.constCoord, id)
+		delete(sys.constSites, id)
+	}
+	var kept []cfd.CFD
+	for i := range sys.rules {
+		if !drop[sys.rules[i].ID] {
+			kept = append(kept, sys.rules[i])
+		}
+	}
+	sys.rules = kept
+	sys.varRules, sys.constRules = nil, nil
+	for i := range sys.rules {
+		r := &sys.rules[i]
+		if r.IsConstant() {
+			sys.constRules = append(sys.constRules, r)
+		} else {
+			sys.varRules = append(sys.varRules, r)
+		}
+	}
+	sys.varIdxSite = make([]network.SiteID, len(sys.varRules))
+	for i, r := range sys.varRules {
+		sys.varIdxSite[i] = network.SiteID(sys.plan.Bindings[r.ID].IDXSite)
+	}
+	sys.checkers = nil
+	for _, st := range sys.sites {
+		if len(st.checks) > 0 {
+			sys.checkers = append(sys.checkers, st.id)
+		}
+	}
+	// Variable-rule positions shifted: every memoized schedule is stale.
+	sys.schedCache = make(map[string]*runSchedule)
+	sys.fullSched = nil
+	delta.Apply(sys.v)
+	return delta, nil
+}

@@ -219,6 +219,11 @@ func (s *site) bufPut(tid int64, node optimizer.NodeID, eq int64) {
 		}
 		s.buf[tid] = m
 	}
+	// Grafted plans grow past a pooled buffer's length; extend lazily.
+	for len(m) <= int(node) {
+		m = append(m, 0)
+		s.buf[tid] = m
+	}
 	m[node] = eq
 }
 
@@ -505,4 +510,7 @@ func (s *site) register(c *network.Cluster) {
 	network.RegisterFunc(c, s.id, "v.batchEnd", s.batchEnd)
 	network.RegisterFunc(c, s.id, "v.applyConst", s.applyConst)
 	network.RegisterFunc(c, s.id, "v.shipCols", s.shipCols)
+	network.RegisterFunc(c, s.id, "v.addRules", s.addRules)
+	network.RegisterFunc(c, s.id, "v.dropRules", s.vDropRules)
+	network.RegisterFunc(c, s.id, "v.listIDs", s.listIDs)
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/xerr"
 )
 
 // Options configures a vertical detection system.
@@ -274,7 +275,7 @@ func gather[Req, Resp any](sys *System, from network.SiteID, method string, targ
 // SetUnitMode), maintains V(Σ, D) and returns the accumulated ∆V.
 func (sys *System) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
 	if sys.noIndexes {
-		return nil, fmt.Errorf("vertical: system built with NoIndexes cannot apply incremental updates")
+		return nil, fmt.Errorf("vertical: cannot apply incremental updates: %w", xerr.ErrNoIndexes)
 	}
 	norm := updates.NormalizeInto(sys.normScratch)
 	if len(norm) != len(updates) {

@@ -1,0 +1,28 @@
+// Package xerr holds the sentinel errors shared across the repository's
+// layers. Every layer — relation, cfd, partition, the detection engines
+// and the session façade — wraps these with context via fmt.Errorf's %w,
+// so callers classify failures with errors.Is instead of matching
+// message strings. The root repro package re-exports them.
+package xerr
+
+import "errors"
+
+var (
+	// ErrArityMismatch marks a tuple, pattern or value list whose length
+	// does not match its schema or rule.
+	ErrArityMismatch = errors.New("arity mismatch")
+	// ErrUnknownAttribute marks a reference to an attribute the schema
+	// (or partition scheme) does not define.
+	ErrUnknownAttribute = errors.New("unknown attribute")
+	// ErrNoIndexes marks an incremental operation on a system built with
+	// the NoIndexes option (batch baselines only load fragments).
+	ErrNoIndexes = errors.New("system built without indexes")
+	// ErrDuplicateRule marks a rule id colliding with one already in
+	// force.
+	ErrDuplicateRule = errors.New("duplicate rule")
+	// ErrUnknownRule marks an operation naming a rule that is not in
+	// force.
+	ErrUnknownRule = errors.New("unknown rule")
+	// ErrClosed marks an operation on a closed session.
+	ErrClosed = errors.New("session closed")
+)

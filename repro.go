@@ -13,6 +13,9 @@
 //
 // # Quick start
 //
+// One constructor, Open, builds any engine — centralized (the default),
+// horizontal or vertical — behind an engine-agnostic Session:
+//
 //	schema := repro.MustSchema("EMP", "grade", "street", "city", "zip", "CC", "AC")
 //	rules, _ := repro.ParseRules(`
 //	    phi1: ([CC, zip] -> [street], (44, _, _))
@@ -20,13 +23,19 @@
 //	`)
 //	rel := repro.NewRelation(schema)
 //	// ... insert tuples ...
-//	sys, _ := repro.NewHorizontal(rel, repro.BySetHorizontal("grade",
-//	    [][]string{{"A"}, {"B"}, {"C"}}), rules, repro.HorizontalOptions{})
-//	delta, _ := sys.ApplyBatch(updates)   // incHor: ∆V for ∆D
-//	fmt.Println(sys.Violations(), sys.Stats().Bytes)
+//	sess, _ := repro.Open(rel, rules, repro.WithHorizontal(
+//	    repro.BySetHorizontal("grade", [][]string{{"A"}, {"B"}, {"C"}})))
+//	defer sess.Close()
+//	delta, _ := sess.ApplyBatch(ctx, updates) // incHor: ∆V for ∆D
+//	hot := sess.Query(repro.ByRule("phi2"), repro.Limit(10))
+//	fmt.Println(sess.Count(), sess.Measures(), sess.Stats().Bytes, delta, hot)
 //
-// See examples/ for complete programs and DESIGN.md for the system
-// inventory and the experiment index reproducing the paper's evaluation.
+// Sessions also manage rules live — AddRules/RemoveRules seed or retire
+// only the affected rules' marks through metered seed-delta rounds — and
+// publish every batch's ∆V through Watch. See examples/ for complete
+// programs, MIGRATION.md for the old-constructor mapping, and DESIGN.md
+// for the system inventory and the experiment index reproducing the
+// paper's evaluation.
 package repro
 
 import (
@@ -37,9 +46,117 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/session"
 	"repro/internal/stream"
 	"repro/internal/vertical"
 	"repro/internal/workload"
+	"repro/internal/xerr"
+)
+
+// Session service layer: the engine-agnostic handle every program —
+// examples, tools, the experiment harness — constructs through Open.
+type (
+	// Session is a live detection handle over any engine: incremental
+	// batches, live rule management, read-side queries, subscriptions
+	// and teardown. See Open.
+	Session = session.Session
+	// Option configures Open (WithHorizontal, WithVertical, ...).
+	Option = session.Option
+	// SessionKind is the partition style behind a session.
+	SessionKind = session.Kind
+	// QueryFilter narrows Session.Query (ByRule, ByTuple, Limit).
+	QueryFilter = session.Filter
+	// QueryViolation is one Session.Query result row.
+	QueryViolation = session.Violation
+	// RuleCount is one row of Session.Count's per-rule histogram.
+	RuleCount = cfd.RuleCount
+	// Measures are Session.Measures' aggregate inconsistency measures
+	// (drastic, problematic tuples, MI-style mark count, |V|/|D|).
+	Measures = session.Measures
+	// WatchEvent is one Session.Watch subscription event.
+	WatchEvent = session.Event
+	// WatchEventKind distinguishes batch, rule-add and rule-remove
+	// events.
+	WatchEventKind = session.EventKind
+)
+
+// Session kinds.
+const (
+	KindCentralized = session.Centralized
+	KindHorizontal  = session.Horizontal
+	KindVertical    = session.Vertical
+)
+
+// Watch event kinds.
+const (
+	EventBatch        = session.EventBatch
+	EventRulesAdded   = session.EventRulesAdded
+	EventRulesRemoved = session.EventRulesRemoved
+)
+
+// Open builds, partitions and seeds a detection system over rel with
+// rules, per the options (default: the single-site centralized
+// maintainer), and returns the live Session handle.
+func Open(rel *Relation, rules []CFD, opts ...Option) (*Session, error) {
+	return session.Open(rel, rules, opts...)
+}
+
+// Engine selection and tuning options for Open.
+var (
+	// WithCentralized selects the single-site maintainer (the default).
+	WithCentralized = session.WithCentralized
+	// WithHorizontal runs §6's incHor over a horizontal partition.
+	WithHorizontal = session.WithHorizontal
+	// WithVertical runs §4/§5's incVer over a vertical partition.
+	WithVertical = session.WithVertical
+	// WithOptimizer builds vertical HEVs with §5's optVer.
+	WithOptimizer = session.WithOptimizer
+	// WithBeamWidth sets optVer's beam width.
+	WithBeamWidth = session.WithBeamWidth
+	// WithoutMD5 turns §6's MD5 tuple coding off (ablation).
+	WithoutMD5 = session.WithoutMD5
+	// WithNoIndexes loads fragments only: BatchDetect works, the
+	// incremental surface returns ErrNoIndexes.
+	WithNoIndexes = session.WithNoIndexes
+	// WithUnitMode starts on the per-update protocol rounds (ablation).
+	WithUnitMode = session.WithUnitMode
+	// WithMaxFanout caps the scatter/gather engine's workers.
+	WithMaxFanout = session.WithMaxFanout
+	// WithLinkRTT simulates a per-message network round-trip.
+	WithLinkRTT = session.WithLinkRTT
+	// WithRPCTransport runs the cluster over net/rpc-over-TCP; Close
+	// tears listeners and site goroutines down.
+	WithRPCTransport = session.WithRPCTransport
+	// WithRPCTransportContext binds the RPC transport to a context.
+	WithRPCTransportContext = session.WithRPCTransportContext
+)
+
+// Query filters for Session.Query.
+var (
+	// ByRule restricts results to tuples violating the given rules,
+	// answered from the per-rule posting index in O(answer).
+	ByRule = session.ByRule
+	// ByTuple restricts results to the given tuples.
+	ByTuple = session.ByTuple
+	// Limit caps the result count.
+	Limit = session.Limit
+)
+
+// Sentinel errors, matched with errors.Is; every layer wraps these.
+var (
+	// ErrArityMismatch marks tuples or patterns of the wrong width.
+	ErrArityMismatch = xerr.ErrArityMismatch
+	// ErrUnknownAttribute marks references to undeclared attributes.
+	ErrUnknownAttribute = xerr.ErrUnknownAttribute
+	// ErrNoIndexes marks incremental operations on a WithNoIndexes
+	// session.
+	ErrNoIndexes = xerr.ErrNoIndexes
+	// ErrDuplicateRule marks rule ids colliding with rules in force.
+	ErrDuplicateRule = xerr.ErrDuplicateRule
+	// ErrUnknownRule marks operations naming a rule not in force.
+	ErrUnknownRule = xerr.ErrUnknownRule
+	// ErrClosed marks operations on a closed session.
+	ErrClosed = xerr.ErrClosed
 )
 
 // Data model.
@@ -179,13 +296,48 @@ func BySetHorizontal(attr string, valueSets [][]string) *HorizontalScheme {
 }
 
 // NewVertical builds, seeds and returns a vertical detection system.
+//
+// Deprecated: use Open with WithVertical (plus WithOptimizer,
+// WithBeamWidth, WithNoIndexes as needed); this shim delegates to it.
+// Direct construction with a pre-built Plan still goes through core.
 func NewVertical(rel *Relation, scheme *VerticalScheme, rules []CFD, opts VerticalOptions) (*VerticalSystem, error) {
-	return core.NewVertical(rel, scheme, rules, opts)
+	if opts.Plan != nil {
+		return core.NewVertical(rel, scheme, rules, opts)
+	}
+	sessOpts := []Option{WithVertical(scheme)}
+	if opts.UseOptimizer {
+		sessOpts = append(sessOpts, WithOptimizer())
+		if opts.BeamWidth > 0 {
+			sessOpts = append(sessOpts, WithBeamWidth(opts.BeamWidth))
+		}
+	}
+	if opts.NoIndexes {
+		sessOpts = append(sessOpts, WithNoIndexes())
+	}
+	s, err := Open(rel, rules, sessOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Detector().(*VerticalSystem), nil
 }
 
 // NewHorizontal builds, seeds and returns a horizontal detection system.
+//
+// Deprecated: use Open with WithHorizontal (plus WithoutMD5,
+// WithNoIndexes as needed); this shim delegates to it.
 func NewHorizontal(rel *Relation, scheme *HorizontalScheme, rules []CFD, opts HorizontalOptions) (*HorizontalSystem, error) {
-	return core.NewHorizontal(rel, scheme, rules, opts)
+	sessOpts := []Option{WithHorizontal(scheme)}
+	if opts.DisableMD5 {
+		sessOpts = append(sessOpts, WithoutMD5())
+	}
+	if opts.NoIndexes {
+		sessOpts = append(sessOpts, WithNoIndexes())
+	}
+	s, err := Open(rel, rules, sessOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Detector().(*HorizontalSystem), nil
 }
 
 // NewGenerator returns a synthetic workload generator (TPCH or DBLP) with
@@ -240,17 +392,25 @@ func NewUpdateStream(gen *Generator, rel *Relation, cfg StreamConfig) *UpdateStr
 
 // NewStreamEngine builds a one-shot pipeline engine over an applier and
 // a batch source.
+//
+// Deprecated: use Session.Run, which meters the stream through the
+// session's engine and publishes each batch to Watch subscribers.
 func NewStreamEngine(a StreamApplier, src StreamSource, opts StreamOptions) *StreamEngine {
 	return stream.NewEngine(a, src, opts)
 }
 
 // RunStream pumps src through a and returns the stream summary.
+//
+// Deprecated: use Session.Run.
 func RunStream(a StreamApplier, src StreamSource, opts StreamOptions) (*StreamSummary, error) {
 	return stream.Run(a, src, opts)
 }
 
 // NewCentralizedApplier wraps the single-site incremental maintainer
 // (zero wire traffic by construction) for use with the stream pipeline.
+//
+// Deprecated: use Open (centralized is the default engine) and drive
+// streams with Session.Run.
 func NewCentralizedApplier(rel *Relation, rules []CFD) (*CentralizedApplier, error) {
 	return stream.NewCentralized(rel, rules)
 }
@@ -261,8 +421,11 @@ func DeltaBetween(old, new *Violations) *Delta { return cfd.DeltaBetween(old, ne
 
 // UseRPCTransport switches a system's cluster onto a real net/rpc-over-TCP
 // transport (one server goroutine per site on localhost). Returns a close
-// function. Intended for integration tests and demos of the multi-node
-// simulation.
+// function that reliably tears down the listeners and every server
+// goroutine.
+//
+// Deprecated: use Open with WithRPCTransport; Session.Close owns the
+// teardown.
 func UseRPCTransport(d Detector) (func() error, error) {
 	t, err := network.NewRPCTransport(d.Cluster())
 	if err != nil {
