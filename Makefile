@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench stream coalesce bench-verify profile fuzz api apicheck verify clean
+.PHONY: test race bench stream coalesce net bench-verify profile fuzz api apicheck verify clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -29,11 +29,18 @@ stream:
 coalesce:
 	$(GO) run ./cmd/expbench -coalesce
 
+# net regenerates the real-socket deployment baseline (BENCH_net.json:
+# loopback vs framed-TCP wire meters — asserted identical — plus the
+# physical framing overhead).
+net:
+	$(GO) run ./cmd/expbench -net
+
 # bench-verify remeasures every deterministic column of the committed
 # baselines (BENCH_hotpath.json wire meters, BENCH_stream.json rows,
-# BENCH_coalesce.json rows) and fails on drift. CI runs it, so wire-meter
-# regressions are caught at PR time; intentional protocol changes
-# regenerate with `make bench stream coalesce` and commit the diff.
+# BENCH_coalesce.json rows, BENCH_net.json rows) and fails on drift. CI
+# runs it, so wire-meter regressions are caught at PR time; intentional
+# protocol changes regenerate with `make bench stream coalesce net` and
+# commit the diff.
 bench-verify:
 	$(GO) run ./cmd/expbench -verify
 
@@ -46,9 +53,11 @@ profile:
 	@echo "inspect with: go tool pprof cpu.prof   (allocations: go tool pprof mem.prof)"
 
 # fuzz is the native-fuzzing smoke CI runs: grouping-key round-trip,
-# injectivity and hash consistency, seeded with the \x1f collision corpus.
+# injectivity and hash consistency (seeded with the \x1f collision
+# corpus), and the TCP framing codec against adversarial headers.
 fuzz:
 	$(GO) test -fuzz=FuzzAppendKey -fuzztime=10s -run '^$$' ./internal/relation
+	$(GO) test -fuzz=FuzzFrame -fuzztime=10s -run '^$$' ./internal/netwire
 
 # api regenerates the committed API-surface lockfile; apicheck fails when
 # the public repro surface (go doc -all) drifts from it, so façade changes

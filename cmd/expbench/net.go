@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/harness"
+)
+
+// BENCH_net.json is the real-socket deployment baseline: per (engine,
+// batch size), the wire meters of the same ∆D applied through the
+// in-process loopback and through a TCP session with framed-socket site
+// hosts, plus the physical socket traffic (frame_bytes). The wire-meter
+// columns are asserted bit-identical between the two modes before a row
+// is emitted, so this file doubles as the committed proof that the
+// deployment does not change what the protocols ship. Latency columns
+// are machine-dependent and deliberately kept out (the -net stdout
+// table reports them, beside the simulated-RTT rows of
+// BENCH_coalesce.json).
+
+// netRow is one (engine, batch size) row of the baseline.
+type netRow struct {
+	Style      string `json:"style"`
+	BatchSize  int    `json:"batch_size"`
+	Msgs       int64  `json:"msgs"`
+	Bytes      int64  `json:"bytes"`
+	Eqids      int64  `json:"eqids"`
+	FrameBytes int64  `json:"frame_bytes"`
+	NetMarks   int    `json:"net_marks"`
+	Violations int    `json:"violations"`
+}
+
+// netBaseline is the file layout of BENCH_net.json.
+type netBaseline struct {
+	GeneratedBy string   `json:"generated_by"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	Workload    string   `json:"workload"`
+	Rows        []netRow `json:"rows"`
+}
+
+func netRows(rows []harness.NetRow) []netRow {
+	out := make([]netRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, netRow{
+			Style: r.Style, BatchSize: r.BatchSize,
+			Msgs: r.Msgs, Bytes: r.Bytes, Eqids: r.Eqids,
+			FrameBytes: r.FrameBytes,
+			NetMarks:   r.NetMarks, Violations: r.Violations,
+		})
+	}
+	return out
+}
+
+func writeNetBaseline(path string, sc harness.Scale, rows []harness.NetRow) error {
+	base := netBaseline{
+		GeneratedBy: "expbench -net",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Workload: fmt.Sprintf("TPCH-like seed=%d |D|=%d |Σ|=50 n=%d sites, batches of %v",
+			sc.Seed, 3*sc.Unit, sc.Sites, harness.NetBatchSizes()),
+		Rows: netRows(rows),
+	}
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(base.Rows))
+	return nil
+}
+
+// runNetMode executes expbench -net: the loopback-vs-real-socket sweep
+// feeds both the stdout latency table and the committed baseline.
+func runNetMode(path string, sc harness.Scale) error {
+	rows, err := harness.RunNet(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.NetResult(rows).Format())
+	return writeNetBaseline(path, sc, rows)
+}

@@ -16,7 +16,9 @@ import (
 //     and skipped;
 //   - BENCH_stream.json: the full rows array (batch sizes, ∆V, |V|, wire
 //     meters per batch — all a pure function of the seed);
-//   - BENCH_coalesce.json: the full rows array.
+//   - BENCH_coalesce.json: the full rows array;
+//   - BENCH_net.json: the full rows array (real-socket wire meters and
+//     framing overhead, asserted identical to loopback during the sweep).
 //
 // CI runs `make bench-verify`, so a change that silently shifts what the
 // protocols ship — the paper's own quantities — fails the build instead
@@ -90,6 +92,20 @@ func verifyBaselines(sc harness.Scale) error {
 		return err
 	}
 	if err := compareRows("BENCH_coalesce.json", coalBase.Rows, coalesceRows(coalRows), report); err != nil {
+		return err
+	}
+
+	// BENCH_net.json: the rows array is fully deterministic (the sweep
+	// itself asserts loopback/TCP meter identity before emitting a row).
+	var netBase netBaseline
+	if err := readJSON("BENCH_net.json", &netBase); err != nil {
+		return err
+	}
+	freshNet, err := harness.RunNet(sc)
+	if err != nil {
+		return err
+	}
+	if err := compareRows("BENCH_net.json", netBase.Rows, netRows(freshNet), report); err != nil {
 		return err
 	}
 

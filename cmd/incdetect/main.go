@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro"
@@ -33,6 +34,7 @@ func main() {
 		shardAttr = flag.String("shard-attr", "", "horizontal: hash-partition on this attribute (default: tuple id)")
 		optimize  = flag.Bool("optimize", true, "vertical: build HEVs with the §5 optimizer")
 		updPath   = flag.String("updates", "", "update CSV to replay incrementally")
+		netAddrs  = flag.String("net", "", "comma-separated sited daemon addresses: run the sites in those processes (overrides -sites)")
 		verbose   = flag.Bool("v", false, "list violating tuples")
 	)
 	flag.Parse()
@@ -53,6 +55,11 @@ func main() {
 	fmt.Printf("loaded %d tuples × %d attrs, %d rules\n", rel.Len(), rel.Schema.Width(), len(rules))
 
 	var opts []repro.Option
+	if *netAddrs != "" {
+		addrs := strings.Split(*netAddrs, ",")
+		*sites = len(addrs)
+		opts = append(opts, repro.WithTCPSites(addrs...))
+	}
 	switch *mode {
 	case "central":
 		opts = append(opts, repro.WithCentralized())
@@ -107,6 +114,10 @@ func main() {
 			delta.Size(), delta.AddedMarks(), delta.RemovedMarks())
 		fmt.Printf("shipment: %d messages, %.1f KB, %d eqids\n",
 			st.Messages, float64(st.Bytes)/1024, st.Eqids)
+		if *netAddrs != "" {
+			fmt.Printf("physical socket traffic: %.1f KB (framing + envelopes over metered payload)\n",
+				float64(sess.Cluster().FrameBytes())/1024)
+		}
 		m := sess.Measures()
 		fmt.Printf("violations now: %d tuples (%d marks, |V|/|D| = %.3f)\n",
 			m.ViolatingTuples, m.Marks, m.TupleRatio)

@@ -1,0 +1,64 @@
+// Command sited is the site daemon of a multi-process deployment: it
+// listens on a framed TCP socket and hosts one horizontal or vertical
+// detection site, bootstrapped by the first driver hello (see
+// internal/sitehost). Start one sited per site, then open the driver
+// session with repro.WithTCPSites(addr0, addr1, ...).
+//
+// Usage:
+//
+//	sited [-addr 127.0.0.1:0] [-tls-cert cert.pem -tls-key key.pem]
+//
+// On startup the daemon prints exactly one line "listening <addr>" to
+// stdout — scripts and the cross-process test harness parse it to learn
+// the bound port when -addr ends in :0. SIGINT/SIGTERM close the
+// listener and drain every connection before exiting.
+package main
+
+import (
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/sitehost"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	tlsCert := flag.String("tls-cert", "", "TLS certificate file (with -tls-key: serve TLS)")
+	tlsKey := flag.String("tls-key", "", "TLS private key file")
+	flag.Parse()
+
+	var tlsCfg *tls.Config
+	if *tlsCert != "" || *tlsKey != "" {
+		if *tlsCert == "" || *tlsKey == "" {
+			fatal(fmt.Errorf("-tls-cert and -tls-key must be given together"))
+		}
+		cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+		if err != nil {
+			fatal(err)
+		}
+		tlsCfg = &tls.Config{Certificates: []tls.Certificate{cert}}
+	}
+
+	srv, err := sitehost.Serve(sitehost.NewHost(), *addr, tlsCfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("listening %s\n", srv.Addr())
+	os.Stdout.Sync()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sited:", err)
+	os.Exit(1)
+}

@@ -534,6 +534,7 @@ func Experiments() []Experiment {
 		{"Exp-coalesce", "protocol", ExpCoalesce},
 		{"Exp-stream", "pipeline", func(s Scale) (*Result, error) { return ExpStream(s, StreamKnobs{}) }},
 		{"Exp-query", "session", ExpQuery},
+		{"Exp-net", "deployment", ExpNet},
 	}
 }
 

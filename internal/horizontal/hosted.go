@@ -1,0 +1,24 @@
+package horizontal
+
+import (
+	"repro/internal/cfd"
+	"repro/internal/network"
+	"repro/internal/relation"
+)
+
+// HostSite builds and registers the per-site state for one remotely
+// hosted horizontal site on c — the daemon half of the TCP deployment.
+// The site starts empty; the driver seeds it through the same
+// (unmetered, same-site) protocol calls it uses in-process, and later
+// rule changes arrive via h.seedRules/h.dropRules, which compile against
+// the site's own schema. No driver state is shared.
+func HostSite(c *network.Cluster, id network.SiteID, schema *relation.Schema, rules []cfd.CFD) error {
+	if err := cfd.ValidateAll(schema, rules); err != nil {
+		return err
+	}
+	st := newSite(id, schema, cfd.CompileAll(schema, rules))
+	st.register(c)
+	return nil
+}
+
+// Transport plumbing: see Options.Transport in system.go.

@@ -21,6 +21,11 @@ type Options struct {
 	// NoIndexes loads the fragments only; the system serves batHor
 	// (BatchDetect) but rejects ApplyBatch.
 	NoIndexes bool
+	// Transport, when non-nil, is a state-hosting transport (TCP sited
+	// deployment): it is installed before seeding, so the initial
+	// database is loaded into the remote sites and the local site
+	// replicas stay empty.
+	Transport network.Transport
 }
 
 // System is a horizontally partitioned database with incremental CFD
@@ -98,6 +103,9 @@ func NewSystem(rel *relation.Relation, scheme *partition.HorizontalScheme, rules
 		st := newSite(network.SiteID(i), rel.Schema, sys.comp)
 		sys.sites = append(sys.sites, st)
 		st.register(sys.cluster)
+	}
+	if opts.Transport != nil {
+		sys.cluster.UseRemoteTransport(opts.Transport)
 	}
 	for i := range sys.rules {
 		r := &sys.rules[i]

@@ -1,0 +1,101 @@
+package netwire
+
+import (
+	"crypto/tls"
+	"fmt"
+	"net"
+	"time"
+)
+
+// DialConfig controls connection establishment with retry.
+type DialConfig struct {
+	// AttemptTimeout bounds one TCP (or TLS) dial attempt; 0 means 2s.
+	AttemptTimeout time.Duration
+	// Budget bounds the total time spent dialing, across attempts and
+	// backoff sleeps; 0 means 5s.
+	Budget time.Duration
+	// BackoffMin/BackoffMax bound the exponential backoff between
+	// attempts; 0 means 5ms/250ms.
+	BackoffMin, BackoffMax time.Duration
+	// TLS, when non-nil, upgrades the connection.
+	TLS *tls.Config
+	// Cancel, when non-nil, aborts backoff sleeps early (e.g. transport
+	// Close during a retry loop).
+	Cancel <-chan struct{}
+}
+
+func (d DialConfig) withDefaults() DialConfig {
+	if d.AttemptTimeout <= 0 {
+		d.AttemptTimeout = 2 * time.Second
+	}
+	if d.Budget <= 0 {
+		d.Budget = 5 * time.Second
+	}
+	if d.BackoffMin <= 0 {
+		d.BackoffMin = 5 * time.Millisecond
+	}
+	if d.BackoffMax <= 0 {
+		d.BackoffMax = 250 * time.Millisecond
+	}
+	return d
+}
+
+// dialOnce makes a single connection attempt.
+func dialOnce(addr string, cfg DialConfig) (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, cfg.AttemptTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TLS == nil {
+		return nc, nil
+	}
+	tc := tls.Client(nc, cfg.TLS)
+	if err := tc.SetDeadline(time.Now().Add(cfg.AttemptTimeout)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := tc.Handshake(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := tc.SetDeadline(time.Time{}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return tc, nil
+}
+
+// Dial connects to addr with exponential-backoff retry until the budget
+// runs out or Cancel fires, returning a framed connection.
+func Dial(addr string, cfg DialConfig, opts ConnOptions) (*Conn, error) {
+	cfg = cfg.withDefaults()
+	deadline := time.Now().Add(cfg.Budget)
+	backoff := cfg.BackoffMin
+	var lastErr error
+	for {
+		select {
+		case <-cfg.Cancel:
+			return nil, fmt.Errorf("netwire: dial %s: cancelled (last error: %v)", addr, lastErr)
+		default:
+		}
+		nc, err := dialOnce(addr, cfg)
+		if err == nil {
+			return Wrap(nc, opts), nil
+		}
+		lastErr = err
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("netwire: dial %s: retry budget exhausted: %w", addr, lastErr)
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-cfg.Cancel:
+			t.Stop()
+			return nil, fmt.Errorf("netwire: dial %s: cancelled (last error: %v)", addr, lastErr)
+		case <-t.C:
+		}
+		backoff *= 2
+		if backoff > cfg.BackoffMax {
+			backoff = cfg.BackoffMax
+		}
+	}
+}

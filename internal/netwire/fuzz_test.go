@@ -1,0 +1,65 @@
+package netwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrame exercises the framing codec against adversarial input from
+// both directions: arbitrary bytes as a wire stream (must never panic,
+// never allocate beyond the declared maximum, and every accepted frame
+// must re-encode to the bytes just consumed), and arbitrary bytes as a
+// payload (must survive a round trip unchanged).
+func FuzzFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 5, 'h', 'e', 'l', 'l', 'o'})
+	f.Add([]byte{0, 0, 0, 5, 'h', 'i'}) // torn payload
+	seed, _ := AppendFrame(nil, []byte("seed-payload"), 0)
+	f.Add(seed)
+
+	const max = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: data is a hostile wire stream.
+		r := bytes.NewReader(data)
+		payload, err := ReadFrame(r, max)
+		switch {
+		case err == nil:
+			if len(payload) > max {
+				t.Fatalf("accepted frame of %d bytes above max %d", len(payload), max)
+			}
+			// Re-encoding the accepted frame must reproduce the consumed
+			// prefix exactly.
+			reenc, err := AppendFrame(nil, payload, max)
+			if err != nil {
+				t.Fatalf("re-encode of accepted frame: %v", err)
+			}
+			if !bytes.Equal(reenc, data[:len(reenc)]) {
+				t.Fatal("re-encoded frame differs from consumed bytes")
+			}
+		case errors.Is(err, ErrFrameTooLarge),
+			err == io.EOF, err == io.ErrUnexpectedEOF:
+			// The three legal rejections.
+		default:
+			t.Fatalf("unexpected ReadFrame error: %v", err)
+		}
+
+		// Direction 2: data is a payload; it must round-trip bit-exactly.
+		if len(data) <= max {
+			buf, err := AppendFrame(nil, data, max)
+			if err != nil {
+				t.Fatalf("AppendFrame(%d bytes): %v", len(data), err)
+			}
+			got, err := ReadFrame(bytes.NewReader(buf), max)
+			if err != nil {
+				t.Fatalf("ReadFrame of own frame: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("payload round trip corrupted")
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package netwire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Kind tags the envelope carried by one frame.
+type Kind uint8
+
+const (
+	// KindHello bootstraps a connection: Data carries the site
+	// configuration (schema, rules, partition scheme, plan) and Reconnect
+	// says whether the sender has completed a handshake with this site
+	// before — a server that lost its state must reject such a hello
+	// rather than silently rebuild an empty site.
+	KindHello Kind = 1 + iota
+	// KindHelloAck answers a hello; Err is empty on success.
+	KindHelloAck
+	// KindCall invokes Method with Data under sequence number Seq.
+	KindCall
+	// KindReply answers the call with the same Seq; exactly one of Data
+	// and Err is meaningful.
+	KindReply
+)
+
+// Msg is the single envelope type framed on the wire. Every frame is a
+// self-contained gob stream (its own type descriptors), so a connection
+// can be torn down and re-established at any frame boundary; the
+// descriptor overhead is framing cost, not protocol traffic.
+type Msg struct {
+	Kind      Kind
+	Seq       uint64
+	Method    string
+	Data      []byte
+	Err       string
+	Reconnect bool
+}
+
+// EncodeMsg gob-encodes an envelope into a standalone byte slice.
+func EncodeMsg(m *Msg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("netwire: encode message: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMsg decodes a standalone envelope.
+func DecodeMsg(data []byte) (*Msg, error) {
+	var m Msg
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("netwire: decode message: %w", err)
+	}
+	return &m, nil
+}

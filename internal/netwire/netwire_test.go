@@ -1,0 +1,292 @@
+package netwire
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"io"
+	"math/big"
+	"net"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 4096, 70000} {
+		payload := bytes.Repeat([]byte{0xAB}, n)
+		buf, err := AppendFrame(nil, payload, 0)
+		if err != nil {
+			t.Fatalf("AppendFrame(%d bytes): %v", n, err)
+		}
+		if len(buf) != frameHeaderLen+n {
+			t.Fatalf("frame length %d, want %d", len(buf), frameHeaderLen+n)
+		}
+		got, err := ReadFrame(bytes.NewReader(buf), 0)
+		if err != nil {
+			t.Fatalf("ReadFrame(%d bytes): %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip of %d bytes corrupted", n)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	if _, err := AppendFrame(nil, make([]byte, 100), 50); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("AppendFrame over max: got %v, want ErrFrameTooLarge", err)
+	}
+	// An adversarial header declaring ~4 GiB must be rejected before any
+	// payload allocation is attempted.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hdr), 1<<16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadFrame of 4GiB header: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTorn(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0}), 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn header: got %v, want io.ErrUnexpectedEOF", err)
+	}
+	buf, _ := AppendFrame(nil, []byte("hello"), 0)
+	if _, err := ReadFrame(bytes.NewReader(buf[:len(buf)-2]), 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn payload: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	in := &Msg{
+		Kind: KindCall, Seq: 42, Method: "hor.probe",
+		Data: []byte{1, 2, 3}, Err: "boom", Reconnect: true,
+	}
+	b, err := EncodeMsg(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeMsg(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.Seq != in.Seq || out.Method != in.Method ||
+		!bytes.Equal(out.Data, in.Data) || out.Err != in.Err || out.Reconnect != in.Reconnect {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestConnSendRecv(t *testing.T) {
+	a, b := net.Pipe()
+	var ctr atomic.Int64
+	ca := Wrap(a, ConnOptions{Counter: &ctr})
+	cb := Wrap(b, ConnOptions{Counter: &ctr})
+	defer ca.Close()
+	defer cb.Close()
+
+	msg := &Msg{Kind: KindCall, Seq: 7, Method: "m", Data: []byte("payload")}
+	done := make(chan error, 1)
+	go func() { done <- ca.Send(msg, time.Second) }()
+	got, err := cb.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "m" || got.Seq != 7 || !bytes.Equal(got.Data, []byte("payload")) {
+		t.Fatalf("received %+v", got)
+	}
+	// Both directions count the same physical bytes once each: sender
+	// counts the written frame, receiver the read one.
+	enc, _ := EncodeMsg(msg)
+	want := 2 * int64(frameHeaderLen+len(enc))
+	if ctr.Load() != want {
+		t.Fatalf("byte counter %d, want %d", ctr.Load(), want)
+	}
+}
+
+func TestConnRecvTimeout(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	cb := Wrap(b, ConnOptions{})
+	defer cb.Close()
+	start := time.Now()
+	if _, err := cb.Recv(50 * time.Millisecond); err == nil {
+		t.Fatal("Recv on silent conn succeeded")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Recv timeout took %v", d)
+	}
+}
+
+// deadAddr returns a loopback address that is (almost certainly) not
+// listening: bind a port, then free it.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestDialBudgetExhausted(t *testing.T) {
+	cfg := DialConfig{Budget: 150 * time.Millisecond, AttemptTimeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := Dial(deadAddr(t), cfg, ConnOptions{})
+	if err == nil {
+		t.Fatal("Dial of dead address succeeded")
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("error %v does not name the exhausted budget", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Dial overshot its budget: took %v", d)
+	}
+}
+
+func TestDialCancelDrainsPromptly(t *testing.T) {
+	cancel := make(chan struct{})
+	cfg := DialConfig{Budget: time.Hour, Cancel: cancel}
+	done := make(chan error, 1)
+	addr := deadAddr(t)
+	go func() {
+		_, err := Dial(addr, cfg, ConnOptions{})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled Dial succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Dial did not return")
+	}
+}
+
+func TestServerCloseDrainsConnections(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, err := Listen("127.0.0.1:0", nil, ConnOptions{}, func(c *Conn) {
+		for {
+			if _, err := c.Recv(0); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Dial(srv.Addr(), DialConfig{Budget: time.Second}, ConnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&Msg{Kind: KindCall}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second Close:", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("server goroutines leaked\n%s", buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// selfSigned builds an in-memory self-signed server certificate and the
+// client config trusting it.
+func selfSigned(t *testing.T) (*tls.Config, *tls.Config) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		IPAddresses:           []net.IP{net.ParseIP("127.0.0.1")},
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	server := &tls.Config{Certificates: []tls.Certificate{{Certificate: [][]byte{der}, PrivateKey: key}}}
+	client := &tls.Config{RootCAs: pool, ServerName: "127.0.0.1"}
+	return server, client
+}
+
+func TestTLSExchange(t *testing.T) {
+	serverCfg, clientCfg := selfSigned(t)
+	srv, err := Listen("127.0.0.1:0", serverCfg, ConnOptions{}, func(c *Conn) {
+		for {
+			m, err := c.Recv(0)
+			if err != nil {
+				return
+			}
+			m.Kind = KindReply
+			if err := c.Send(m, time.Second); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := Dial(srv.Addr(), DialConfig{Budget: 2 * time.Second, TLS: clientCfg}, ConnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&Msg{Kind: KindCall, Seq: 3, Data: []byte("secret")}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := conn.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != KindReply || reply.Seq != 3 || string(reply.Data) != "secret" {
+		t.Fatalf("TLS echo: %+v", reply)
+	}
+
+	// A plaintext client against the TLS server must fail, not hang.
+	plain, err := Dial(srv.Addr(), DialConfig{Budget: time.Second}, ConnOptions{})
+	if err != nil {
+		return // dial-time rejection is fine too
+	}
+	defer plain.Close()
+	plain.Send(&Msg{Kind: KindCall}, time.Second)
+	if _, err := plain.Recv(2 * time.Second); err == nil {
+		t.Fatal("plaintext client read a frame from a TLS server")
+	}
+}

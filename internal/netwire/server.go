@@ -1,0 +1,97 @@
+package netwire
+
+import (
+	"crypto/tls"
+	"errors"
+	"net"
+	"sync"
+)
+
+// Server accepts framed connections and runs a handler per connection.
+// Close tears everything down gracefully: the listener stops, every live
+// connection is closed (popping blocked reads), and Close waits for the
+// accept loop and every per-connection goroutine to drain.
+type Server struct {
+	ln     net.Listener
+	handle func(*Conn)
+	opts   ConnOptions
+
+	mu     sync.Mutex
+	conns  map[*Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:0"), optionally under
+// TLS, calling handle on its own goroutine for every accepted
+// connection. The handler owns the connection until it returns; the
+// server closes it afterwards.
+func Listen(addr string, tlsCfg *tls.Config, opts ConnOptions, handle func(*Conn)) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tlsCfg != nil {
+		ln = tls.NewListener(ln, tlsCfg)
+	}
+	s := &Server{ln: ln, handle: handle, opts: opts, conns: make(map[*Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := Wrap(nc, s.opts)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				c.Close()
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+			}()
+			s.handle(c)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for all
+// server goroutines to exit. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

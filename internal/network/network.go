@@ -133,8 +133,16 @@ type Cluster struct {
 	registry []map[string]RawHandler
 	native   []map[string]NativeHandler
 	siteMu   []sync.Mutex
+	// replyProto maps a method to a constructor of its typed reply, so
+	// the remote path can decode (and meter) replies even when the
+	// caller passed a nil reply. Populated by RegisterFunc.
+	replyProto map[string]func() any
 
 	transport Transport
+	// remote marks a transport that HOSTS the site state (TCP daemons):
+	// every call, same-site included, must ship through it, and the
+	// local registry is only a reply-type catalogue.
+	remote bool
 
 	statMu sync.Mutex
 	stats  Stats
@@ -201,11 +209,12 @@ func NewCluster(n int) *Cluster {
 		panic(fmt.Sprintf("network: cluster needs at least one site, got %d", n))
 	}
 	c := &Cluster{
-		n:        n,
-		registry: make([]map[string]RawHandler, n),
-		native:   make([]map[string]NativeHandler, n),
-		siteMu:   make([]sync.Mutex, n),
-		stats:    Stats{PerPair: make(map[string]int64), BusyNanos: make([]int64, n), RecvBytes: make([]int64, n)},
+		n:          n,
+		registry:   make([]map[string]RawHandler, n),
+		native:     make([]map[string]NativeHandler, n),
+		siteMu:     make([]sync.Mutex, n),
+		replyProto: make(map[string]func() any),
+		stats:      Stats{PerPair: make(map[string]int64), BusyNanos: make([]int64, n), RecvBytes: make([]int64, n)},
 	}
 	for i := range c.registry {
 		c.registry[i] = make(map[string]RawHandler)
@@ -263,6 +272,36 @@ func (c *Cluster) dispatch(to SiteID, method string, data []byte) ([]byte, error
 // UseTransport swaps the transport (e.g. for RPC mode). The caller owns
 // closing the previous transport.
 func (c *Cluster) UseTransport(t Transport) { c.transport = t }
+
+// UseRemoteTransport installs a transport that hosts the site state at
+// its remote end (the TCP sited deployment). Every call — same-site
+// seeding traffic included — ships through it; the local site replicas
+// stay empty. Metering is unchanged: cross-site payloads are measured on
+// the same per-pair gob streams as the loopback, so the protocol meters
+// stay bit-identical, while the transport's own framing overhead is
+// counted separately (see TCPTransport.FrameBytes).
+func (c *Cluster) UseRemoteTransport(t Transport) {
+	c.transport = t
+	c.remote = true
+}
+
+// Remote reports whether the site state lives behind the transport.
+func (c *Cluster) Remote() bool { return c.remote }
+
+// Dispatch runs the registered handler for (to, method) on raw bytes:
+// the entry point a site daemon serves its framed calls through.
+func (c *Cluster) Dispatch(to SiteID, method string, data []byte) ([]byte, error) {
+	return c.dispatch(to, method, data)
+}
+
+// FrameBytes returns the transport's physical framing overhead in bytes
+// (0 for transports without sockets or without the meter).
+func (c *Cluster) FrameBytes() int64 {
+	if fb, ok := c.transport.(interface{ FrameBytes() int64 }); ok {
+		return fb.FrameBytes()
+	}
+	return 0
+}
 
 // SetLinkRTT sets a simulated network round-trip charged to every
 // cross-site call (the paper's EC2 cluster pays real propagation delay on
@@ -322,6 +361,9 @@ func setReply(reply, resp any) {
 // on long-lived per-pair gob streams — the same bytes a persistent TCP
 // connection would carry.
 func (c *Cluster) Call(from, to SiteID, method string, args, reply any) error {
+	if c.remote {
+		return c.callRemote(from, to, method, args, reply)
+	}
 	if from == to {
 		if resp, ok, err := c.callNative(to, method, args); ok {
 			if err != nil {
@@ -369,6 +411,66 @@ func (c *Cluster) Call(from, to SiteID, method string, args, reply any) error {
 	}
 	if err := Unmarshal(respData, reply); err != nil {
 		return fmt.Errorf("network: unmarshal %s reply: %w", method, err)
+	}
+	return nil
+}
+
+// callRemote ships a call through a state-hosting transport. Same-site
+// calls (local computation, e.g. seed-mode traffic) travel to the daemon
+// but stay unmetered, exactly as they are free on the loopback.
+// Cross-site calls are metered on the per-pair gob streams — encoding
+// the same native values in the same order as the loopback run — so
+// Messages/Bytes/PerPair/RecvBytes stay bit-identical to the simulated
+// baselines; the socket's own framing overhead is the transport's
+// separate FrameBytes meter. The simulated link RTT is not charged: a
+// real network is paying real latency.
+func (c *Cluster) callRemote(from, to SiteID, method string, args, reply any) error {
+	metered := from != to
+	reqBytes := 0
+	if metered {
+		if rb, err := c.meterEncode(from, to, args); err == nil {
+			reqBytes = rb
+		} else {
+			return fmt.Errorf("network: meter %s args: %w", method, err)
+		}
+	}
+	data, err := Marshal(args)
+	if err != nil {
+		return fmt.Errorf("network: marshal %s args: %w", method, err)
+	}
+	respData, err := c.transport.Invoke(to, method, data)
+	if err != nil {
+		return err
+	}
+	// Decode into the caller's reply, or — for metering parity when the
+	// caller passed nil — into the method's registered reply prototype
+	// (the loopback meters every handler's return value, fire-and-forget
+	// calls included).
+	var respVal any
+	if reply != nil {
+		if err := Unmarshal(respData, reply); err != nil {
+			return fmt.Errorf("network: unmarshal %s reply: %w", method, err)
+		}
+		respVal = reply
+	} else if metered {
+		c.mu.Lock()
+		proto := c.replyProto[method]
+		c.mu.Unlock()
+		if proto != nil {
+			p := proto()
+			if err := Unmarshal(respData, p); err == nil {
+				respVal = p
+			}
+		}
+	}
+	if metered {
+		respBytes := 0
+		if respVal != nil {
+			if rb, err := c.meterEncode(to, from, respVal); err == nil {
+				respBytes = rb
+			}
+		}
+		c.meter(from, to, reqBytes, respBytes)
 	}
 	return nil
 }
@@ -495,6 +597,7 @@ func RegisterFunc[Req, Resp any](c *Cluster, site SiteID, method string, f func(
 	c.Register(site, method, Handler(f))
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.replyProto[method] = func() any { return new(Resp) }
 	c.native[site][method] = func(args any) (any, error) {
 		req, ok := args.(Req)
 		if !ok {

@@ -1,0 +1,217 @@
+package network
+
+import (
+	"crypto/tls"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netwire"
+	"repro/internal/xerr"
+)
+
+// TCPConfig configures a TCPTransport.
+type TCPConfig struct {
+	// Hellos holds the per-site bootstrap payloads (one per address),
+	// sent as the first frame of every new connection so a fresh daemon
+	// builds its site state and a live one verifies session identity.
+	Hellos [][]byte
+	// Dial controls connection establishment and retry; its Cancel
+	// channel is overridden by the transport's own close signal.
+	Dial netwire.DialConfig
+	// CallTimeout bounds each request/reply exchange on the wire
+	// (per-message read and write deadlines); 0 means 30s.
+	CallTimeout time.Duration
+	// MaxFrame bounds frame payloads; 0 means netwire.DefaultMaxFrame.
+	MaxFrame int64
+	// TLS, when non-nil, upgrades every connection.
+	TLS *tls.Config
+}
+
+// TCPTransport connects a driver to N sited processes, one framed TCP
+// connection per site. Unlike the loopback and RPC transports, the site
+// STATE lives at the remote end: the owning Cluster must route every
+// call — including same-site ones — through Invoke (see
+// UseRemoteTransport).
+//
+// Calls are serialized per site under a per-site sequence number; the
+// daemon deduplicates on it, so a call resent after a torn connection is
+// never executed twice (at-most-once across reconnects). A connection
+// that cannot be re-established within the dial budget surfaces
+// xerr.ErrSiteDown.
+type TCPTransport struct {
+	sites []*siteConn
+	cfg   TCPConfig
+
+	frameBytes atomic.Int64
+	closed     chan struct{}
+	closeOnce  sync.Once
+}
+
+// siteConn is the driver's endpoint for one site. conn is written only
+// under mu (by Invoke's dial/teardown paths) but read atomically by
+// Close, which must pop a blocked exchange without waiting for mu.
+type siteConn struct {
+	addr  string
+	hello []byte
+
+	mu      sync.Mutex
+	conn    atomic.Pointer[netwire.Conn]
+	seq     uint64
+	greeted bool // a handshake has succeeded at least once
+}
+
+// NewTCPTransport builds a transport for the given site addresses.
+// Connections are dialed lazily on first use (and re-dialed with backoff
+// after failures); len(cfg.Hellos) must equal len(addrs).
+func NewTCPTransport(addrs []string, cfg TCPConfig) (*TCPTransport, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("network: tcp transport needs at least one site address")
+	}
+	if len(cfg.Hellos) != len(addrs) {
+		return nil, fmt.Errorf("network: tcp transport: %d hello payloads for %d addresses", len(cfg.Hellos), len(addrs))
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 30 * time.Second
+	}
+	cfg.Dial.TLS = cfg.TLS
+	t := &TCPTransport{cfg: cfg, closed: make(chan struct{})}
+	for i, a := range addrs {
+		t.sites = append(t.sites, &siteConn{addr: a, hello: cfg.Hellos[i]})
+	}
+	return t, nil
+}
+
+// HostsSiteState reports that site state lives behind this transport:
+// the cluster must ship every call, same-site included, through Invoke.
+func (t *TCPTransport) HostsSiteState() bool { return true }
+
+// FrameBytes returns the physical bytes this transport has put on and
+// taken off its sockets: frame headers, envelope gob (with its per-frame
+// type descriptors), handshakes. This is the framing overhead a real
+// deployment pays on top of the metered protocol bytes.
+func (t *TCPTransport) FrameBytes() int64 { return t.frameBytes.Load() }
+
+// siteDown wraps an error as an errors.Is-compatible ErrSiteDown.
+func siteDown(site SiteID, addr string, err error) error {
+	return fmt.Errorf("network: site %d (%s): %w: %v", site, addr, xerr.ErrSiteDown, err)
+}
+
+// ensureConn dials and handshakes sc if needed. Caller holds sc.mu.
+func (t *TCPTransport) ensureConn(site SiteID, sc *siteConn) error {
+	if sc.conn.Load() != nil {
+		return nil
+	}
+	dial := t.cfg.Dial
+	dial.Cancel = t.closed
+	conn, err := netwire.Dial(sc.addr, dial, netwire.ConnOptions{
+		MaxFrame: t.cfg.MaxFrame,
+		Counter:  &t.frameBytes,
+	})
+	if err != nil {
+		return siteDown(site, sc.addr, err)
+	}
+	hello := &netwire.Msg{Kind: netwire.KindHello, Data: sc.hello, Reconnect: sc.greeted}
+	if err := conn.Send(hello, t.cfg.CallTimeout); err != nil {
+		conn.Close()
+		return siteDown(site, sc.addr, err)
+	}
+	ack, err := conn.Recv(t.cfg.CallTimeout)
+	if err != nil {
+		conn.Close()
+		return siteDown(site, sc.addr, err)
+	}
+	if ack.Kind != netwire.KindHelloAck {
+		conn.Close()
+		return siteDown(site, sc.addr, fmt.Errorf("unexpected handshake reply kind %d", ack.Kind))
+	}
+	if ack.Err != "" {
+		conn.Close()
+		// A rejected hello is not transient: the daemon lost its state
+		// (stale reconnect) or hosts a different session. Retrying will
+		// not help, so surface it as the site being down.
+		return siteDown(site, sc.addr, fmt.Errorf("handshake rejected: %s", ack.Err))
+	}
+	sc.conn.Store(conn)
+	sc.greeted = true
+	return nil
+}
+
+// Invoke ships one call to the site's daemon and returns the reply
+// payload. Transport failures are retried — reconnecting with backoff
+// and resending under the same sequence number (the daemon deduplicates)
+// — until the dial budget is exhausted, then surfaced as ErrSiteDown.
+func (t *TCPTransport) Invoke(to SiteID, method string, data []byte) ([]byte, error) {
+	if int(to) < 0 || int(to) >= len(t.sites) {
+		return nil, fmt.Errorf("network: tcp transport has no site %d", to)
+	}
+	sc := t.sites[to]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.seq++
+	msg := &netwire.Msg{Kind: netwire.KindCall, Seq: sc.seq, Method: method, Data: data}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-t.closed:
+			return nil, fmt.Errorf("network: tcp transport: %w (last error: %v)", xerr.ErrClosed, lastErr)
+		default:
+		}
+		if err := t.ensureConn(to, sc); err != nil {
+			return nil, err // dial budget already applied inside
+		}
+		reply, err := t.exchange(sc.conn.Load(), msg)
+		if err == nil {
+			if reply.Err != "" {
+				return nil, xerr.Rewrap(reply.Err)
+			}
+			return reply.Data, nil
+		}
+		// Torn connection: drop it and go back through the dial path,
+		// whose budget and backoff bound the retry loop. The sequence
+		// number makes the resend idempotent. A second consecutive
+		// failure on a freshly re-established connection is terminal —
+		// ensureConn already spent the dial budget.
+		lastErr = err
+		if c := sc.conn.Swap(nil); c != nil {
+			c.Close()
+		}
+		if attempt >= 1 {
+			return nil, siteDown(to, sc.addr, lastErr)
+		}
+	}
+}
+
+// exchange performs one send/recv on the live connection. Caller holds
+// sc.mu.
+func (t *TCPTransport) exchange(conn *netwire.Conn, msg *netwire.Msg) (*netwire.Msg, error) {
+	if err := conn.Send(msg, t.cfg.CallTimeout); err != nil {
+		return nil, err
+	}
+	reply, err := conn.Recv(t.cfg.CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind != netwire.KindReply || reply.Seq != msg.Seq {
+		return nil, fmt.Errorf("netwire: out-of-order reply (kind %d, seq %d, want %d)", reply.Kind, reply.Seq, msg.Seq)
+	}
+	return reply, nil
+}
+
+// Close tears every connection down and aborts in-flight dial retries.
+// Safe to call concurrently with Invoke; idempotent.
+func (t *TCPTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		for _, sc := range t.sites {
+			// Close the live conn without taking sc.mu: a blocked
+			// exchange must be popped, not waited for.
+			if c := sc.conn.Load(); c != nil {
+				c.Close()
+			}
+		}
+	})
+	return nil
+}

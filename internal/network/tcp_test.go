@@ -1,0 +1,86 @@
+package network
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/netwire"
+	"repro/internal/xerr"
+)
+
+// deadAddr returns a loopback address that is not listening.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestTCPTransportCloseAbortsDialRetry pins the teardown guarantee the
+// goroutine-leak tests rely on: an Invoke stuck in its dial-retry
+// backoff against an unreachable daemon is popped promptly by Close —
+// no waiting out a long retry budget, no leaked dialer.
+func TestTCPTransportCloseAbortsDialRetry(t *testing.T) {
+	tr, err := NewTCPTransport([]string{deadAddr(t)}, TCPConfig{
+		Hellos: [][]byte{[]byte("hello")},
+		Dial:   netwire.DialConfig{Budget: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.Invoke(0, "m", nil)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let it enter the backoff loop
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Invoke against dead site succeeded")
+		}
+		if !errors.Is(err, xerr.ErrClosed) && !errors.Is(err, xerr.ErrSiteDown) {
+			t.Fatalf("aborted Invoke: got %v, want ErrClosed or ErrSiteDown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not abort the dial retry")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after Close during dial retry\n%s",
+				buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTCPTransportBudgetExhaustion asserts an unreachable daemon yields
+// a wrapped ErrSiteDown once the dial budget runs out.
+func TestTCPTransportBudgetExhaustion(t *testing.T) {
+	tr, err := NewTCPTransport([]string{deadAddr(t)}, TCPConfig{
+		Hellos: [][]byte{[]byte("hello")},
+		Dial:   netwire.DialConfig{Budget: 200 * time.Millisecond, AttemptTimeout: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Invoke(0, "m", nil); !errors.Is(err, xerr.ErrSiteDown) {
+		t.Fatalf("Invoke: got %v, want ErrSiteDown", err)
+	}
+}

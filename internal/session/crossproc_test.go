@@ -1,0 +1,288 @@
+package session
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/centralized"
+	"repro/internal/cfd"
+	"repro/internal/partition"
+	"repro/internal/workload"
+	"repro/internal/xerr"
+)
+
+// sitedBin caches the one cmd/sited build shared by every cross-process
+// test in this binary.
+var sitedBin struct {
+	once sync.Once
+	path string
+	err  error
+}
+
+// moduleRoot walks up from the package directory to the go.mod root.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("go.mod not found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// sitedBinary builds cmd/sited once and returns the binary path.
+func sitedBinary(t *testing.T) string {
+	t.Helper()
+	sitedBin.once.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			sitedBin.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "sited-bin-")
+		if err != nil {
+			sitedBin.err = err
+			return
+		}
+		bin := filepath.Join(dir, "sited")
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/sited")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			sitedBin.err = fmt.Errorf("go build ./cmd/sited: %v\n%s", err, out)
+			return
+		}
+		sitedBin.path = bin
+	})
+	if sitedBin.err != nil {
+		t.Fatal(sitedBin.err)
+	}
+	return sitedBin.path
+}
+
+// sitedProc is one running site daemon process.
+type sitedProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startSited launches one sited process on a free loopback port and
+// parses the bound address off its stdout.
+func startSited(t *testing.T, bin string) *sitedProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &sitedProc{cmd: cmd}
+	t.Cleanup(func() { p.kill() })
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading sited stdout: %v", err)
+	}
+	addr, ok := strings.CutPrefix(strings.TrimSpace(line), "listening ")
+	if !ok {
+		t.Fatalf("unexpected sited banner %q", line)
+	}
+	p.addr = addr
+	return p
+}
+
+// kill terminates the daemon process (idempotent).
+func (p *sitedProc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+// startCluster launches n sited processes and returns them with their
+// addresses.
+func startCluster(t *testing.T, n int) ([]*sitedProc, []string) {
+	t.Helper()
+	bin := sitedBinary(t)
+	procs := make([]*sitedProc, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		procs[i] = startSited(t, bin)
+		addrs[i] = procs[i].addr
+	}
+	return procs, addrs
+}
+
+// TestCrossProcessDifferentialOracle is the acceptance test of the
+// multi-process deployment: the site state lives in separate OS
+// processes (cmd/sited, launched via os/exec on loopback), the driver
+// streams interleaved update batches and rule churn through a TCP
+// session, and after every step the maintained violation set must be
+// bit-identical to a fresh in-process centralized detection over
+// mirrored data. Seeds alternate between horizontal and vertical
+// deployments.
+func TestCrossProcessDifferentialOracle(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		kind := "horizontal"
+		if seed%2 == 1 {
+			kind = "vertical"
+		}
+		t.Run(fmt.Sprintf("seed%d_%s", seed, kind), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed)*104729 + 17))
+			gen := workload.NewSized(workload.TPCH, int64(seed)+500, 700)
+			pool := gen.Rules(6)
+			rel := gen.Relation(120 + rng.Intn(80))
+			sites := 3
+
+			_, addrs := startCluster(t, sites)
+			opt := WithHorizontal(partition.HashHorizontal("c_name", sites))
+			if kind == "vertical" {
+				opt = WithVertical(partition.RoundRobinVertical(rel.Schema, sites))
+			}
+			sess, err := Open(rel, pool[:3], opt, WithTCPSites(addrs...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+
+			mirror := rel.Clone()
+			active := append(pool[:0:0], pool[:3]...)
+			inForce := map[string]bool{pool[0].ID: true, pool[1].ID: true, pool[2].ID: true}
+			check := func(step int, action string) {
+				t.Helper()
+				oracle := centralized.Detect(mirror, active)
+				if !sess.Violations().Equal(oracle) {
+					t.Fatalf("seed %d step %d (%s): cross-process V diverged from centralized oracle", seed, step, action)
+				}
+			}
+
+			check(0, "initial")
+			for step := 1; step <= 10; step++ {
+				switch rng.Intn(4) {
+				case 0, 1: // update batch
+					updates := gen.Updates(mirror, 10+rng.Intn(20), 0.5+rng.Float64()*0.4)
+					if _, err := sess.ApplyBatch(context.Background(), updates); err != nil {
+						t.Fatalf("seed %d step %d: ApplyBatch: %v", seed, step, err)
+					}
+					if err := updates.Normalize().Apply(mirror); err != nil {
+						t.Fatal(err)
+					}
+					check(step, "batch")
+				case 2: // add a not-in-force rule, if any
+					var candidate *cfd.CFD
+					for i := range pool {
+						if !inForce[pool[i].ID] {
+							candidate = &pool[i]
+							break
+						}
+					}
+					if candidate == nil {
+						continue
+					}
+					before := sess.Stats()
+					if _, err := sess.AddRules(*candidate); err != nil {
+						t.Fatalf("seed %d step %d: AddRules: %v", seed, step, err)
+					}
+					if sess.Stats().Sub(before).Messages == 0 {
+						t.Fatalf("seed %d step %d: AddRules unmetered", seed, step)
+					}
+					inForce[candidate.ID] = true
+					active = append(active, *candidate)
+					check(step, "add "+candidate.ID)
+				case 3: // remove a random in-force rule (keep at least one)
+					if len(active) <= 1 {
+						continue
+					}
+					victim := active[rng.Intn(len(active))]
+					if _, err := sess.RemoveRules(victim.ID); err != nil {
+						t.Fatalf("seed %d step %d: RemoveRules: %v", seed, step, err)
+					}
+					delete(inForce, victim.ID)
+					kept := active[:0:0]
+					for _, r := range active {
+						if r.ID != victim.ID {
+							kept = append(kept, r)
+						}
+					}
+					active = kept
+					check(step, "remove "+victim.ID)
+				}
+			}
+
+			if fb := sess.Cluster().FrameBytes(); fb == 0 {
+				t.Fatal("no physical socket traffic recorded against real processes")
+			}
+		})
+	}
+}
+
+// TestCrossProcessSiteDown kills one daemon mid-stream and asserts the
+// next operation fails with a wrapped ErrSiteDown inside the retry
+// budget — no deadlock, and the session still closes cleanly.
+func TestCrossProcessSiteDown(t *testing.T) {
+	gen := workload.NewSized(workload.TPCH, 77, 400)
+	rules := gen.Rules(3)
+	rel := gen.Relation(120)
+	procs, addrs := startCluster(t, 3)
+
+	sess, err := Open(rel, rules,
+		WithHorizontal(partition.HashHorizontal("c_name", 3)),
+		WithTCPSites(addrs...),
+		WithTCPRetryBudget(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	mirror := rel.Clone()
+	updates := gen.Updates(mirror, 10, 0.7)
+	if _, err := sess.ApplyBatch(context.Background(), updates); err != nil {
+		t.Fatalf("ApplyBatch before kill: %v", err)
+	}
+	if err := updates.Normalize().Apply(mirror); err != nil {
+		t.Fatal(err)
+	}
+
+	procs[1].kill()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.ApplyBatch(context.Background(), gen.Updates(mirror, 10, 0.7))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, xerr.ErrSiteDown) {
+			t.Fatalf("ApplyBatch against killed site: got %v, want ErrSiteDown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ApplyBatch deadlocked against a killed site")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close after site death: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package session
 
 import (
 	"context"
+	"crypto/tls"
 	"fmt"
 	"time"
 
@@ -50,6 +51,10 @@ type config struct {
 	linkRTT      time.Duration
 	rpc          bool
 	rpcCtx       context.Context
+
+	tcpAddrs []string
+	tcpRetry time.Duration
+	tcpTLS   *tls.Config
 }
 
 // Option configures Open.
@@ -76,6 +81,23 @@ func (c *config) validate() error {
 			return fmt.Errorf("session: WithRPCTransport requires a distributed session")
 		case c.noIndexes:
 			return fmt.Errorf("session: WithNoIndexes requires a distributed session")
+		case len(c.tcpAddrs) > 0:
+			return fmt.Errorf("session: WithTCPSites requires a distributed session")
+		}
+	}
+	if len(c.tcpAddrs) > 0 {
+		switch {
+		case c.rpc:
+			return fmt.Errorf("session: WithTCPSites conflicts with WithRPCTransport")
+		case c.linkRTT > 0:
+			return fmt.Errorf("session: WithTCPSites conflicts with WithLinkRTT (a real network pays real latency)")
+		}
+	} else {
+		switch {
+		case c.tcpRetry > 0:
+			return fmt.Errorf("session: WithTCPRetryBudget requires WithTCPSites")
+		case c.tcpTLS != nil:
+			return fmt.Errorf("session: WithTCPTLS requires WithTCPSites")
 		}
 	}
 	if c.useOptimizer && c.kind != Vertical {
@@ -208,6 +230,50 @@ func WithRPCTransportContext(ctx context.Context) Option {
 	return func(c *config) error {
 		c.rpc = true
 		c.rpcCtx = ctx
+		return nil
+	}
+}
+
+// WithTCPSites deploys the session across real OS processes: site i's
+// state lives in the sited daemon listening at addrs[i], bootstrapped
+// over framed TCP, and every cross-site protocol round runs over those
+// sockets. len(addrs) must equal the partition scheme's site count. The
+// protocol, its message contents and the communication meters are
+// bit-identical to the in-process loopback; the extra physical bytes
+// (framing, call envelopes) are metered separately by
+// Cluster().FrameBytes(). A daemon that stays unreachable past the
+// retry budget fails the operation with ErrSiteDown.
+func WithTCPSites(addrs ...string) Option {
+	return func(c *config) error {
+		if len(addrs) == 0 {
+			return fmt.Errorf("session: WithTCPSites: no addresses")
+		}
+		c.tcpAddrs = append([]string(nil), addrs...)
+		return nil
+	}
+}
+
+// WithTCPRetryBudget bounds how long a TCP-sites session keeps redialing
+// an unreachable daemon (exponential backoff) before a call fails with
+// ErrSiteDown. Zero keeps the default (5s).
+func WithTCPRetryBudget(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("session: WithTCPRetryBudget: negative budget %v", d)
+		}
+		c.tcpRetry = d
+		return nil
+	}
+}
+
+// WithTCPTLS wraps every daemon connection of a TCP-sites session in
+// TLS with the given client configuration.
+func WithTCPTLS(cfg *tls.Config) Option {
+	return func(c *config) error {
+		if cfg == nil {
+			return fmt.Errorf("session: WithTCPTLS: nil config")
+		}
+		c.tcpTLS = cfg
 		return nil
 	}
 }

@@ -22,15 +22,19 @@ package session
 
 import (
 	"context"
+	"crypto/rand"
 	"fmt"
 	"sync"
 
 	"repro/internal/cfd"
 	"repro/internal/core"
+	"repro/internal/netwire"
 	"repro/internal/network"
 	"repro/internal/optimizer"
 	"repro/internal/relation"
+	"repro/internal/sitehost"
 	"repro/internal/stream"
+	"repro/internal/vertical"
 	"repro/internal/xerr"
 )
 
@@ -60,6 +64,7 @@ type Session struct {
 	eng  engine
 	det  core.Detector         // nil when centralized
 	rpc  *network.RPCTransport // nil without WithRPCTransport
+	tcp  *network.TCPTransport // nil without WithTCPSites
 	rows int
 	seq  int
 
@@ -92,21 +97,72 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 		}
 		s.eng = eng
 	case Horizontal:
-		sys, err := core.NewHorizontal(rel, cfg.hScheme, rules, core.HorizontalOptions{
+		hOpts := core.HorizontalOptions{
 			DisableMD5: cfg.disableMD5,
 			NoIndexes:  cfg.noIndexes,
-		})
+		}
+		if len(cfg.tcpAddrs) > 0 {
+			n := cfg.hScheme.NumSites()
+			if len(cfg.tcpAddrs) != n {
+				return nil, fmt.Errorf("session: WithTCPSites: %d addresses for %d sites", len(cfg.tcpAddrs), n)
+			}
+			sid, err := newSessionID()
+			if err != nil {
+				return nil, err
+			}
+			hellos, err := sitehost.HorizontalHellos(sid, rel.Schema, rules, n)
+			if err != nil {
+				return nil, err
+			}
+			if s.tcp, err = newTCPTransport(cfg, hellos); err != nil {
+				return nil, err
+			}
+			hOpts.Transport = s.tcp
+		}
+		sys, err := core.NewHorizontal(rel, cfg.hScheme, rules, hOpts)
 		if err != nil {
+			if s.tcp != nil {
+				s.tcp.Close()
+			}
 			return nil, err
 		}
 		s.det, s.eng = sys, sys
 	case Vertical:
-		sys, err := core.NewVertical(rel, cfg.vScheme, rules, core.VerticalOptions{
+		vOpts := core.VerticalOptions{
 			UseOptimizer: cfg.useOptimizer,
 			BeamWidth:    cfg.beamWidth,
 			NoIndexes:    cfg.noIndexes,
-		})
+		}
+		if len(cfg.tcpAddrs) > 0 {
+			n := cfg.vScheme.NumSites
+			if len(cfg.tcpAddrs) != n {
+				return nil, fmt.Errorf("session: WithTCPSites: %d addresses for %d sites", len(cfg.tcpAddrs), n)
+			}
+			// The daemons must run the exact plan the driver runs, so
+			// plan here and pin it on both sides.
+			plan, err := vertical.PlanFor(rules, cfg.vScheme, vOpts)
+			if err != nil {
+				return nil, err
+			}
+			vOpts.Plan = plan
+			sid, err := newSessionID()
+			if err != nil {
+				return nil, err
+			}
+			hellos, err := sitehost.VerticalHellos(sid, rel.Schema, cfg.vScheme, plan, rules)
+			if err != nil {
+				return nil, err
+			}
+			if s.tcp, err = newTCPTransport(cfg, hellos); err != nil {
+				return nil, err
+			}
+			vOpts.Transport = s.tcp
+		}
+		sys, err := core.NewVertical(rel, cfg.vScheme, rules, vOpts)
 		if err != nil {
+			if s.tcp != nil {
+				s.tcp.Close()
+			}
 			return nil, err
 		}
 		s.det, s.eng = sys, sys
@@ -131,6 +187,27 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 		}
 	}
 	return s, nil
+}
+
+// newSessionID draws the random identity a TCP-sites session presents
+// to its daemons; fixed-size so handshake frames have deterministic
+// length.
+func newSessionID() ([8]byte, error) {
+	var sid [8]byte
+	if _, err := rand.Read(sid[:]); err != nil {
+		return sid, fmt.Errorf("session: session id: %w", err)
+	}
+	return sid, nil
+}
+
+// newTCPTransport builds the real-socket transport from the config's
+// TCP knobs and the per-site bootstrap hellos.
+func newTCPTransport(cfg config, hellos [][]byte) (*network.TCPTransport, error) {
+	return network.NewTCPTransport(cfg.tcpAddrs, network.TCPConfig{
+		Hellos: hellos,
+		Dial:   netwire.DialConfig{Budget: cfg.tcpRetry},
+		TLS:    cfg.tcpTLS,
+	})
 }
 
 // Kind returns the partition style behind the session.
@@ -332,10 +409,16 @@ func (s *Session) Close() error {
 		close(w.ch)
 		delete(s.watchers, id)
 	}
+	var err error
 	if s.rpc != nil {
-		err := s.rpc.Close()
+		err = s.rpc.Close()
 		s.rpc = nil
-		return err
 	}
-	return nil
+	if s.tcp != nil {
+		if terr := s.tcp.Close(); err == nil {
+			err = terr
+		}
+		s.tcp = nil
+	}
+	return err
 }

@@ -1,0 +1,49 @@
+package sitehost
+
+import (
+	"repro/internal/cfd"
+	"repro/internal/optimizer"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// HorizontalHellos builds the per-site bootstrap payloads for a
+// horizontal deployment of n sites.
+func HorizontalHellos(sid [8]byte, schema *relation.Schema, rules []cfd.CFD, n int) ([][]byte, error) {
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		h := &Hello{
+			Proto: ProtoVersion, SessionID: sid[:], Kind: KindHorizontal,
+			Site: i, NumSites: n,
+			SchemaName: schema.Name, SchemaAttrs: schema.Attrs,
+			Rules: rules,
+		}
+		b, err := h.Encode()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// VerticalHellos builds the per-site bootstrap payloads for a vertical
+// deployment; plan must be the plan the driver will run (see
+// vertical.PlanFor).
+func VerticalHellos(sid [8]byte, schema *relation.Schema, scheme *partition.VerticalScheme, plan *optimizer.Plan, rules []cfd.CFD) ([][]byte, error) {
+	out := make([][]byte, scheme.NumSites)
+	for i := 0; i < scheme.NumSites; i++ {
+		h := &Hello{
+			Proto: ProtoVersion, SessionID: sid[:], Kind: KindVertical,
+			Site: i, NumSites: scheme.NumSites,
+			SchemaName: schema.Name, SchemaAttrs: schema.Attrs,
+			Rules: rules, VScheme: scheme, Plan: plan,
+		}
+		b, err := h.Encode()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package sitehost
+
+import (
+	"crypto/tls"
+	"time"
+
+	"repro/internal/netwire"
+)
+
+// writeTimeout bounds reply writes; reads block indefinitely (an idle
+// driver is normal), popped by Server.Close.
+const writeTimeout = 30 * time.Second
+
+// Server serves one Host over framed TCP. Multiple connections may be
+// live at once (an old one dying while its replacement handshakes);
+// state and the reply cache live in the Host, so that is safe.
+type Server struct {
+	host *Host
+	srv  *netwire.Server
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:0") and serves the host,
+// optionally under TLS. The returned server's Close tears the listener
+// and every connection goroutine down; the host keeps its state, so a
+// new Serve on the same host continues the same session (the
+// reconnect-after-restart path).
+func Serve(host *Host, addr string, tlsCfg *tls.Config) (*Server, error) {
+	s := &Server{host: host}
+	srv, err := netwire.Listen(addr, tlsCfg, netwire.ConnOptions{}, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.srv = srv
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Host returns the hosted site state.
+func (s *Server) Host() *Host { return s.host }
+
+// Close stops the listener and drains every connection goroutine. The
+// host state survives.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// handle runs one connection: a hello first, then call/reply until the
+// connection dies.
+func (s *Server) handle(c *netwire.Conn) {
+	for {
+		msg, err := c.Recv(0)
+		if err != nil {
+			return
+		}
+		switch msg.Kind {
+		case netwire.KindHello:
+			errStr := ""
+			if err := s.host.Bootstrap(msg.Data, msg.Reconnect); err != nil {
+				errStr = err.Error()
+			}
+			if err := c.Send(&netwire.Msg{Kind: netwire.KindHelloAck, Err: errStr}, writeTimeout); err != nil {
+				return
+			}
+			if errStr != "" {
+				return // rejected: drop the connection
+			}
+		case netwire.KindCall:
+			data, errStr := s.host.Dispatch(msg.Seq, msg.Method, msg.Data)
+			if err := c.Send(&netwire.Msg{Kind: netwire.KindReply, Seq: msg.Seq, Data: data, Err: errStr}, writeTimeout); err != nil {
+				return
+			}
+		default:
+			return // protocol violation: drop the connection
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package sitehost is the daemon half of the multi-process deployment:
+// it hosts one horizontal or vertical detection site behind a framed TCP
+// endpoint (netwire), bootstrapped by the driver's hello message. The
+// cmd/sited binary is a thin main over this package; tests and the
+// benchmark harness embed Hosts in-process (still over real sockets).
+//
+// Lifecycle: a Host starts empty. The first hello constructs the site —
+// a one-site-populated cluster whose handlers are the same ones the
+// in-process engines register — and records the driver's session id.
+// Later hellos (reconnects, or duplicate connections) must carry the
+// same session id; a hello flagged Reconnect while the host holds no
+// state is rejected, because the daemon evidently lost the seeded state
+// the driver is counting on. Calls are deduplicated by their per-site
+// sequence number, so a call resent across a reconnect is served from
+// the one-deep reply cache instead of executing twice.
+package sitehost
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/cfd"
+	"repro/internal/horizontal"
+	"repro/internal/network"
+	"repro/internal/optimizer"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/vertical"
+)
+
+// Kind names in hellos.
+const (
+	KindHorizontal = "horizontal"
+	KindVertical   = "vertical"
+)
+
+// Hello is the bootstrap payload: everything a daemon needs to build
+// one empty site that is protocol-compatible with the driver's cluster.
+// The schema crosses the wire as name + attribute list (relation.Schema
+// holds an unexported index rebuilt by NewSchema); the vertical plan is
+// shipped rather than re-derived, so driver and daemon provably agree.
+type Hello struct {
+	Proto int
+	// SessionID is the driver's 8-byte random identity. It crosses the
+	// wire as a slice, not an [8]byte array: gob encodes byte slices as
+	// length + raw bytes (fixed size), while arrays encode element-wise
+	// varints whose length depends on the random values — which would
+	// make the hello frame's size, and so the deterministic FrameBytes
+	// baseline, vary run to run.
+	SessionID []byte
+	Kind      string
+	Site      int
+	NumSites  int
+
+	SchemaName  string
+	SchemaAttrs []string
+	Rules       []cfd.CFD
+
+	// Vertical only.
+	VScheme *partition.VerticalScheme
+	Plan    *optimizer.Plan
+}
+
+// ProtoVersion guards against driver/daemon skew.
+const ProtoVersion = 1
+
+// Encode gob-encodes the hello.
+func (h *Hello) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+		return nil, fmt.Errorf("sitehost: encode hello: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeHello decodes a bootstrap payload.
+func DecodeHello(data []byte) (*Hello, error) {
+	var h Hello
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&h); err != nil {
+		return nil, fmt.Errorf("sitehost: decode hello: %w", err)
+	}
+	return &h, nil
+}
+
+// Host is one hosted site: empty until bootstrapped, then dispatching
+// framed calls into the site's registered handlers.
+type Host struct {
+	mu      sync.Mutex
+	cluster *network.Cluster
+	sid     [8]byte
+	kind    string
+	site    int
+
+	// callMu serializes Dispatch and guards the one-deep reply cache
+	// (the driver serializes calls per site, so one entry suffices).
+	callMu   sync.Mutex
+	lastSeq  uint64
+	lastData []byte
+	lastErr  string
+}
+
+// NewHost returns an empty host.
+func NewHost() *Host { return &Host{} }
+
+// Hosting reports whether a site has been bootstrapped, and which.
+func (h *Host) Hosting() (kind string, site int, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.kind, h.site, h.cluster != nil
+}
+
+// Bootstrap applies one hello: constructing the site on first contact,
+// verifying session identity afterwards. reconnect is the transport's
+// flag that the driver has completed a handshake before — arriving at an
+// empty host it means the daemon lost its state, which is unrecoverable
+// (the repo's out-of-core/checkpoint item on the ROADMAP is what would
+// change that), so the hello is rejected and the driver surfaces
+// ErrSiteDown.
+func (h *Host) Bootstrap(data []byte, reconnect bool) error {
+	hello, err := DecodeHello(data)
+	if err != nil {
+		return err
+	}
+	if hello.Proto != ProtoVersion {
+		return fmt.Errorf("sitehost: protocol version %d, daemon speaks %d", hello.Proto, ProtoVersion)
+	}
+	if len(hello.SessionID) != len(h.sid) {
+		return fmt.Errorf("sitehost: session id is %d bytes, want %d", len(hello.SessionID), len(h.sid))
+	}
+	var sid [8]byte
+	copy(sid[:], hello.SessionID)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cluster != nil {
+		if h.sid != sid {
+			return fmt.Errorf("sitehost: already hosting %s site %d for another session", h.kind, h.site)
+		}
+		return nil // same session: reconnect or duplicate connection
+	}
+	if reconnect {
+		return fmt.Errorf("sitehost: site state lost: reconnecting driver found an empty daemon")
+	}
+	if hello.Site < 0 || hello.Site >= hello.NumSites {
+		return fmt.Errorf("sitehost: site %d out of range [0,%d)", hello.Site, hello.NumSites)
+	}
+	schema, err := relation.NewSchema(hello.SchemaName, hello.SchemaAttrs)
+	if err != nil {
+		return err
+	}
+	cluster := network.NewCluster(hello.NumSites)
+	id := network.SiteID(hello.Site)
+	switch hello.Kind {
+	case KindHorizontal:
+		if err := horizontal.HostSite(cluster, id, schema, hello.Rules); err != nil {
+			return err
+		}
+	case KindVertical:
+		if hello.VScheme == nil || hello.Plan == nil {
+			return fmt.Errorf("sitehost: vertical hello without scheme or plan")
+		}
+		if err := vertical.HostSite(cluster, id, schema, hello.VScheme, hello.Plan, hello.Rules); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("sitehost: unknown site kind %q", hello.Kind)
+	}
+	h.cluster, h.sid, h.kind, h.site = cluster, sid, hello.Kind, hello.Site
+	return nil
+}
+
+// Dispatch runs one call against the hosted site, deduplicating by
+// sequence number: a repeat of the last seq (a resend after a torn
+// connection) is answered from the cache without re-executing.
+func (h *Host) Dispatch(seq uint64, method string, data []byte) ([]byte, string) {
+	h.mu.Lock()
+	cluster := h.cluster
+	site := h.site
+	h.mu.Unlock()
+	if cluster == nil {
+		return nil, "sitehost: call before bootstrap"
+	}
+	h.callMu.Lock()
+	defer h.callMu.Unlock()
+	if seq == h.lastSeq && seq != 0 {
+		return h.lastData, h.lastErr
+	}
+	resp, err := cluster.Dispatch(network.SiteID(site), method, data)
+	h.lastSeq, h.lastData, h.lastErr = seq, resp, ""
+	if err != nil {
+		h.lastErr = err.Error()
+	}
+	return h.lastData, h.lastErr
+}

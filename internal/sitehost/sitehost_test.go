@@ -1,0 +1,63 @@
+package sitehost
+
+import (
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// Hello payload length must not depend on the random session id's byte
+// values: the committed BENCH_net.json frame-byte column is regenerated
+// on every bench-verify, so a value-dependent varint (an [8]byte array
+// field would gob-encode each byte ≥ 0x80 as two bytes) would make the
+// baseline drift run to run. SessionID crosses the wire as a []byte
+// (length + raw bytes) precisely to keep the frame size fixed.
+func TestHelloLengthIndependentOfSessionID(t *testing.T) {
+	schema, err := relation.NewSchema("r", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := cfd.Parse("r1: ([a] -> [b], (_, _))", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi [8]byte // all varint-cheap vs all varint-expensive bytes
+	for i := range hi {
+		hi[i] = 0xFF
+	}
+	a, err := HorizontalHellos(lo, schema, rules, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HorizontalHellos(hi, schema, rules, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("site %d hello length depends on session id bytes: %d vs %d", i, len(a[i]), len(b[i]))
+		}
+	}
+}
+
+// A hello whose session id is not exactly 8 bytes must be rejected, not
+// silently truncated or padded into a colliding identity.
+func TestBootstrapRejectsBadSessionID(t *testing.T) {
+	schema, err := relation.NewSchema("r", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Hello{
+		Proto: ProtoVersion, SessionID: []byte{1, 2, 3}, Kind: KindHorizontal,
+		Site: 0, NumSites: 1,
+		SchemaName: schema.Name, SchemaAttrs: schema.Attrs,
+	}
+	data, err := h.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewHost().Bootstrap(data, false); err == nil {
+		t.Fatal("bootstrap accepted a 3-byte session id")
+	}
+}

@@ -1,0 +1,49 @@
+package vertical
+
+import (
+	"fmt"
+
+	"repro/internal/cfd"
+	"repro/internal/network"
+	"repro/internal/optimizer"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// PlanFor returns the HEV plan NewSystem would build for rules under
+// scheme and opts. The TCP deployment needs the plan before
+// construction: the driver ships it to every site daemon in the
+// bootstrap hello and then passes the same plan back into NewSystem via
+// Options.Plan, so driver and daemons provably agree node for node.
+func PlanFor(rules []cfd.CFD, scheme *partition.VerticalScheme, opts Options) (*optimizer.Plan, error) {
+	owned := append([]cfd.CFD(nil), rules...)
+	var varRules []*cfd.CFD
+	for i := range owned {
+		if !owned[i].IsConstant() {
+			varRules = append(varRules, &owned[i])
+		}
+	}
+	return buildPlan(varRules, scheme, opts)
+}
+
+// HostSite builds and registers the per-site state for one remotely
+// hosted vertical site on c — the daemon half of the TCP deployment.
+// Unlike in-process sites, which share the driver's plan object, a
+// hosted site owns its plan copy: rule management grafts and drops are
+// applied to it from the wire (see addRulesReq.Sub).
+func HostSite(c *network.Cluster, id network.SiteID, schema *relation.Schema, scheme *partition.VerticalScheme, plan *optimizer.Plan, rules []cfd.CFD) error {
+	if err := cfd.ValidateAll(schema, rules); err != nil {
+		return err
+	}
+	if plan == nil {
+		return fmt.Errorf("vertical: hosting site %d: nil plan", id)
+	}
+	fs, err := scheme.FragmentSchema(schema, int(id))
+	if err != nil {
+		return err
+	}
+	st := newSite(id, fs, plan, rules)
+	st.ownsPlan = true
+	st.register(c)
+	return nil
+}

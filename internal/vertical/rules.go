@@ -27,12 +27,17 @@ import (
 // keep their (now inert) equivalence state, which costs memory but never
 // correctness.
 
-// addRulesReq installs new rules at a site. The plan has already been
-// grafted by the driver (sites share the plan object, as they do at
-// construction); FirstNode marks where the grafted nodes begin.
+// addRulesReq installs new rules at a site. For in-process sites the
+// plan has already been grafted by the driver (sites share the plan
+// object, as they do at construction); FirstNode marks where the
+// grafted nodes begin. Sub carries the same sub-plan on the wire for
+// remotely hosted sites, which own their plan copy and graft it
+// themselves — Graft is deterministic and id assignment depends only on
+// the pre-graft node count, so driver and daemons end bit-identical.
 type addRulesReq struct {
 	Rules     []cfd.CFD
 	FirstNode int
+	Sub       *optimizer.Plan
 }
 
 // vDropRulesReq retires rules at a site.
@@ -55,7 +60,13 @@ type listIDsResp struct {
 func PinRuleWireTypes() {
 	enc := gob.NewEncoder(io.Discard)
 	for _, v := range []any{
-		addRulesReq{Rules: []cfd.CFD{{LHS: []string{""}, LHSPattern: []string{""}}}},
+		// Sub is populated so optimizer.Plan and its node/binding types
+		// take their registry ids here — after every pre-existing wire
+		// type — keeping the committed byte baselines stable.
+		addRulesReq{Rules: []cfd.CFD{{LHS: []string{""}, LHSPattern: []string{""}}}, Sub: &optimizer.Plan{
+			Nodes:    []optimizer.Node{{Attrs: []string{""}, Inputs: []optimizer.NodeID{0}}},
+			Bindings: map[string]optimizer.RuleBinding{"": {}},
+		}},
 		vDropRulesReq{Rules: []string{""}},
 		listIDsReq{}, listIDsResp{IDs: []int64{0}},
 	} {
@@ -67,7 +78,15 @@ func PinRuleWireTypes() {
 
 // addRules is the site half of AddRules: install the rules' constant
 // checks, the grafted nodes this site owns, and the new IDX structures.
+// A hosted site grafts the shipped sub-plan onto its own plan copy
+// first; in-process sites see the driver's already-grafted plan.
 func (s *site) addRules(req addRulesReq) (empty, error) {
+	if s.ownsPlan && req.Sub != nil {
+		if len(s.plan.Nodes) != req.FirstNode {
+			return empty{}, fmt.Errorf("vertical: site %d: plan out of sync: %d nodes, graft expects %d", s.id, len(s.plan.Nodes), req.FirstNode)
+		}
+		s.plan.Graft(req.Sub)
+	}
 	for i := range req.Rules {
 		r := req.Rules[i]
 		if _, dup := s.rules[r.ID]; dup {
@@ -114,7 +133,9 @@ func (s *site) addRules(req addRulesReq) (empty, error) {
 	return empty{}, nil
 }
 
-// vDropRules is the site half of RemoveRules.
+// vDropRules is the site half of RemoveRules. A hosted site also sheds
+// the rules' bindings from its own plan copy (the driver does this for
+// the shared in-process plan after the round).
 func (s *site) vDropRules(req vDropRulesReq) (empty, error) {
 	drop := make(map[string]bool, len(req.Rules))
 	for _, id := range req.Rules {
@@ -124,6 +145,9 @@ func (s *site) vDropRules(req vDropRulesReq) (empty, error) {
 		drop[id] = true
 		delete(s.rules, id)
 		delete(s.idx, id)
+		if s.ownsPlan {
+			s.plan.DropRule(id)
+		}
 	}
 	kept := s.checks[:0]
 	for _, c := range s.checks {
@@ -177,11 +201,15 @@ func (sys *System) AddRules(rules []cfd.CFD) (*cfd.Delta, error) {
 		}
 	}
 	firstNode := len(sys.plan.Nodes)
+	var sub *optimizer.Plan
 	if len(subIn.Rules) > 0 {
-		sub, err := optimizer.NaiveChainPlan(subIn)
+		var err error
+		sub, err = optimizer.NaiveChainPlan(subIn)
 		if err != nil {
 			return nil, err
 		}
+		// Graft copies sub's nodes; sub itself stays 0-based and rides
+		// in the install round for hosted sites to graft identically.
 		sys.plan.Graft(sub)
 	}
 
@@ -220,7 +248,7 @@ func (sys *System) AddRules(rules []cfd.CFD) (*cfd.Delta, error) {
 	for i := range sys.sites {
 		targets[i] = network.SiteID(i)
 	}
-	req := addRulesReq{Rules: rules, FirstNode: firstNode}
+	req := addRulesReq{Rules: rules, FirstNode: firstNode, Sub: sub}
 	if _, err := gather[addRulesReq, empty](sys, coord, "v.addRules", targets, func(network.SiteID) addRulesReq {
 		return req
 	}); err != nil {

@@ -27,8 +27,12 @@ type site struct {
 	schema *relation.Schema // fragment schema
 	frag   *relation.Relation
 
-	plan  *optimizer.Plan
-	rules map[string]*cfd.CFD
+	plan *optimizer.Plan
+	// ownsPlan marks a remotely hosted site whose plan is its own copy
+	// (decoded from the bootstrap hello) rather than shared with the
+	// driver: rule grafts and drops then apply to it from the wire.
+	ownsPlan bool
+	rules    map[string]*cfd.CFD
 
 	base   map[string]*eqclass.BaseHEV       // one per locally hosted base node attr
 	hevs   map[optimizer.NodeID]*eqclass.HEV // composed nodes hosted here

@@ -29,6 +29,12 @@ type Options struct {
 	// (BatchDetect) but rejects ApplyBatch. Used when measuring the
 	// batch baseline, whose setup the paper does not charge for.
 	NoIndexes bool
+	// Transport, when non-nil, is a state-hosting transport (TCP sited
+	// deployment): it is installed before seeding, so the initial
+	// database is loaded into the remote sites and the local site
+	// replicas stay empty. Callers must also set Plan (the same plan the
+	// daemons were bootstrapped with; see PlanFor).
+	Transport network.Transport
 }
 
 // runSchedule is the precomputed shipment plan for one alive rule set:
@@ -144,6 +150,9 @@ func NewSystem(rel *relation.Relation, scheme *partition.VerticalScheme, rules [
 		st := newSite(network.SiteID(i), fs, plan, sys.rules)
 		sys.sites = append(sys.sites, st)
 		st.register(sys.cluster)
+	}
+	if opts.Transport != nil {
+		sys.cluster.UseRemoteTransport(opts.Transport)
 	}
 
 	for _, r := range sys.constRules {

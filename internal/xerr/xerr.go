@@ -5,7 +5,11 @@
 // message strings. The root repro package re-exports them.
 package xerr
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
 
 var (
 	// ErrArityMismatch marks a tuple, pattern or value list whose length
@@ -25,4 +29,36 @@ var (
 	ErrUnknownRule = errors.New("unknown rule")
 	// ErrClosed marks an operation on a closed session.
 	ErrClosed = errors.New("session closed")
+	// ErrSiteDown marks a remote site that could not be reached within
+	// the transport's retry budget (TCP deployments): the process was
+	// killed, lost its state, or its address stopped answering.
+	ErrSiteDown = errors.New("site down")
 )
+
+// sentinels lists every sentinel for cross-process reconstruction.
+var sentinels = []error{
+	ErrArityMismatch, ErrUnknownAttribute, ErrNoIndexes,
+	ErrDuplicateRule, ErrUnknownRule, ErrClosed, ErrSiteDown,
+}
+
+// Rewrap re-attaches sentinel identity to an error message that crossed
+// a process boundary as a bare string (a site daemon's reply): if msg
+// contains a sentinel's text, the returned error wraps that sentinel so
+// errors.Is keeps working; otherwise it is a plain error. Sentinels are
+// matched longest-text-first so "unknown attribute" never shadows a
+// longer message embedding it.
+func Rewrap(msg string) error {
+	var best error
+	for _, s := range sentinels {
+		if !strings.Contains(msg, s.Error()) {
+			continue
+		}
+		if best == nil || len(s.Error()) > len(best.Error()) {
+			best = s
+		}
+	}
+	if best == nil {
+		return errors.New(msg)
+	}
+	return fmt.Errorf("%s: %w", strings.TrimSuffix(strings.TrimSuffix(msg, best.Error()), ": "), best)
+}

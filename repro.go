@@ -129,6 +129,16 @@ var (
 	WithRPCTransport = session.WithRPCTransport
 	// WithRPCTransportContext binds the RPC transport to a context.
 	WithRPCTransportContext = session.WithRPCTransportContext
+	// WithTCPSites deploys the session across real OS processes: site i
+	// lives in the sited daemon at addrs[i] (cmd/sited), reached over
+	// framed TCP. Meters stay bit-identical to the in-process loopback;
+	// physical socket bytes are tracked by Cluster().FrameBytes().
+	WithTCPSites = session.WithTCPSites
+	// WithTCPRetryBudget bounds redialing an unreachable daemon before
+	// calls fail with ErrSiteDown.
+	WithTCPRetryBudget = session.WithTCPRetryBudget
+	// WithTCPTLS wraps daemon connections in TLS.
+	WithTCPTLS = session.WithTCPTLS
 )
 
 // Query filters for Session.Query.
@@ -157,6 +167,9 @@ var (
 	ErrUnknownRule = xerr.ErrUnknownRule
 	// ErrClosed marks operations on a closed session.
 	ErrClosed = xerr.ErrClosed
+	// ErrSiteDown marks a TCP-sites operation that exhausted its retry
+	// budget against an unreachable or state-lost daemon.
+	ErrSiteDown = xerr.ErrSiteDown
 )
 
 // Data model.
