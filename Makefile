@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench stream coalesce net bench-verify profile fuzz api apicheck verify clean
+.PHONY: test race bench stream coalesce net recovery chaos bench-verify profile fuzz api apicheck verify clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -35,12 +35,27 @@ coalesce:
 net:
 	$(GO) run ./cmd/expbench -net
 
+# recovery regenerates the crash-recovery baseline (BENCH_recovery.json:
+# cold-start vs warm-restart call/record counts on the checkpointed TCP
+# deployment — the sweep asserts warm strictly cheaper than cold and the
+# recovered V correct).
+recovery:
+	$(GO) run ./cmd/expbench -recovery
+
+# chaos runs the fault-injection suite under the race detector: the
+# 20-seed crash-recovery oracle (drops, duplicates, truncations,
+# partitions, in-process kill-restarts) plus the driver-replay and
+# checkpoint-window regressions. -short skips the cross-process (sited
+# child) cases; drop it for the full matrix.
+chaos:
+	$(GO) test -race -short ./internal/chaos/ ./internal/sitehost/
+
 # bench-verify remeasures every deterministic column of the committed
 # baselines (BENCH_hotpath.json wire meters, BENCH_stream.json rows,
-# BENCH_coalesce.json rows, BENCH_net.json rows) and fails on drift. CI
-# runs it, so wire-meter regressions are caught at PR time; intentional
-# protocol changes regenerate with `make bench stream coalesce net` and
-# commit the diff.
+# BENCH_coalesce.json rows, BENCH_net.json rows, BENCH_recovery.json
+# rows) and fails on drift. CI runs it, so wire-meter regressions are
+# caught at PR time; intentional protocol changes regenerate with
+# `make bench stream coalesce net recovery` and commit the diff.
 bench-verify:
 	$(GO) run ./cmd/expbench -verify
 

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/harness"
+)
+
+// BENCH_recovery.json is the crash-recovery baseline: per engine, the
+// call/record counts of a cold start (seeding a TCP site from scratch),
+// of steady-state batches, and of a warm restart from a checkpoint. The
+// sweep asserts — before a row is emitted — that the warm restart is
+// strictly cheaper than the cold start and that the post-recovery
+// violation set equals a fresh centralized detection, so this file
+// doubles as the committed proof that checkpoints actually pay for
+// themselves. Every column is deterministic (counts, not seconds).
+
+// recoveryRow is one engine's row of the baseline.
+type recoveryRow struct {
+	Style           string `json:"style"`
+	Batches         int    `json:"batches"`
+	BatchSize       int    `json:"batch_size"`
+	CheckpointEvery int    `json:"checkpoint_every"`
+	ColdStartCalls  uint64 `json:"cold_start_calls"`
+	SteadyCalls     uint64 `json:"steady_calls"`
+	WarmLocalReplay int    `json:"warm_local_replay"`
+	WarmWireReplay  int64  `json:"warm_wire_replay"`
+	RecoveredEpoch  uint64 `json:"recovered_epoch"`
+	RecoveredSeq    uint64 `json:"recovered_seq"`
+	Violations      int    `json:"violations"`
+}
+
+// recoveryBaseline is the file layout of BENCH_recovery.json.
+type recoveryBaseline struct {
+	GeneratedBy string        `json:"generated_by"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	Workload    string        `json:"workload"`
+	Rows        []recoveryRow `json:"rows"`
+}
+
+func recoveryRows(rows []harness.RecoveryRow) []recoveryRow {
+	out := make([]recoveryRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, recoveryRow{
+			Style: r.Style, Batches: r.Batches, BatchSize: r.BatchSize,
+			CheckpointEvery: r.CheckpointEvery,
+			ColdStartCalls:  r.ColdStartCalls, SteadyCalls: r.SteadyCalls,
+			WarmLocalReplay: r.WarmLocalReplay, WarmWireReplay: r.WarmWireReplay,
+			RecoveredEpoch: r.RecoveredEpoch, RecoveredSeq: r.RecoveredSeq,
+			Violations: r.Violations,
+		})
+	}
+	return out
+}
+
+func writeRecoveryBaseline(path string, sc harness.Scale, rows []harness.RecoveryRow) error {
+	base := recoveryBaseline{
+		GeneratedBy: "expbench -recovery",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Workload: fmt.Sprintf("TPCH-like seed=%d |D|=%d |Σ|=50 n=%d sites",
+			sc.Seed, 3*sc.Unit, sc.Sites),
+		Rows: recoveryRows(rows),
+	}
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(base.Rows))
+	return nil
+}
+
+// runRecoveryMode executes expbench -recovery: the cold-vs-warm crash
+// recovery sweep feeds the stdout table and the committed baseline.
+func runRecoveryMode(path string, sc harness.Scale) error {
+	rows, err := harness.RunRecovery(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RecoveryResult(rows).Format())
+	return writeRecoveryBaseline(path, sc, rows)
+}

@@ -18,7 +18,11 @@ import (
 //     meters per batch — all a pure function of the seed);
 //   - BENCH_coalesce.json: the full rows array;
 //   - BENCH_net.json: the full rows array (real-socket wire meters and
-//     framing overhead, asserted identical to loopback during the sweep).
+//     framing overhead, asserted identical to loopback during the sweep);
+//   - BENCH_recovery.json: the full rows array (cold-start, steady-state
+//     and warm-restart call/record counts — the sweep asserts warm
+//     strictly cheaper than cold and the recovered V correct before a
+//     row is emitted).
 //
 // CI runs `make bench-verify`, so a change that silently shifts what the
 // protocols ship — the paper's own quantities — fails the build instead
@@ -106,6 +110,20 @@ func verifyBaselines(sc harness.Scale) error {
 		return err
 	}
 	if err := compareRows("BENCH_net.json", netBase.Rows, netRows(freshNet), report); err != nil {
+		return err
+	}
+
+	// BENCH_recovery.json: the rows array is fully deterministic (counts,
+	// not seconds; the sweep asserts warm < cold and V correctness).
+	var recBase recoveryBaseline
+	if err := readJSON("BENCH_recovery.json", &recBase); err != nil {
+		return err
+	}
+	freshRec, err := harness.RunRecovery(sc)
+	if err != nil {
+		return err
+	}
+	if err := compareRows("BENCH_recovery.json", recBase.Rows, recoveryRows(freshRec), report); err != nil {
 		return err
 	}
 

@@ -1,0 +1,253 @@
+// Package chaos injects deterministic network faults under the framed
+// TCP deployment: dropped, duplicated, truncated and delayed frames,
+// partition windows, and (proc.go) killing and restarting sited
+// processes. An Injector interposes at the raw net.Conn layer — below
+// netwire's framing — on either end: wrap the driver's dials with
+// Dialer (session.WithTCPDialer / netwire.DialConfig.Dialer) or the
+// daemon's listener with Listener (sitehost.ServeListener).
+//
+// Fault schedules are deterministic given Faults.Seed and the per-side
+// connection order: each connection fires each enabled fault kind every
+// Every-th frame, phase-shifted by the seed, starting no earlier than
+// its Every-th frame. That floor is load-bearing: the transport's
+// at-most-once machinery tolerates any single fault per exchange
+// (reconnect, resend, dedupe), but a connection whose very first frames
+// fault — the handshake, or the retried call right after a reconnect —
+// would exhaust the one-retry loop and surface a spurious ErrSiteDown.
+// Hence the minimum period of MinEvery.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MinEvery is the smallest allowed fault period. One fault per exchange
+// is survivable; faulting the handshake or first retry after it is not
+// (see the package comment), and periods below this could do both.
+const MinEvery = 5
+
+// Faults configures an Injector. A zero Every disables that fault kind;
+// enabled kinds must have Every >= MinEvery.
+type Faults struct {
+	// Seed phase-shifts every fault schedule deterministically.
+	Seed int64
+	// DropEvery: every n-th frame is not written and the connection is
+	// closed — the frame is lost and the peer sees a torn connection.
+	DropEvery int
+	// DuplicateEvery: every n-th frame is written twice. The receiver
+	// sees a duplicate, exercising the seq-window dedupe and the
+	// out-of-order-reply reconnect path.
+	DuplicateEvery int
+	// TruncateEvery: every n-th frame is cut in half mid-write and the
+	// connection closed — a torn write the peer's length-prefixed
+	// framing must reject.
+	TruncateEvery int
+	// DelayEvery: every n-th frame is delayed by Delay before writing.
+	DelayEvery int
+	// Delay is the DelayEvery sleep; 0 means 2ms.
+	Delay time.Duration
+}
+
+func (f Faults) validate() error {
+	for _, p := range []struct {
+		name  string
+		every int
+	}{
+		{"DropEvery", f.DropEvery},
+		{"DuplicateEvery", f.DuplicateEvery},
+		{"TruncateEvery", f.TruncateEvery},
+		{"DelayEvery", f.DelayEvery},
+	} {
+		if p.every != 0 && p.every < MinEvery {
+			return fmt.Errorf("chaos: %s = %d below minimum period %d", p.name, p.every, MinEvery)
+		}
+	}
+	return nil
+}
+
+// Stats counts what an Injector has done so far.
+type Stats struct {
+	Conns      int64 // connections wrapped
+	Dropped    int64 // frames dropped (connection torn)
+	Duplicated int64 // frames written twice
+	Truncated  int64 // frames cut mid-write (connection torn)
+	Delayed    int64 // frames delayed
+	Refused    int64 // dials refused by an active partition
+}
+
+// Injector builds fault-wrapped connections on one side of the wire.
+type Injector struct {
+	f Faults
+
+	partitioned atomic.Bool
+	connSeq     atomic.Int64
+
+	mu   sync.Mutex
+	live map[*faultConn]struct{}
+
+	dropped, duplicated, truncated, delayed, refused atomic.Int64
+}
+
+// NewInjector validates the fault configuration and returns an
+// injector. A zero Faults injects nothing (useful as a pass-through
+// with Partition control).
+func NewInjector(f Faults) (*Injector, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	if f.Delay <= 0 {
+		f.Delay = 2 * time.Millisecond
+	}
+	return &Injector{f: f, live: make(map[*faultConn]struct{})}, nil
+}
+
+// Stats snapshots the fault counters.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Conns:      inj.connSeq.Load(),
+		Dropped:    inj.dropped.Load(),
+		Duplicated: inj.duplicated.Load(),
+		Truncated:  inj.truncated.Load(),
+		Delayed:    inj.delayed.Load(),
+		Refused:    inj.refused.Load(),
+	}
+}
+
+// Partition opens a partition window: new dials are refused and every
+// live wrapped connection is torn down. Heal closes it.
+func (inj *Injector) Partition() {
+	inj.partitioned.Store(true)
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for c := range inj.live {
+		c.Conn.Close()
+	}
+}
+
+// Heal ends the partition window; the transport's dial retry then
+// reconnects within its budget.
+func (inj *Injector) Heal() { inj.partitioned.Store(false) }
+
+// Dialer returns a netwire.DialConfig.Dialer that wraps every outbound
+// connection (the driver side).
+func (inj *Injector) Dialer() func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		if inj.partitioned.Load() {
+			inj.refused.Add(1)
+			return nil, fmt.Errorf("chaos: partitioned, dial %s refused", addr)
+		}
+		nc, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return inj.wrap(nc), nil
+	}
+}
+
+// Listener wraps a bound listener so every accepted connection faults
+// (the daemon side). Pass the result to sitehost.ServeListener.
+func (inj *Injector) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, inj: inj}
+}
+
+type faultListener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.wrap(nc), nil
+}
+
+// wrap builds the per-connection fault schedule: each enabled kind
+// first fires between its Every-th and 2·Every-th frame (never
+// earlier — see the package comment) and every Every frames after,
+// phase-shifted by the seed and the connection's ordinal so different
+// connections fault on different frames.
+func (inj *Injector) wrap(nc net.Conn) net.Conn {
+	ord := inj.connSeq.Add(1)
+	at := func(every int, salt int64) uint64 {
+		if every == 0 {
+			return 0 // never
+		}
+		phase := (inj.f.Seed*31 + ord*17 + salt) % int64(every)
+		if phase < 0 {
+			phase += int64(every)
+		}
+		return uint64(every) + uint64(phase)
+	}
+	fc := &faultConn{
+		Conn:      nc,
+		inj:       inj,
+		nextDrop:  at(inj.f.DropEvery, 1),
+		nextDup:   at(inj.f.DuplicateEvery, 2),
+		nextTrunc: at(inj.f.TruncateEvery, 3),
+		nextDelay: at(inj.f.DelayEvery, 4),
+	}
+	inj.mu.Lock()
+	inj.live[fc] = struct{}{}
+	inj.mu.Unlock()
+	return fc
+}
+
+// faultConn interposes on Write: netwire sends exactly one Write per
+// frame, so the write counter counts frames. Reads pass through — every
+// inbound frame was some wrapped peer's outbound one.
+type faultConn struct {
+	net.Conn
+	inj    *Injector
+	writes atomic.Uint64
+
+	// next* are written only while holding the frame they fire on (the
+	// netwire sender serializes writes per connection).
+	nextDrop, nextDup, nextTrunc, nextDelay uint64
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.inj.partitioned.Load() {
+		c.Close()
+		return 0, fmt.Errorf("chaos: partitioned")
+	}
+	n := c.writes.Add(1)
+	if c.nextDelay != 0 && n >= c.nextDelay {
+		c.nextDelay += uint64(c.inj.f.DelayEvery)
+		c.inj.delayed.Add(1)
+		time.Sleep(c.inj.f.Delay)
+	}
+	switch {
+	case c.nextTrunc != 0 && n >= c.nextTrunc:
+		c.nextTrunc += uint64(c.inj.f.TruncateEvery)
+		c.inj.truncated.Add(1)
+		c.Conn.Write(b[:len(b)/2])
+		c.Close()
+		return 0, fmt.Errorf("chaos: frame %d truncated", n)
+	case c.nextDrop != 0 && n >= c.nextDrop:
+		c.nextDrop += uint64(c.inj.f.DropEvery)
+		c.inj.dropped.Add(1)
+		c.Close()
+		return 0, fmt.Errorf("chaos: frame %d dropped", n)
+	case c.nextDup != 0 && n >= c.nextDup:
+		c.nextDup += uint64(c.inj.f.DuplicateEvery)
+		c.inj.duplicated.Add(1)
+		if _, err := c.Conn.Write(b); err != nil {
+			return 0, err
+		}
+		return c.Conn.Write(b)
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *faultConn) Close() error {
+	c.inj.mu.Lock()
+	delete(c.inj.live, c)
+	c.inj.mu.Unlock()
+	return c.Conn.Close()
+}

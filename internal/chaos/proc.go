@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+)
+
+// Sited is one controlled cmd/sited child process — the process-level
+// fault surface: Kill is the crash (SIGKILL, the buffered checkpoint
+// log tail may be lost), Terminate the graceful stop (SIGTERM, flushes
+// a final checkpoint), Restart the warm rejoin on the same address and
+// checkpoint dir.
+type Sited struct {
+	bin     string
+	addr    string // concrete bound address after the first start
+	ckptDir string
+	cmd     *exec.Cmd
+}
+
+// StartSited launches bin (a built cmd/sited) listening on addr
+// ("127.0.0.1:0" picks a port that Restart then reuses), checkpointing
+// under ckptDir ("" disables). It returns once the daemon's banner
+// reports the bound address.
+func StartSited(bin, addr, ckptDir string) (*Sited, error) {
+	s := &Sited{bin: bin, addr: addr, ckptDir: ckptDir}
+	if err := s.start(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Sited) start() error {
+	args := []string{"-addr", s.addr}
+	if s.ckptDir != "" {
+		args = append(args, "-checkpoint-dir", s.ckptDir)
+	}
+	cmd := exec.Command(s.bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("chaos: reading sited banner: %w", err)
+	}
+	bound, ok := strings.CutPrefix(strings.TrimSpace(line), "listening ")
+	if !ok {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("chaos: unexpected sited banner %q", line)
+	}
+	s.addr, s.cmd = bound, cmd
+	return nil
+}
+
+// Addr returns the daemon's bound address (stable across Restart).
+func (s *Sited) Addr() string { return s.addr }
+
+// Kill crashes the daemon with SIGKILL — no final checkpoint, the
+// buffered log tail may be lost. Idempotent.
+func (s *Sited) Kill() error {
+	if s.cmd == nil {
+		return nil
+	}
+	s.cmd.Process.Kill()
+	s.cmd.Wait()
+	s.cmd = nil
+	return nil
+}
+
+// Terminate stops the daemon gracefully with SIGTERM, waiting for its
+// final checkpoint flush and exit.
+func (s *Sited) Terminate() error {
+	if s.cmd == nil {
+		return nil
+	}
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return s.Kill()
+	}
+	err := s.cmd.Wait()
+	s.cmd = nil
+	return err
+}
+
+// Restart brings a killed or terminated daemon back on the same address
+// and checkpoint dir — the warm-restart path. No-op if still running.
+func (s *Sited) Restart() error {
+	if s.cmd != nil {
+		return nil
+	}
+	return s.start()
+}

@@ -1,0 +1,127 @@
+package eqclass
+
+import "repro/internal/relation"
+
+// Exported state mirrors for checkpointing. The index structures keep
+// their working fields unexported (scratch buffers, struct{}-valued
+// sets gob cannot encode); these types flatten them into gob-friendly
+// shapes. Snapshots are never written to metered wire streams — only
+// to checkpoint files — so map iteration order in the encodings does
+// not need to be deterministic.
+
+// BaseState is the serializable state of a BaseHEV.
+type BaseState struct {
+	Attr   string
+	Next   EqID
+	ByVal  map[string]EqID
+	Refcnt map[EqID]int
+}
+
+// State captures the HEV's current classes for checkpointing.
+func (h *BaseHEV) State() *BaseState {
+	s := &BaseState{
+		Attr:   h.Attr,
+		Next:   h.next,
+		ByVal:  make(map[string]EqID, len(h.byVal)),
+		Refcnt: make(map[EqID]int, len(h.refcnt)),
+	}
+	for v, id := range h.byVal {
+		s.ByVal[v] = id
+	}
+	for id, n := range h.refcnt {
+		s.Refcnt[id] = n
+	}
+	return s
+}
+
+// RestoreBase rebuilds a BaseHEV from checkpointed state.
+func RestoreBase(s *BaseState) *BaseHEV {
+	h := NewBaseHEV(s.Attr)
+	h.next = s.Next
+	for v, id := range s.ByVal {
+		h.byVal[v] = id
+	}
+	for id, n := range s.Refcnt {
+		h.refcnt[id] = n
+	}
+	return h
+}
+
+// HEVState is the serializable state of a non-base HEV.
+type HEVState struct {
+	Attrs  []string
+	Next   EqID
+	ByKey  map[string]EqID
+	Refcnt map[EqID]int
+}
+
+// State captures the HEV's current classes for checkpointing.
+func (h *HEV) State() *HEVState {
+	s := &HEVState{
+		Attrs:  append([]string(nil), h.Attrs...),
+		Next:   h.next,
+		ByKey:  make(map[string]EqID, len(h.byKey)),
+		Refcnt: make(map[EqID]int, len(h.refcnt)),
+	}
+	for k, id := range h.byKey {
+		s.ByKey[k] = id
+	}
+	for id, n := range h.refcnt {
+		s.Refcnt[id] = n
+	}
+	return s
+}
+
+// RestoreHEV rebuilds a non-base HEV from checkpointed state.
+func RestoreHEV(s *HEVState) *HEV {
+	h := NewHEV(append([]string(nil), s.Attrs...))
+	h.next = s.Next
+	for k, id := range s.ByKey {
+		h.byKey[k] = id
+	}
+	for id, n := range s.Refcnt {
+		h.refcnt[id] = n
+	}
+	return h
+}
+
+// IDXEntry is one (group, class) cell of an IDX with its member ids.
+type IDXEntry struct {
+	EqX EqID
+	EqB EqID
+	IDs []relation.TupleID
+}
+
+// IDXState is the serializable state of an IDX, flattened to entry
+// lists because gob cannot encode struct{}-valued set maps.
+type IDXState struct {
+	Entries []IDXEntry
+}
+
+// State captures the IDX contents for checkpointing.
+func (x *IDX) State() *IDXState {
+	s := &IDXState{Entries: make([]IDXEntry, 0, len(x.groups))}
+	for eqX, g := range x.groups {
+		for eqB, cls := range g {
+			ids := make([]relation.TupleID, 0, len(cls))
+			for id := range cls {
+				ids = append(ids, id)
+			}
+			sortIDs(ids)
+			s.Entries = append(s.Entries, IDXEntry{EqX: eqX, EqB: eqB, IDs: ids})
+		}
+	}
+	return s
+}
+
+// RestoreIDX rebuilds an IDX from checkpointed state, recomputing the
+// size counter.
+func RestoreIDX(s *IDXState) *IDX {
+	x := NewIDX()
+	for _, e := range s.Entries {
+		for _, id := range e.IDs {
+			x.Insert(e.EqX, e.EqB, id)
+		}
+	}
+	return x
+}

@@ -535,6 +535,7 @@ func Experiments() []Experiment {
 		{"Exp-stream", "pipeline", func(s Scale) (*Result, error) { return ExpStream(s, StreamKnobs{}) }},
 		{"Exp-query", "session", ExpQuery},
 		{"Exp-net", "deployment", ExpNet},
+		{"Exp-recovery", "robustness", ExpRecovery},
 	}
 }
 

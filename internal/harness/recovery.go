@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/centralized"
+	"repro/internal/partition"
+	"repro/internal/session"
+	"repro/internal/sitehost"
+	"repro/internal/workload"
+)
+
+// Exp-recovery measures crash recovery on the checkpointed real-socket
+// deployment: what a cold start costs (seeding every site from scratch),
+// what steady state costs per batch, and what a warm restart costs — a
+// site crashed at a batch boundary and recovered from its newest
+// checkpoint plus delta log, with the driver replaying only the missed
+// tail. All cost columns are call/record counts, a pure function of the
+// scale's seed (wall-clock stays out of the committed baseline), and
+// the sweep asserts warm restart strictly cheaper than cold start and
+// the post-recovery V equal to a fresh centralized detection.
+
+// RecoveryRow is one engine's measurement.
+type RecoveryRow struct {
+	Style           string // "hor" or "ver"
+	Batches         int    // steady-state batches applied before the crash
+	BatchSize       int    // |∆D| per batch
+	CheckpointEvery int    // snapshot compaction interval in marks
+
+	// ColdStartCalls is the calls site 0 serves to be seeded from
+	// scratch (bootstrap rounds plus the first durable mark).
+	ColdStartCalls uint64
+	// SteadyCalls is the calls site 0 serves across the steady batches.
+	SteadyCalls uint64
+	// WarmLocalReplay is the daemon-local delta-log records re-executed
+	// when site 0 restarts from its checkpoint.
+	WarmLocalReplay int
+	// WarmWireReplay is the driver replay-log calls resent on rejoin
+	// (0 at a batch boundary: the acked mark made it durable).
+	WarmWireReplay int64
+	// RecoveredEpoch/RecoveredSeq describe the checkpoint the restarted
+	// site came back from.
+	RecoveredEpoch uint64
+	RecoveredSeq   uint64
+	// Violations is |V| after the post-recovery batch, asserted equal to
+	// a fresh centralized detection.
+	Violations int
+}
+
+// RunRecovery measures cold start, steady state and warm restart for
+// both distributed engines at the given scale.
+func RunRecovery(sc Scale) ([]RecoveryRow, error) {
+	var rows []RecoveryRow
+	for _, style := range []string{"hor", "ver"} {
+		row, err := runRecoveryStyle(sc, style)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: %s: %w", style, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runRecoveryStyle(sc Scale, style string) (RecoveryRow, error) {
+	const batches, every = 5, 3
+	batch := sc.Unit / 20
+	if batch < 10 {
+		batch = 10
+	}
+	row := RecoveryRow{Style: style, Batches: batches, BatchSize: batch, CheckpointEvery: every}
+
+	root, err := os.MkdirTemp("", "repro-recovery-")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(root)
+
+	gen := workload.NewSized(workload.TPCH, sc.Seed, 8*sc.Unit)
+	rules := gen.Rules(tpchRulesDefault)
+	rel := gen.Relation(3 * sc.Unit)
+
+	srvs := make([]*sitehost.Server, sc.Sites)
+	addrs := make([]string, sc.Sites)
+	defer func() {
+		for _, srv := range srvs {
+			if srv != nil {
+				srv.Close()
+			}
+		}
+	}()
+	for i := range srvs {
+		srv, err := sitehost.Serve(sitehost.NewHost(), "127.0.0.1:0", nil)
+		if err != nil {
+			return row, err
+		}
+		srvs[i], addrs[i] = srv, srv.Addr()
+	}
+
+	opts := []session.Option{session.WithVertical(partition.RoundRobinVertical(gen.Schema(), sc.Sites)), session.WithOptimizer()}
+	if style == "hor" {
+		opts = []session.Option{session.WithHorizontal(partition.HashHorizontal("c_name", sc.Sites))}
+	}
+	opts = append(opts,
+		session.WithTCPSites(addrs...),
+		session.WithCheckpointDir(root),
+		session.WithCheckpointEvery(every))
+	sess, err := session.Open(rel, rules, opts...)
+	if err != nil {
+		return row, err
+	}
+	defer sess.Close()
+	row.ColdStartCalls = sess.SiteCalls()[0]
+
+	mirror := rel.Clone()
+	for b := 0; b < batches; b++ {
+		updates := gen.Updates(mirror, batch, 0.7)
+		if _, err := sess.ApplyBatch(context.Background(), updates); err != nil {
+			return row, err
+		}
+		if err := updates.Normalize().Apply(mirror); err != nil {
+			return row, err
+		}
+	}
+	row.SteadyCalls = sess.SiteCalls()[0] - row.ColdStartCalls
+
+	// Crash site 0 at the batch boundary: listener down, in-memory state
+	// gone, then a warm restart from the checkpoint dir on the same
+	// address.
+	if err := srvs[0].Close(); err != nil {
+		return row, err
+	}
+	host := sitehost.NewHost()
+	stats, err := host.UseCheckpoints(sitehost.SiteDir(root, 0))
+	if err != nil {
+		return row, err
+	}
+	if !stats.Recovered {
+		return row, fmt.Errorf("site 0 found no checkpoint to recover")
+	}
+	if srvs[0], err = sitehost.Serve(host, addrs[0], nil); err != nil {
+		return row, err
+	}
+	row.WarmLocalReplay = stats.Replayed
+	row.RecoveredEpoch = stats.Epoch
+	row.RecoveredSeq = stats.LastSeq
+
+	// The post-recovery batch makes the driver rejoin the restarted site.
+	updates := gen.Updates(mirror, batch, 0.7)
+	if _, err := sess.ApplyBatch(context.Background(), updates); err != nil {
+		return row, fmt.Errorf("post-recovery batch: %w", err)
+	}
+	if err := updates.Normalize().Apply(mirror); err != nil {
+		return row, err
+	}
+	row.WarmWireReplay = sess.ReplayedCalls()
+	row.Violations = sess.Violations().Len()
+
+	if oracle := centralized.Detect(mirror, rules); !sess.Violations().Equal(oracle) {
+		return row, fmt.Errorf("post-recovery V diverged from centralized detection")
+	}
+	warm := uint64(row.WarmLocalReplay) + uint64(row.WarmWireReplay)
+	if warm >= row.ColdStartCalls {
+		return row, fmt.Errorf("warm restart (%d replays) not cheaper than cold start (%d calls)",
+			warm, row.ColdStartCalls)
+	}
+	return row, nil
+}
+
+// RecoveryResult renders measured rows as the Exp-recovery table.
+func RecoveryResult(rows []RecoveryRow) *Result {
+	r := &Result{
+		Name: "Exp-recovery", Figure: "robustness",
+		Title:   "cold start vs warm restart on the checkpointed TCP deployment",
+		XLabel:  "engine",
+		Columns: []string{"cold", "steady/batch", "warmLocal", "warmWire", "epoch", "|V|"},
+	}
+	for _, row := range rows {
+		r.Points = append(r.Points, Point{
+			X:     float64(len(r.Points)),
+			Label: row.Style,
+			Values: map[string]float64{
+				"cold":         float64(row.ColdStartCalls),
+				"steady/batch": ratio(float64(row.SteadyCalls), float64(row.Batches)),
+				"warmLocal":    float64(row.WarmLocalReplay),
+				"warmWire":     float64(row.WarmWireReplay),
+				"epoch":        float64(row.RecoveredEpoch),
+				"|V|":          float64(row.Violations),
+			},
+		})
+	}
+	r.Notes = append(r.Notes,
+		"cold = site-0 calls to seed from scratch; warmLocal = delta-log records replayed by the restarted daemon; warmWire = driver replay-log calls resent on rejoin",
+		"warm restart asserted strictly cheaper than cold start, and post-recovery V asserted equal to a fresh centralized detection")
+	return r
+}
+
+// ExpRecovery is the Exp-recovery experiment.
+func ExpRecovery(sc Scale) (*Result, error) {
+	rows, err := RunRecovery(sc)
+	if err != nil {
+		return nil, err
+	}
+	return RecoveryResult(rows), nil
+}

@@ -1,0 +1,35 @@
+package harness
+
+import "testing"
+
+// TestShapeRecovery runs the crash-recovery sweep at Quick scale. The
+// correctness and warm-cheaper-than-cold assertions live inside
+// RunRecovery; here we additionally pin the shape invariants the
+// committed baseline relies on.
+func TestShapeRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery sweep")
+	}
+	rows, err := RunRecovery(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected hor+ver rows, got %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.ColdStartCalls == 0 || row.SteadyCalls == 0 {
+			t.Errorf("%s: zero cold (%d) or steady (%d) calls", row.Style, row.ColdStartCalls, row.SteadyCalls)
+		}
+		if row.RecoveredSeq == 0 || row.RecoveredEpoch == 0 {
+			t.Errorf("%s: restart did not recover a checkpoint (epoch %d, seq %d)",
+				row.Style, row.RecoveredEpoch, row.RecoveredSeq)
+		}
+		// The crash lands on a batch boundary, right after an acked (and
+		// therefore flushed) mark: the driver should not need to resend a
+		// single call on rejoin.
+		if row.WarmWireReplay != 0 {
+			t.Errorf("%s: boundary crash required %d wire replays, want 0", row.Style, row.WarmWireReplay)
+		}
+	}
+}

@@ -6,19 +6,40 @@ import (
 	"repro/internal/relation"
 )
 
-// HostSite builds and registers the per-site state for one remotely
-// hosted horizontal site on c — the daemon half of the TCP deployment.
-// The site starts empty; the driver seeds it through the same
-// (unmetered, same-site) protocol calls it uses in-process, and later
-// rule changes arrive via h.seedRules/h.dropRules, which compile against
-// the site's own schema. No driver state is shared.
-func HostSite(c *network.Cluster, id network.SiteID, schema *relation.Schema, rules []cfd.CFD) error {
+// HostedSite is the handle a daemon keeps on a remotely hosted
+// horizontal site, exposing checkpoint capture and restore. Snapshot
+// and Restore must only run between dispatches (the host serializes
+// calls, so invoking them from the dispatch path is safe).
+type HostedSite struct {
+	st *site
+}
+
+// Snapshot serializes the site's full state for a checkpoint.
+func (h *HostedSite) Snapshot() ([]byte, error) { return h.st.snapshotState() }
+
+// Restore replaces the site's state with a checkpointed snapshot.
+func (h *HostedSite) Restore(data []byte) error { return h.st.restoreState(data) }
+
+// HostSiteState builds and registers the per-site state for one remotely
+// hosted horizontal site on c — the daemon half of the TCP deployment —
+// returning a handle for checkpointing. The site starts empty; the
+// driver seeds it through the same (unmetered, same-site) protocol calls
+// it uses in-process, and later rule changes arrive via
+// h.seedRules/h.dropRules, which compile against the site's own schema.
+// No driver state is shared.
+func HostSiteState(c *network.Cluster, id network.SiteID, schema *relation.Schema, rules []cfd.CFD) (*HostedSite, error) {
 	if err := cfd.ValidateAll(schema, rules); err != nil {
-		return err
+		return nil, err
 	}
 	st := newSite(id, schema, cfd.CompileAll(schema, rules))
 	st.register(c)
-	return nil
+	return &HostedSite{st: st}, nil
+}
+
+// HostSite is HostSiteState without the checkpoint handle.
+func HostSite(c *network.Cluster, id network.SiteID, schema *relation.Schema, rules []cfd.CFD) error {
+	_, err := HostSiteState(c, id, schema, rules)
+	return err
 }
 
 // Transport plumbing: see Options.Transport in system.go.

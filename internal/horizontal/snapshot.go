@@ -1,0 +1,107 @@
+package horizontal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// Checkpoint serialization for hosted horizontal sites. The encoding is
+// a standalone gob buffer written only to checkpoint files — never to a
+// metered wire stream — so it does not disturb the committed byte
+// baselines, and map iteration order in it need not be deterministic.
+
+// snapRule pins one installed rule with the exact dense index the live
+// site assigned it (seedRules bases indexes on the instantaneous
+// ruleOrder length and dropRules leaves gaps, so indexes are
+// history-dependent and must be persisted, not recomputed).
+type snapRule struct {
+	Rule cfd.CFD
+	Idx  cfd.RuleIdx
+}
+
+// snapGroup is one equivalence class [t]_{X∪{B}} with its violation
+// flag and member tuple ids.
+type snapGroup struct {
+	Rule    string
+	DX      code
+	DB      code
+	InV     bool
+	Members []int64
+}
+
+// hSiteState is the full checkpointable state of a horizontal site.
+type hSiteState struct {
+	Frag   []relation.Tuple
+	Rules  []snapRule
+	Groups []snapGroup
+}
+
+// snapshotState captures the site's fragment, rules and class indexes.
+func (s *site) snapshotState() ([]byte, error) {
+	st := hSiteState{Frag: s.frag.Tuples()}
+	for _, r := range s.ruleOrder {
+		st.Rules = append(st.Rules, snapRule{Rule: *r.CFD, Idx: r.Idx})
+		if r.ConstRHS {
+			continue
+		}
+		for dx, g := range s.groups[r.ID] {
+			for db, c := range g {
+				st.Groups = append(st.Groups, snapGroup{
+					Rule:    r.ID,
+					DX:      dx,
+					DB:      db,
+					InV:     c.inV,
+					Members: toInt64s(sortedMembers(c)),
+				})
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("horizontal: snapshot site %d: %w", s.id, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// restoreState rebuilds the site from a checkpointed snapshot, replacing
+// all current state. Rules recompile against the site's own schema with
+// their persisted indexes.
+func (s *site) restoreState(data []byte) error {
+	var st hSiteState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("horizontal: restore site %d: %w", s.id, err)
+	}
+	s.frag = relation.New(s.schema)
+	s.rules = make(map[string]*cfd.Compiled, len(st.Rules))
+	s.ruleOrder = nil
+	s.groups = make(map[string]map[code]map[code]*hClass)
+	for _, t := range st.Frag {
+		if err := s.frag.Insert(t); err != nil {
+			return fmt.Errorf("horizontal: restore site %d: %w", s.id, err)
+		}
+	}
+	for i := range st.Rules {
+		r := st.Rules[i].Rule
+		c := cfd.Compile(s.schema, &r, st.Rules[i].Idx)
+		s.rules[r.ID] = &c
+		s.ruleOrder = append(s.ruleOrder, &c)
+		if !c.ConstRHS {
+			s.groups[r.ID] = make(map[code]map[code]*hClass)
+		}
+	}
+	for _, g := range st.Groups {
+		if _, ok := s.groups[g.Rule]; !ok {
+			return fmt.Errorf("horizontal: restore site %d: group for unknown or constant rule %q", s.id, g.Rule)
+		}
+		c := s.ensureClass(g.Rule, g.DX, g.DB)
+		c.inV = g.InV
+		for _, id := range g.Members {
+			c.members[relation.TupleID(id)] = struct{}{}
+		}
+	}
+	return nil
+}

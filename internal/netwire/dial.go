@@ -22,6 +22,10 @@ type DialConfig struct {
 	// Cancel, when non-nil, aborts backoff sleeps early (e.g. transport
 	// Close during a retry loop).
 	Cancel <-chan struct{}
+	// Dialer, when non-nil, replaces the raw TCP dial of each attempt —
+	// the hook the chaos layer uses to interpose fault-injecting
+	// connections. TLS (if configured) is layered on top of its result.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (d DialConfig) withDefaults() DialConfig {
@@ -42,7 +46,13 @@ func (d DialConfig) withDefaults() DialConfig {
 
 // dialOnce makes a single connection attempt.
 func dialOnce(addr string, cfg DialConfig) (net.Conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, cfg.AttemptTimeout)
+	raw := cfg.Dialer
+	if raw == nil {
+		raw = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := raw(addr, cfg.AttemptTimeout)
 	if err != nil {
 		return nil, err
 	}

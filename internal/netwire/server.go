@@ -32,13 +32,20 @@ func Listen(addr string, tlsCfg *tls.Config, opts ConnOptions, handle func(*Conn
 	if err != nil {
 		return nil, err
 	}
+	return ListenOn(ln, tlsCfg, opts, handle), nil
+}
+
+// ListenOn is Listen over an already-bound listener — the hook the chaos
+// layer uses to interpose fault-injecting listeners. The server owns ln
+// and closes it on Close.
+func ListenOn(ln net.Listener, tlsCfg *tls.Config, opts ConnOptions, handle func(*Conn)) *Server {
 	if tlsCfg != nil {
 		ln = tls.NewListener(ln, tlsCfg)
 	}
 	s := &Server{ln: ln, handle: handle, opts: opts, conns: make(map[*Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the bound listen address.

@@ -1,7 +1,9 @@
 package network
 
 import (
+	"bytes"
 	"crypto/tls"
+	"encoding/gob"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -27,6 +29,15 @@ type TCPConfig struct {
 	MaxFrame int64
 	// TLS, when non-nil, upgrades every connection.
 	TLS *tls.Config
+	// ReplayLog enables the bounded driver-side replay log for
+	// checkpointed deployments: every successful call is retained until
+	// the next acknowledged "chk.mark" batch delimiter. On reconnect, a
+	// daemon whose hello-ack status shows it behind (restarted from a
+	// checkpoint) is caught up by resending the logged calls under
+	// their original sequence numbers — the replays are not re-metered,
+	// so a rejoined deployment's protocol meters stay bit-identical to
+	// a never-crashed one.
+	ReplayLog bool
 }
 
 // TCPTransport connects a driver to N sited processes, one framed TCP
@@ -45,8 +56,22 @@ type TCPTransport struct {
 	cfg   TCPConfig
 
 	frameBytes atomic.Int64
+	replayed   atomic.Int64
 	closed     chan struct{}
 	closeOnce  sync.Once
+}
+
+// replayEntry is one logged call awaiting the next checkpoint mark.
+type replayEntry struct {
+	seq    uint64
+	method string
+	data   []byte
+}
+
+// helloStatus mirrors sitehost.HelloStatus structurally (gob matches by
+// field name; importing sitehost here would cycle).
+type helloStatus struct {
+	LastSeq uint64
 }
 
 // siteConn is the driver's endpoint for one site. conn is written only
@@ -60,6 +85,15 @@ type siteConn struct {
 	conn    atomic.Pointer[netwire.Conn]
 	seq     uint64
 	greeted bool // a handshake has succeeded at least once
+
+	// Replay log (cfg.ReplayLog): the successful calls since the last
+	// acknowledged "chk.mark", covering seqs (replayBase, seq]. behind /
+	// behindFrom are set by ensureConn's handshake when the daemon's
+	// status shows it recovered to an earlier seq.
+	replay     []replayEntry
+	replayBase uint64
+	behind     bool
+	behindFrom uint64
 }
 
 // NewTCPTransport builds a transport for the given site addresses.
@@ -92,6 +126,23 @@ func (t *TCPTransport) HostsSiteState() bool { return true }
 // type descriptors), handshakes. This is the framing overhead a real
 // deployment pays on top of the metered protocol bytes.
 func (t *TCPTransport) FrameBytes() int64 { return t.frameBytes.Load() }
+
+// ReplayedCalls returns how many logged calls have been resent to
+// rejoining daemons — the wire cost of warm restarts.
+func (t *TCPTransport) ReplayedCalls() int64 { return t.replayed.Load() }
+
+// SiteCalls returns the per-site call counts (the last assigned
+// sequence numbers) — deterministic cost accounting for the recovery
+// benchmarks.
+func (t *TCPTransport) SiteCalls() []uint64 {
+	out := make([]uint64, len(t.sites))
+	for i, sc := range t.sites {
+		sc.mu.Lock()
+		out[i] = sc.seq
+		sc.mu.Unlock()
+	}
+	return out
+}
 
 // siteDown wraps an error as an errors.Is-compatible ErrSiteDown.
 func siteDown(site SiteID, addr string, err error) error {
@@ -133,8 +184,58 @@ func (t *TCPTransport) ensureConn(site SiteID, sc *siteConn) error {
 		// not help, so surface it as the site being down.
 		return siteDown(site, sc.addr, fmt.Errorf("handshake rejected: %s", ack.Err))
 	}
+	if t.cfg.ReplayLog {
+		var last uint64
+		if len(ack.Data) > 0 {
+			var st helloStatus
+			if err := gob.NewDecoder(bytes.NewReader(ack.Data)).Decode(&st); err != nil {
+				conn.Close()
+				return siteDown(site, sc.addr, fmt.Errorf("bad hello status: %v", err))
+			}
+			last = st.LastSeq
+		}
+		// sc.seq is the in-flight call; the daemon should have served
+		// everything before it. A daemon behind the replay log's floor
+		// recovered past what we can resend — that site is lost.
+		if last+1 < sc.seq {
+			if last < sc.replayBase {
+				conn.Close()
+				return siteDown(site, sc.addr, fmt.Errorf(
+					"daemon recovered to seq %d but the replay log starts after seq %d", last, sc.replayBase))
+			}
+			sc.behind, sc.behindFrom = true, last
+		}
+	}
 	sc.conn.Store(conn)
 	sc.greeted = true
+	return nil
+}
+
+// catchUp resends the logged calls a rejoining daemon missed, in order,
+// under their original sequence numbers. Caller holds sc.mu and a live
+// connection. Transport errors return to Invoke's retry loop (the next
+// handshake re-reports how far the daemon got); a replayed call failing
+// at the application level means divergence and also bubbles up, going
+// terminal once the retry budget is spent.
+func (t *TCPTransport) catchUp(sc *siteConn) error {
+	if !sc.behind {
+		return nil
+	}
+	conn := sc.conn.Load()
+	for _, e := range sc.replay {
+		if e.seq <= sc.behindFrom {
+			continue
+		}
+		reply, err := t.exchange(conn, &netwire.Msg{Kind: netwire.KindCall, Seq: e.seq, Method: e.method, Data: e.data})
+		if err != nil {
+			return err
+		}
+		if reply.Err != "" {
+			return fmt.Errorf("replayed call %s (seq %d) failed: %s", e.method, e.seq, reply.Err)
+		}
+		t.replayed.Add(1)
+	}
+	sc.behind = false
 	return nil
 }
 
@@ -162,10 +263,20 @@ func (t *TCPTransport) Invoke(to SiteID, method string, data []byte) ([]byte, er
 		if err := t.ensureConn(to, sc); err != nil {
 			return nil, err // dial budget already applied inside
 		}
-		reply, err := t.exchange(sc.conn.Load(), msg)
+		reply, err := t.catchUpThenExchange(sc, msg)
 		if err == nil {
 			if reply.Err != "" {
 				return nil, xerr.Rewrap(reply.Err)
+			}
+			if t.cfg.ReplayLog {
+				if method == "chk.mark" {
+					// The daemon has durably marked this batch boundary:
+					// everything at or before it can never need replay.
+					sc.replay = sc.replay[:0]
+					sc.replayBase = msg.Seq
+				} else {
+					sc.replay = append(sc.replay, replayEntry{seq: msg.Seq, method: method, data: data})
+				}
 			}
 			return reply.Data, nil
 		}
@@ -182,6 +293,15 @@ func (t *TCPTransport) Invoke(to SiteID, method string, data []byte) ([]byte, er
 			return nil, siteDown(to, sc.addr, lastErr)
 		}
 	}
+}
+
+// catchUpThenExchange replays any missed calls and then performs the
+// current one. Caller holds sc.mu.
+func (t *TCPTransport) catchUpThenExchange(sc *siteConn, msg *netwire.Msg) (*netwire.Msg, error) {
+	if err := t.catchUp(sc); err != nil {
+		return nil, err
+	}
+	return t.exchange(sc.conn.Load(), msg)
 }
 
 // exchange performs one send/recv on the live connection. Caller holds

@@ -4,9 +4,11 @@ import (
 	"context"
 	"crypto/tls"
 	"fmt"
+	"net"
 	"time"
 
 	"repro/internal/partition"
+	"repro/internal/sitehost"
 )
 
 // Kind is the partition style behind a session.
@@ -52,13 +54,22 @@ type config struct {
 	rpc          bool
 	rpcCtx       context.Context
 
-	tcpAddrs []string
-	tcpRetry time.Duration
-	tcpTLS   *tls.Config
+	tcpAddrs  []string
+	tcpRetry  time.Duration
+	tcpTLS    *tls.Config
+	tcpDialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+	ckptDir   string
+	ckptEvery int
 }
 
 // Option configures Open.
 type Option func(*config) error
+
+// checkpointing folds the checkpoint knobs into the hello payload form.
+func (c *config) checkpointing() sitehost.Checkpointing {
+	return sitehost.Checkpointing{Dir: c.ckptDir, Every: c.ckptEvery}
+}
 
 func (c *config) setKind(k Kind) error {
 	if c.kindSet && c.kind != k {
@@ -98,7 +109,14 @@ func (c *config) validate() error {
 			return fmt.Errorf("session: WithTCPRetryBudget requires WithTCPSites")
 		case c.tcpTLS != nil:
 			return fmt.Errorf("session: WithTCPTLS requires WithTCPSites")
+		case c.tcpDialer != nil:
+			return fmt.Errorf("session: WithTCPDialer requires WithTCPSites")
+		case c.ckptDir != "":
+			return fmt.Errorf("session: WithCheckpointDir requires WithTCPSites (checkpoints live in the sited daemons)")
 		}
+	}
+	if c.ckptEvery > 0 && c.ckptDir == "" {
+		return fmt.Errorf("session: WithCheckpointEvery requires WithCheckpointDir")
 	}
 	if c.useOptimizer && c.kind != Vertical {
 		return fmt.Errorf("session: WithOptimizer requires a vertical session")
@@ -274,6 +292,51 @@ func WithTCPTLS(cfg *tls.Config) Option {
 			return fmt.Errorf("session: WithTCPTLS: nil config")
 		}
 		c.tcpTLS = cfg
+		return nil
+	}
+}
+
+// WithTCPDialer replaces the raw TCP dial of every daemon connection —
+// the hook the chaos layer uses to interpose fault-injecting
+// connections. TLS (if configured) is layered on top of its result.
+func WithTCPDialer(dial func(addr string, timeout time.Duration) (net.Conn, error)) Option {
+	return func(c *config) error {
+		if dial == nil {
+			return fmt.Errorf("session: WithTCPDialer: nil dialer")
+		}
+		c.tcpDialer = dial
+		return nil
+	}
+}
+
+// WithCheckpointDir makes a TCP-sites session crash-safe: each sited
+// daemon persists its fragment, seeded per-rule state and marks under
+// dir (site i in SiteDir(dir, i) = dir/site<i>), the session marks a
+// durable point after every successful batch and rule change, and the
+// driver keeps a bounded replay log of the calls since the last mark.
+// A daemon that crashes and restarts recovers from its newest valid
+// checkpoint and the driver transparently replays only the missing
+// tail — under the original sequence numbers, so the protocol meters
+// are unchanged. Requires WithTCPSites.
+func WithCheckpointDir(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return fmt.Errorf("session: WithCheckpointDir: empty dir")
+		}
+		c.ckptDir = dir
+		return nil
+	}
+}
+
+// WithCheckpointEvery sets how many durable marks a daemon accumulates
+// in its delta log before compacting into a full snapshot (default 8).
+// Requires WithCheckpointDir.
+func WithCheckpointEvery(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("session: WithCheckpointEvery: non-positive interval %d", n)
+		}
+		c.ckptEvery = n
 		return nil
 	}
 }

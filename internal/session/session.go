@@ -110,7 +110,7 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 			if err != nil {
 				return nil, err
 			}
-			hellos, err := sitehost.HorizontalHellos(sid, rel.Schema, rules, n)
+			hellos, err := sitehost.HorizontalHellos(sid, rel.Schema, rules, n, cfg.checkpointing())
 			if err != nil {
 				return nil, err
 			}
@@ -149,7 +149,7 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 			if err != nil {
 				return nil, err
 			}
-			hellos, err := sitehost.VerticalHellos(sid, rel.Schema, cfg.vScheme, plan, rules)
+			hellos, err := sitehost.VerticalHellos(sid, rel.Schema, cfg.vScheme, plan, rules, cfg.checkpointing())
 			if err != nil {
 				return nil, err
 			}
@@ -186,6 +186,12 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 			s.rpc = t
 		}
 	}
+	// Seeding succeeded: make it the daemons' first durable point, so a
+	// crash during steady state never has to redo the bootstrap rounds.
+	if err := s.markSites(); err != nil {
+		s.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -201,13 +207,55 @@ func newSessionID() ([8]byte, error) {
 }
 
 // newTCPTransport builds the real-socket transport from the config's
-// TCP knobs and the per-site bootstrap hellos.
+// TCP knobs and the per-site bootstrap hellos. Checkpointed sessions
+// turn on the driver-side replay log that rejoins recovering daemons.
 func newTCPTransport(cfg config, hellos [][]byte) (*network.TCPTransport, error) {
 	return network.NewTCPTransport(cfg.tcpAddrs, network.TCPConfig{
-		Hellos: hellos,
-		Dial:   netwire.DialConfig{Budget: cfg.tcpRetry},
-		TLS:    cfg.tcpTLS,
+		Hellos:    hellos,
+		Dial:      netwire.DialConfig{Budget: cfg.tcpRetry, Dialer: cfg.tcpDialer},
+		TLS:       cfg.tcpTLS,
+		ReplayLog: cfg.ckptDir != "",
 	})
+}
+
+// markSites tells every checkpointing daemon that the state just reached
+// is durable-worthy: each appends a mark to its delta log (or compacts
+// into a full snapshot), and the driver prunes its replay log up to this
+// point. A no-op without WithCheckpointDir. Marks ride outside the
+// Cluster.Call path, so the protocol meters never see them.
+func (s *Session) markSites() error {
+	if s.tcp == nil || s.cfg.ckptDir == "" {
+		return nil
+	}
+	for i := range s.cfg.tcpAddrs {
+		if _, err := s.tcp.Invoke(network.SiteID(i), "chk.mark", nil); err != nil {
+			return fmt.Errorf("session: checkpoint mark site %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReplayedCalls reports how many logged calls the transport replayed to
+// recovering daemons so far (always 0 without WithCheckpointDir).
+func (s *Session) ReplayedCalls() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tcp == nil {
+		return 0
+	}
+	return s.tcp.ReplayedCalls()
+}
+
+// SiteCalls reports, per site, the last call sequence number the TCP
+// transport issued — the deterministic "calls so far" meter the recovery
+// benchmarks report. Nil for sessions without WithTCPSites.
+func (s *Session) SiteCalls() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tcp == nil {
+		return nil
+	}
+	return s.tcp.SiteCalls()
 }
 
 // Kind returns the partition style behind the session.
@@ -310,6 +358,9 @@ func (s *Session) applyLocked(updates relation.UpdateList) (*cfd.Delta, error) {
 			s.rows--
 		}
 	}
+	if err := s.markSites(); err != nil {
+		return nil, err
+	}
 	s.publish(EventBatch, delta)
 	return delta, nil
 }
@@ -330,6 +381,9 @@ func (s *Session) AddRules(rules ...cfd.CFD) (*cfd.Delta, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.markSites(); err != nil {
+		return nil, err
+	}
 	s.publish(EventRulesAdded, delta)
 	return delta, nil
 }
@@ -344,6 +398,9 @@ func (s *Session) RemoveRules(ids ...string) (*cfd.Delta, error) {
 	}
 	delta, err := s.eng.RemoveRules(ids)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.markSites(); err != nil {
 		return nil, err
 	}
 	s.publish(EventRulesRemoved, delta)

@@ -2,6 +2,7 @@ package sitehost
 
 import (
 	"crypto/tls"
+	"net"
 	"time"
 
 	"repro/internal/netwire"
@@ -34,6 +35,14 @@ func Serve(host *Host, addr string, tlsCfg *tls.Config) (*Server, error) {
 	return s, nil
 }
 
+// ServeListener serves the host on an already-bound listener — the hook
+// the chaos layer uses to interpose fault-injecting listeners.
+func ServeListener(host *Host, ln net.Listener, tlsCfg *tls.Config) *Server {
+	s := &Server{host: host}
+	s.srv = netwire.ListenOn(ln, tlsCfg, netwire.ConnOptions{}, s.handle)
+	return s
+}
+
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.srv.Addr() }
 
@@ -55,10 +64,15 @@ func (s *Server) handle(c *netwire.Conn) {
 		switch msg.Kind {
 		case netwire.KindHello:
 			errStr := ""
+			var status []byte
 			if err := s.host.Bootstrap(msg.Data, msg.Reconnect); err != nil {
 				errStr = err.Error()
+			} else {
+				// A host that has served calls reports how far it got,
+				// so a rejoining driver replays only the missing tail.
+				status = s.host.StatusPayload()
 			}
-			if err := c.Send(&netwire.Msg{Kind: netwire.KindHelloAck, Err: errStr}, writeTimeout); err != nil {
+			if err := c.Send(&netwire.Msg{Kind: netwire.KindHelloAck, Data: status, Err: errStr}, writeTimeout); err != nil {
 				return
 			}
 			if errStr != "" {

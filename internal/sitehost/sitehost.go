@@ -11,17 +11,34 @@
 // same session id; a hello flagged Reconnect while the host holds no
 // state is rejected, because the daemon evidently lost the seeded state
 // the driver is counting on. Calls are deduplicated by their per-site
-// sequence number, so a call resent across a reconnect is served from
-// the one-deep reply cache instead of executing twice.
+// sequence number through a sliding window of recent replies, so a call
+// resent across a reconnect — even arriving several frames late, as
+// chaos duplicate injection produces — is served from the cache instead
+// of executing twice.
+//
+// Crash safety: with UseCheckpoints (or a checkpoint dir in the hello),
+// the host persists its state to versioned, CRC-checksummed snapshot
+// files plus a per-call delta log (internal/checkpoint). Site state
+// mutates only through the serialized Dispatch, so a snapshot at seq S
+// plus the raw (seq, method, data) records after S reconstructs the
+// exact state — including the reply window — by replay. The driver's
+// "chk.mark" call delimits batches: every few marks the host compacts
+// the log into a fresh snapshot. On restart the newest valid checkpoint
+// is loaded, the local log replayed, and the recovered lastSeq answered
+// in the hello ack so the driver's transport replays only the calls the
+// daemon missed.
 package sitehost
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/cfd"
+	"repro/internal/checkpoint"
 	"repro/internal/horizontal"
 	"repro/internal/network"
 	"repro/internal/optimizer"
@@ -35,6 +52,16 @@ const (
 	KindHorizontal = "horizontal"
 	KindVertical   = "vertical"
 )
+
+// replyWindowSize bounds the reply dedupe cache. The driver serializes
+// calls per site, so duplicates normally trail by one frame; the window
+// absorbs pathological reorderings (duplicate frames injected several
+// calls late) without unbounded growth.
+const replyWindowSize = 32
+
+// DefaultCheckpointEvery is the snapshot compaction threshold: a full
+// snapshot every N batch marks, a delta-log append in between.
+const DefaultCheckpointEvery = 8
 
 // Hello is the bootstrap payload: everything a daemon needs to build
 // one empty site that is protocol-compatible with the driver's cluster.
@@ -61,6 +88,14 @@ type Hello struct {
 	// Vertical only.
 	VScheme *partition.VerticalScheme
 	Plan    *optimizer.Plan
+
+	// Checkpointing, optional: the driver's request that the daemon
+	// persist this site's state. A sited started with -checkpoint-dir
+	// keeps its own (authoritative) dir and ignores CheckpointDir.
+	// Both fields gob-omit at their zero values, so hellos of
+	// non-checkpointed deployments stay bit-identical to older builds.
+	CheckpointDir   string
+	CheckpointEvery int
 }
 
 // ProtoVersion guards against driver/daemon skew.
@@ -84,6 +119,58 @@ func DecodeHello(data []byte) (*Hello, error) {
 	return &h, nil
 }
 
+// HelloStatus is the daemon's answer riding a successful hello ack: how
+// far it has processed. The driver's transport compares LastSeq with its
+// own sequence counter and replays the gap from its replay log. The
+// payload is attached only when LastSeq > 0, keeping first-handshake
+// acks bit-identical to pre-checkpoint builds.
+type HelloStatus struct {
+	LastSeq uint64
+}
+
+// EncodeStatus gob-encodes a hello status payload.
+func EncodeStatus(s *HelloStatus) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("sitehost: encode status: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeStatus decodes a hello status payload.
+func DecodeStatus(data []byte) (*HelloStatus, error) {
+	var s HelloStatus
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("sitehost: decode status: %w", err)
+	}
+	return &s, nil
+}
+
+// engineState is the checkpoint surface both hosted engines expose.
+type engineState interface {
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+}
+
+// reply is one cached call result.
+type reply struct {
+	data []byte
+	err  string
+}
+
+// RecoveryStats reports what UseCheckpoints restored.
+type RecoveryStats struct {
+	// Recovered is true when a valid checkpoint was loaded.
+	Recovered bool
+	// Epoch is the snapshot epoch the state came from.
+	Epoch uint64
+	// LastSeq is the highest call sequence number restored.
+	LastSeq uint64
+	// Replayed counts the delta-log records re-executed on top of the
+	// snapshot — the daemon-local replay cost of the warm start.
+	Replayed int
+}
+
 // Host is one hosted site: empty until bootstrapped, then dispatching
 // framed calls into the site's registered handlers.
 type Host struct {
@@ -92,17 +179,33 @@ type Host struct {
 	sid     [8]byte
 	kind    string
 	site    int
+	engine  engineState
+	// helloBytes is the encoded hello that built the site, persisted in
+	// snapshots so recovery can rebuild the structure without a driver.
+	helloBytes []byte
+	// fromCheckpoint marks state restored from disk that no driver has
+	// confirmed yet: a same-session reconnect claims it; a different
+	// session's first contact discards it and bootstraps fresh.
+	fromCheckpoint bool
 
-	// callMu serializes Dispatch and guards the one-deep reply cache
-	// (the driver serializes calls per site, so one entry suffices).
-	callMu   sync.Mutex
-	lastSeq  uint64
-	lastData []byte
-	lastErr  string
+	// callMu serializes Dispatch and guards the reply window and
+	// checkpoint bookkeeping below.
+	callMu  sync.Mutex
+	lastSeq uint64
+	window  map[uint64]reply
+	order   []uint64 // window insertion order (ascending seq), for FIFO eviction
+
+	ckpt       *checkpoint.Store
+	ckptEvery  int
+	marksSince int
+	// logErr latches a delta-log append failure; surfaced at the next
+	// mark rather than failing the already-executed call (which would
+	// desynchronize driver and daemon).
+	logErr error
 }
 
 // NewHost returns an empty host.
-func NewHost() *Host { return &Host{} }
+func NewHost() *Host { return &Host{window: make(map[uint64]reply)} }
 
 // Hosting reports whether a site has been bootstrapped, and which.
 func (h *Host) Hosting() (kind string, site int, ok bool) {
@@ -111,13 +214,150 @@ func (h *Host) Hosting() (kind string, site int, ok bool) {
 	return h.kind, h.site, h.cluster != nil
 }
 
+// UseCheckpoints attaches a checkpoint store at dir and recovers the
+// newest valid checkpoint, replaying its delta log. Call before serving.
+// On a corrupt checkpoint the store stays attached (so the site can
+// still checkpoint going forward) but the error — wrapping
+// xerr.ErrCheckpointCorrupt — is returned and no partial state is
+// loaded: the host stays empty and the driver must reseed in full.
+func (h *Host) UseCheckpoints(dir string) (RecoveryStats, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.callMu.Lock()
+	defer h.callMu.Unlock()
+	if h.cluster != nil {
+		return RecoveryStats{}, fmt.Errorf("sitehost: UseCheckpoints after bootstrap")
+	}
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	h.ckpt = st
+	if h.ckptEvery <= 0 {
+		h.ckptEvery = DefaultCheckpointEvery
+	}
+	snap, recs, err := st.Recover()
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	if snap == nil {
+		return RecoveryStats{}, nil
+	}
+	if err := h.restoreLocked(snap); err != nil {
+		return RecoveryStats{}, err
+	}
+	for _, rec := range recs {
+		h.replayLocked(rec)
+	}
+	h.fromCheckpoint = true
+	return RecoveryStats{
+		Recovered: true,
+		Epoch:     st.Epoch(),
+		LastSeq:   h.lastSeq,
+		Replayed:  len(recs),
+	}, nil
+}
+
+// CheckpointEpoch returns the current snapshot epoch (0 = none yet).
+func (h *Host) CheckpointEpoch() uint64 {
+	h.callMu.Lock()
+	defer h.callMu.Unlock()
+	if h.ckpt == nil {
+		return 0
+	}
+	return h.ckpt.Epoch()
+}
+
+// restoreLocked rebuilds the site from a snapshot. Both locks held. The
+// build goes through locals and commits only on full success, so a
+// failure leaves the host empty rather than half-restored.
+func (h *Host) restoreLocked(snap *checkpoint.Snapshot) error {
+	hello, err := DecodeHello(snap.Hello)
+	if err != nil {
+		return err
+	}
+	cluster, engine, err := buildSite(hello)
+	if err != nil {
+		return err
+	}
+	if err := engine.Restore(snap.Engine); err != nil {
+		return err
+	}
+	h.cluster, h.engine = cluster, engine
+	copy(h.sid[:], hello.SessionID)
+	h.kind, h.site = hello.Kind, hello.Site
+	h.helloBytes = append([]byte(nil), snap.Hello...)
+	h.lastSeq = snap.LastSeq
+	h.window = make(map[uint64]reply, len(snap.Window))
+	h.order = nil
+	win := append([]checkpoint.Reply(nil), snap.Window...)
+	sort.Slice(win, func(i, j int) bool { return win[i].Seq < win[j].Seq })
+	for _, r := range win {
+		h.remember(r.Seq, r.Data, r.Err)
+	}
+	h.lastSeq = snap.LastSeq
+	return nil
+}
+
+// replayLocked re-executes one delta-log record during recovery. Replay
+// never re-appends to the log (the record is already there) and caches
+// whatever the re-execution returns — determinism makes it the same
+// reply the original call got.
+func (h *Host) replayLocked(rec checkpoint.Record) {
+	if strings.HasPrefix(rec.Method, "chk.") {
+		h.remember(rec.Seq, nil, "")
+		return
+	}
+	resp, err := h.cluster.Dispatch(network.SiteID(h.site), rec.Method, rec.Data)
+	errStr := ""
+	if err != nil {
+		errStr = err.Error()
+	}
+	h.remember(rec.Seq, resp, errStr)
+}
+
+// buildSite constructs a site cluster from a hello (already
+// proto-checked for wire hellos; snapshot hellos were checked when first
+// received).
+func buildSite(hello *Hello) (*network.Cluster, engineState, error) {
+	if hello.Site < 0 || hello.Site >= hello.NumSites {
+		return nil, nil, fmt.Errorf("sitehost: site %d out of range [0,%d)", hello.Site, hello.NumSites)
+	}
+	schema, err := relation.NewSchema(hello.SchemaName, hello.SchemaAttrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	cluster := network.NewCluster(hello.NumSites)
+	id := network.SiteID(hello.Site)
+	switch hello.Kind {
+	case KindHorizontal:
+		hs, err := horizontal.HostSiteState(cluster, id, schema, hello.Rules)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cluster, hs, nil
+	case KindVertical:
+		if hello.VScheme == nil || hello.Plan == nil {
+			return nil, nil, fmt.Errorf("sitehost: vertical hello without scheme or plan")
+		}
+		vs, err := vertical.HostSiteState(cluster, id, schema, hello.VScheme, hello.Plan, hello.Rules)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cluster, vs, nil
+	default:
+		return nil, nil, fmt.Errorf("sitehost: unknown site kind %q", hello.Kind)
+	}
+}
+
 // Bootstrap applies one hello: constructing the site on first contact,
 // verifying session identity afterwards. reconnect is the transport's
 // flag that the driver has completed a handshake before — arriving at an
 // empty host it means the daemon lost its state, which is unrecoverable
-// (the repo's out-of-core/checkpoint item on the ROADMAP is what would
-// change that), so the hello is rejected and the driver surfaces
-// ErrSiteDown.
+// without a checkpoint, so the hello is rejected and the driver surfaces
+// ErrSiteDown. State restored from a checkpoint is claimed by a
+// same-session reconnect; a different session's first contact discards
+// it (that session is gone for good) and bootstraps fresh.
 func (h *Host) Bootstrap(data []byte, reconnect bool) error {
 	hello, err := DecodeHello(data)
 	if err != nil {
@@ -133,46 +373,118 @@ func (h *Host) Bootstrap(data []byte, reconnect bool) error {
 	copy(sid[:], hello.SessionID)
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.callMu.Lock()
+	defer h.callMu.Unlock()
+	if hello.CheckpointEvery > 0 {
+		h.ckptEvery = hello.CheckpointEvery
+	}
 	if h.cluster != nil {
-		if h.sid != sid {
+		if h.sid == sid {
+			// Same session: reconnect or duplicate connection. A
+			// reconnect claims any checkpoint-recovered state.
+			if reconnect {
+				h.fromCheckpoint = false
+			}
+			return nil
+		}
+		if h.fromCheckpoint && !reconnect {
+			// Recovered state belongs to a session that will never
+			// return (a returning driver would flag Reconnect): a fresh
+			// session claims the daemon, discarding the stale state.
+			h.dropStateLocked()
+		} else {
 			return fmt.Errorf("sitehost: already hosting %s site %d for another session", h.kind, h.site)
 		}
-		return nil // same session: reconnect or duplicate connection
 	}
 	if reconnect {
 		return fmt.Errorf("sitehost: site state lost: reconnecting driver found an empty daemon")
 	}
-	if hello.Site < 0 || hello.Site >= hello.NumSites {
-		return fmt.Errorf("sitehost: site %d out of range [0,%d)", hello.Site, hello.NumSites)
+	// Fresh bootstrap. The hello may request checkpointing; a dir set by
+	// the daemon itself (sited -checkpoint-dir) is authoritative.
+	if h.ckpt == nil && hello.CheckpointDir != "" {
+		st, err := checkpoint.Open(hello.CheckpointDir)
+		if err != nil {
+			return fmt.Errorf("sitehost: checkpoint dir: %w", err)
+		}
+		h.ckpt = st
+		if h.ckptEvery <= 0 {
+			h.ckptEvery = DefaultCheckpointEvery
+		}
 	}
-	schema, err := relation.NewSchema(hello.SchemaName, hello.SchemaAttrs)
+	cluster, engine, err := buildSite(hello)
 	if err != nil {
 		return err
 	}
-	cluster := network.NewCluster(hello.NumSites)
-	id := network.SiteID(hello.Site)
-	switch hello.Kind {
-	case KindHorizontal:
-		if err := horizontal.HostSite(cluster, id, schema, hello.Rules); err != nil {
-			return err
+	if h.ckpt != nil {
+		// Any on-disk checkpoints describe a dead session; clear them so
+		// epoch numbering restarts and the first mark snapshots.
+		if err := h.ckpt.Reset(); err != nil {
+			return fmt.Errorf("sitehost: checkpoint reset: %w", err)
 		}
-	case KindVertical:
-		if hello.VScheme == nil || hello.Plan == nil {
-			return fmt.Errorf("sitehost: vertical hello without scheme or plan")
-		}
-		if err := vertical.HostSite(cluster, id, schema, hello.VScheme, hello.Plan, hello.Rules); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("sitehost: unknown site kind %q", hello.Kind)
 	}
-	h.cluster, h.sid, h.kind, h.site = cluster, sid, hello.Kind, hello.Site
+	h.cluster, h.engine = cluster, engine
+	h.sid, h.kind, h.site = sid, hello.Kind, hello.Site
+	h.helloBytes = append([]byte(nil), data...)
 	return nil
 }
 
+// dropStateLocked clears the hosted site (both locks held), keeping the
+// checkpoint store attached for the next session.
+func (h *Host) dropStateLocked() {
+	h.cluster, h.engine = nil, nil
+	h.sid = [8]byte{}
+	h.kind, h.site = "", 0
+	h.helloBytes = nil
+	h.fromCheckpoint = false
+	h.lastSeq = 0
+	h.window = make(map[uint64]reply)
+	h.order = nil
+	h.marksSince = 0
+	h.logErr = nil
+}
+
+// StatusPayload returns the hello-ack status for the current state, or
+// nil when no call has been served yet (first handshakes then stay
+// bit-identical to pre-checkpoint builds).
+func (h *Host) StatusPayload() []byte {
+	h.callMu.Lock()
+	defer h.callMu.Unlock()
+	if h.lastSeq == 0 {
+		return nil
+	}
+	b, err := EncodeStatus(&HelloStatus{LastSeq: h.lastSeq})
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// remember caches a reply in the dedupe window, evicting FIFO. A seq
+// below lastSeq (a duplicate so late it fell out of the window) never
+// regresses the progress watermark.
+func (h *Host) remember(seq uint64, data []byte, errStr string) {
+	if seq > h.lastSeq {
+		h.lastSeq = seq
+	}
+	if seq == 0 {
+		return
+	}
+	if _, ok := h.window[seq]; ok {
+		return
+	}
+	h.window[seq] = reply{data: data, err: errStr}
+	h.order = append(h.order, seq)
+	if len(h.order) > replyWindowSize {
+		delete(h.window, h.order[0])
+		h.order = h.order[1:]
+	}
+}
+
 // Dispatch runs one call against the hosted site, deduplicating by
-// sequence number: a repeat of the last seq (a resend after a torn
-// connection) is answered from the cache without re-executing.
+// sequence number: a repeat of any windowed seq (a resend after a torn
+// connection, or an injected duplicate frame arriving late) is answered
+// from the cache without re-executing. "chk."-prefixed methods are
+// checkpoint-control calls handled by the host itself.
 func (h *Host) Dispatch(seq uint64, method string, data []byte) ([]byte, string) {
 	h.mu.Lock()
 	cluster := h.cluster
@@ -183,13 +495,103 @@ func (h *Host) Dispatch(seq uint64, method string, data []byte) ([]byte, string)
 	}
 	h.callMu.Lock()
 	defer h.callMu.Unlock()
-	if seq == h.lastSeq && seq != 0 {
-		return h.lastData, h.lastErr
+	if seq != 0 {
+		if r, ok := h.window[seq]; ok {
+			return r.data, r.err
+		}
+	}
+	if strings.HasPrefix(method, "chk.") {
+		return h.handleChk(seq, method)
 	}
 	resp, err := cluster.Dispatch(network.SiteID(site), method, data)
-	h.lastSeq, h.lastData, h.lastErr = seq, resp, ""
+	errStr := ""
 	if err != nil {
-		h.lastErr = err.Error()
+		errStr = err.Error()
 	}
-	return h.lastData, h.lastErr
+	h.remember(seq, resp, errStr)
+	// Log after execution, only once a snapshot exists (seeding calls
+	// before the first mark are captured by that first snapshot, not
+	// call-by-call). A log failure is latched and surfaced at the next
+	// mark — failing an already-executed call would desync the driver.
+	if h.ckpt != nil && h.ckpt.Epoch() > 0 && h.logErr == nil {
+		if e := h.ckpt.Append(checkpoint.Record{Seq: seq, Method: method, Data: data}); e != nil {
+			h.logErr = e
+		}
+	}
+	return resp, errStr
+}
+
+// handleChk serves the checkpoint-control methods. callMu held.
+func (h *Host) handleChk(seq uint64, method string) ([]byte, string) {
+	if method != "chk.mark" {
+		return nil, fmt.Sprintf("sitehost: unknown checkpoint method %q", method)
+	}
+	if h.ckpt == nil {
+		// Not checkpointing: the mark is a no-op batch delimiter.
+		h.remember(seq, nil, "")
+		return nil, ""
+	}
+	if h.logErr != nil {
+		return nil, fmt.Sprintf("sitehost: checkpoint delta log failed: %v", h.logErr)
+	}
+	h.marksSince++
+	if h.ckpt.Epoch() == 0 || h.marksSince >= h.ckptEvery {
+		// Compact: snapshot now (the mark's seq and window ride along).
+		h.remember(seq, nil, "")
+		if err := h.snapshotLocked(); err != nil {
+			return nil, fmt.Sprintf("sitehost: checkpoint snapshot: %v", err)
+		}
+		h.marksSince = 0
+		return nil, ""
+	}
+	if err := h.ckpt.Append(checkpoint.Record{Seq: seq, Method: method}); err == nil {
+		if err := h.ckpt.Flush(); err != nil {
+			h.logErr = err
+		}
+	} else {
+		h.logErr = err
+	}
+	if h.logErr != nil {
+		return nil, fmt.Sprintf("sitehost: checkpoint delta log failed: %v", h.logErr)
+	}
+	h.remember(seq, nil, "")
+	return nil, ""
+}
+
+// snapshotLocked writes a full snapshot of the current state. callMu
+// held; h.engine is stable once the cluster exists.
+func (h *Host) snapshotLocked() error {
+	eng, err := h.engine.Snapshot()
+	if err != nil {
+		return err
+	}
+	snap := &checkpoint.Snapshot{
+		Hello:   h.helloBytes,
+		LastSeq: h.lastSeq,
+		Engine:  eng,
+	}
+	for _, s := range h.order {
+		r := h.window[s]
+		snap.Window = append(snap.Window, checkpoint.Reply{Seq: s, Data: r.data, Err: r.err})
+	}
+	if err := h.ckpt.WriteSnapshot(snap); err != nil {
+		return err
+	}
+	h.logErr = nil
+	return nil
+}
+
+// FinalCheckpoint flushes a full snapshot of the current state — the
+// SIGTERM path, so a graceful stop never loses the buffered log tail.
+// A no-op without a checkpoint store or before bootstrap.
+func (h *Host) FinalCheckpoint() error {
+	h.mu.Lock()
+	cluster := h.cluster
+	h.mu.Unlock()
+	h.callMu.Lock()
+	defer h.callMu.Unlock()
+	if h.ckpt == nil || cluster == nil {
+		return nil
+	}
+	return h.snapshotLocked()
 }

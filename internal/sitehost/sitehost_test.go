@@ -26,11 +26,11 @@ func TestHelloLengthIndependentOfSessionID(t *testing.T) {
 	for i := range hi {
 		hi[i] = 0xFF
 	}
-	a, err := HorizontalHellos(lo, schema, rules, 3)
+	a, err := HorizontalHellos(lo, schema, rules, 3, Checkpointing{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := HorizontalHellos(hi, schema, rules, 3)
+	b, err := HorizontalHellos(hi, schema, rules, 3, Checkpointing{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,139 @@
+package vertical
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/cfd"
+	"repro/internal/eqclass"
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+)
+
+// Checkpoint serialization for hosted vertical sites. Like the
+// horizontal twin, the encoding is a standalone gob buffer written only
+// to checkpoint files — never to a metered wire stream — so committed
+// byte baselines are untouched and map iteration order need not be
+// deterministic.
+
+// snapCheck is one local pattern-constant check; checks are a slice, so
+// their order is preserved exactly.
+type snapCheck struct {
+	RuleID string
+	Cols   []int
+	Values []string
+}
+
+// snapHEV is one composed node's equivalence state.
+type snapHEV struct {
+	Node  optimizer.NodeID
+	State *eqclass.HEVState
+}
+
+// snapIDX is one rule's IDX contents.
+type snapIDX struct {
+	Rule  string
+	State *eqclass.IDXState
+}
+
+// snapBuf is one tuple's per-node eqid buffer (normally empty between
+// batches; persisted for completeness).
+type snapBuf struct {
+	ID    int64
+	Eqids []int64
+}
+
+// vSiteState is the full checkpointable state of a vertical site. The
+// plan is stored with its exported fields (Nodes, Bindings) only — the
+// unexported shipment-edge cache is a driver-side concern absent from
+// hosted plans, and Graft/DropRule rebuild it as needed.
+type vSiteState struct {
+	Frag   []relation.Tuple
+	Rules  []cfd.CFD
+	Checks []snapCheck
+	Plan   *optimizer.Plan
+	Base   []*eqclass.BaseState
+	Hevs   []snapHEV
+	Idx    []snapIDX
+	Buf    []snapBuf
+}
+
+// snapshotState captures the site's fragment, rules, plan copy and
+// equivalence state.
+func (s *site) snapshotState() ([]byte, error) {
+	st := vSiteState{Frag: s.frag.Tuples(), Plan: s.plan}
+	for _, r := range s.rules {
+		st.Rules = append(st.Rules, *r)
+	}
+	sort.Slice(st.Rules, func(i, j int) bool { return st.Rules[i].ID < st.Rules[j].ID })
+	for _, c := range s.checks {
+		st.Checks = append(st.Checks, snapCheck{RuleID: c.ruleID, Cols: c.cols, Values: c.values})
+	}
+	for _, b := range s.base {
+		st.Base = append(st.Base, b.State())
+	}
+	for id, h := range s.hevs {
+		st.Hevs = append(st.Hevs, snapHEV{Node: id, State: h.State()})
+	}
+	for rid, x := range s.idx {
+		st.Idx = append(st.Idx, snapIDX{Rule: rid, State: x.State()})
+	}
+	for id, m := range s.buf {
+		st.Buf = append(st.Buf, snapBuf{ID: id, Eqids: m})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("vertical: snapshot site %d: %w", s.id, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// restoreState rebuilds the site from a checkpointed snapshot, replacing
+// all current state. The restored site owns its plan copy, exactly like
+// a freshly bootstrapped hosted site.
+func (s *site) restoreState(data []byte) error {
+	var st vSiteState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("vertical: restore site %d: %w", s.id, err)
+	}
+	if st.Plan == nil {
+		return fmt.Errorf("vertical: restore site %d: snapshot lacks a plan", s.id)
+	}
+	s.frag = relation.New(s.schema)
+	s.plan = st.Plan
+	s.ownsPlan = true
+	s.rules = make(map[string]*cfd.CFD, len(st.Rules))
+	s.base = make(map[string]*eqclass.BaseHEV, len(st.Base))
+	s.hevs = make(map[optimizer.NodeID]*eqclass.HEV, len(st.Hevs))
+	s.idx = make(map[string]*eqclass.IDX, len(st.Idx))
+	s.checks = nil
+	s.buf = make(map[int64][]int64, len(st.Buf))
+	s.bufPool = nil
+	for _, t := range st.Frag {
+		if err := s.frag.Insert(t); err != nil {
+			return fmt.Errorf("vertical: restore site %d: %w", s.id, err)
+		}
+	}
+	for i := range st.Rules {
+		r := st.Rules[i]
+		s.rules[r.ID] = &r
+	}
+	for _, c := range st.Checks {
+		s.checks = append(s.checks, constChecks{ruleID: c.RuleID, cols: c.Cols, values: c.Values})
+	}
+	for _, b := range st.Base {
+		s.base[b.Attr] = eqclass.RestoreBase(b)
+	}
+	for _, h := range st.Hevs {
+		s.hevs[h.Node] = eqclass.RestoreHEV(h.State)
+	}
+	for _, x := range st.Idx {
+		s.idx[x.Rule] = eqclass.RestoreIDX(x.State)
+	}
+	for _, b := range st.Buf {
+		s.buf[b.ID] = b.Eqids
+	}
+	return nil
+}

@@ -33,12 +33,18 @@ var (
 	// the transport's retry budget (TCP deployments): the process was
 	// killed, lost its state, or its address stopped answering.
 	ErrSiteDown = errors.New("site down")
+	// ErrCheckpointCorrupt marks an on-disk checkpoint (snapshot or
+	// delta log) that failed validation — truncated, bad CRC, or
+	// mixed-version files. Recovery never loads partial state: a corrupt
+	// checkpoint degrades to an empty daemon and a full reseed.
+	ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
 )
 
 // sentinels lists every sentinel for cross-process reconstruction.
 var sentinels = []error{
 	ErrArityMismatch, ErrUnknownAttribute, ErrNoIndexes,
 	ErrDuplicateRule, ErrUnknownRule, ErrClosed, ErrSiteDown,
+	ErrCheckpointCorrupt,
 }
 
 // Rewrap re-attaches sentinel identity to an error message that crossed

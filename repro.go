@@ -139,6 +139,18 @@ var (
 	WithTCPRetryBudget = session.WithTCPRetryBudget
 	// WithTCPTLS wraps daemon connections in TLS.
 	WithTCPTLS = session.WithTCPTLS
+	// WithCheckpointDir makes the sited daemons persist their site state
+	// under dir (site i in SiteDir(dir, i)) and the driver mark a durable
+	// point after every successful batch and rule change, keeping a
+	// bounded replay log of the unacknowledged tail. A killed daemon
+	// restarted on the same dir rejoins warm: it recovers its newest
+	// checkpoint and the driver replays only the missed calls, under
+	// their original sequence numbers, so the wire meters never change.
+	WithCheckpointDir = session.WithCheckpointDir
+	// WithCheckpointEvery sets how many durable marks a daemon buffers
+	// between full snapshots (default 8): smaller compacts more often,
+	// larger replays a longer delta log on restart.
+	WithCheckpointEvery = session.WithCheckpointEvery
 )
 
 // Query filters for Session.Query.
@@ -170,6 +182,11 @@ var (
 	// ErrSiteDown marks a TCP-sites operation that exhausted its retry
 	// budget against an unreachable or state-lost daemon.
 	ErrSiteDown = xerr.ErrSiteDown
+	// ErrCheckpointCorrupt marks a checkpoint that failed its integrity
+	// checks (bad magic, version or record CRC). A daemon hitting it
+	// starts empty and is reseeded in full — partial state is never
+	// silently loaded.
+	ErrCheckpointCorrupt = xerr.ErrCheckpointCorrupt
 )
 
 // Data model.
