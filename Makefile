@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench stream coalesce net recovery chaos bench-verify profile fuzz api apicheck verify clean
+.PHONY: test race bench stream coalesce net recovery query chaos bench-verify profile fuzz api apicheck verify clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -42,6 +42,13 @@ net:
 recovery:
 	$(GO) run ./cmd/expbench -recovery
 
+# query regenerates the read-contention baseline (BENCH_query.json:
+# session state after the idle/churn/burst phases of the
+# reader-vs-writer sweep — the sweep asserts read p99 under churn stays
+# within a constant factor of idle before emitting a row).
+query:
+	$(GO) run ./cmd/expbench -query
+
 # chaos runs the fault-injection suite under the race detector: the
 # 20-seed crash-recovery oracle (drops, duplicates, truncations,
 # partitions, in-process kill-restarts) plus the driver-replay and
@@ -53,9 +60,11 @@ chaos:
 # bench-verify remeasures every deterministic column of the committed
 # baselines (BENCH_hotpath.json wire meters, BENCH_stream.json rows,
 # BENCH_coalesce.json rows, BENCH_net.json rows, BENCH_recovery.json
-# rows) and fails on drift. CI runs it, so wire-meter regressions are
-# caught at PR time; intentional protocol changes regenerate with
-# `make bench stream coalesce net recovery` and commit the diff.
+# rows, BENCH_query.json state rows — whose sweep also re-asserts the
+# lock-free read-latency bound) and fails on drift. CI runs it, so
+# wire-meter and read-path regressions are caught at PR time;
+# intentional protocol changes regenerate with
+# `make bench stream coalesce net recovery query` and commit the diff.
 bench-verify:
 	$(GO) run ./cmd/expbench -verify
 

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/harness"
+)
+
+// BENCH_query.json is the read-contention baseline: the session state
+// (|D|, |V|, marks, epoch) after each phase of the reader-vs-writer
+// sweep — deterministic in the seed and verified by `expbench -verify` —
+// plus the measured read-latency percentiles, which are
+// machine-dependent and recorded for inspection only. The sweep asserts
+// the lock-free read bound (churn/burst p99 within a constant factor of
+// idle) before a single row is emitted, so a regression that makes
+// readers wait on the write lock fails both -query and -verify instead
+// of landing as a quietly slower baseline.
+
+// queryBenchRow is one deterministic row of the baseline.
+type queryBenchRow struct {
+	Phase      string `json:"phase"`
+	Batches    int    `json:"batches"`
+	BatchSize  int    `json:"batch_size"`
+	Rows       int    `json:"rows"`
+	Violations int    `json:"violations"`
+	Marks      int    `json:"marks"`
+	Epoch      uint64 `json:"epoch"`
+}
+
+// queryLatencyRow is one informational latency record.
+type queryLatencyRow struct {
+	Phase   string  `json:"phase"`
+	Readers int     `json:"readers"`
+	Queries int     `json:"queries"`
+	P50us   float64 `json:"p50_us"`
+	P99us   float64 `json:"p99_us"`
+	MaxUs   float64 `json:"max_us"`
+}
+
+// queryBaseline is the file layout of BENCH_query.json.
+type queryBaseline struct {
+	GeneratedBy      string            `json:"generated_by"`
+	GoVersion        string            `json:"go_version"`
+	GOOS             string            `json:"goos"`
+	GOARCH           string            `json:"goarch"`
+	Workload         string            `json:"workload"`
+	ContentionFactor int               `json:"contention_factor"`
+	Rows             []queryBenchRow   `json:"rows"`
+	Latency          []queryLatencyRow `json:"latency_informational"`
+}
+
+func queryRows(rows []harness.QueryBenchRow) []queryBenchRow {
+	out := make([]queryBenchRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, queryBenchRow{
+			Phase: r.Phase, Batches: r.Batches, BatchSize: r.BatchSize,
+			Rows: r.Rows, Violations: r.Violations, Marks: r.Marks, Epoch: r.Epoch,
+		})
+	}
+	return out
+}
+
+func queryLatency(rows []harness.QueryLatencyRow) []queryLatencyRow {
+	out := make([]queryLatencyRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, queryLatencyRow{
+			Phase: r.Phase, Readers: r.Readers, Queries: r.Queries,
+			P50us: r.P50us, P99us: r.P99us, MaxUs: r.MaxUs,
+		})
+	}
+	return out
+}
+
+func writeQueryBaseline(path string, sc harness.Scale, run *harness.QueryBenchRun) error {
+	base := queryBaseline{
+		GeneratedBy: "expbench -query",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Workload: fmt.Sprintf("TPCH-like seed=%d |D|=%d |Σ|=50 n=%d sites",
+			sc.Seed, 4*sc.Unit, sc.Sites),
+		ContentionFactor: harness.QueryContentionFactor,
+		Rows:             queryRows(run.Rows),
+		Latency:          queryLatency(run.Latency),
+	}
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(base.Rows))
+	return nil
+}
+
+// runQueryMode executes expbench -query: the reader-vs-writer
+// contention sweep feeds the stdout table and the committed baseline.
+func runQueryMode(path string, sc harness.Scale) error {
+	run, err := harness.RunQueryBench(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.QueryBenchResult(run).Format())
+	return writeQueryBaseline(path, sc, run)
+}

@@ -22,7 +22,11 @@ import (
 //   - BENCH_recovery.json: the full rows array (cold-start, steady-state
 //     and warm-restart call/record counts — the sweep asserts warm
 //     strictly cheaper than cold and the recovered V correct before a
-//     row is emitted).
+//     row is emitted);
+//   - BENCH_query.json: the state rows (|D|, |V|, marks, epoch per
+//     phase) of the read-contention sweep — the sweep asserts the
+//     lock-free read-latency bound before emitting; its latency
+//     percentiles are machine-dependent and not compared.
 //
 // CI runs `make bench-verify`, so a change that silently shifts what the
 // protocols ship — the paper's own quantities — fails the build instead
@@ -124,6 +128,21 @@ func verifyBaselines(sc harness.Scale) error {
 		return err
 	}
 	if err := compareRows("BENCH_recovery.json", recBase.Rows, recoveryRows(freshRec), report); err != nil {
+		return err
+	}
+
+	// BENCH_query.json: the state rows are deterministic; the sweep
+	// itself asserts the lock-free read-latency bound before returning
+	// (latency percentiles in the file are informational, not compared).
+	var qBase queryBaseline
+	if err := readJSON("BENCH_query.json", &qBase); err != nil {
+		return err
+	}
+	freshQuery, err := harness.RunQueryBench(sc)
+	if err != nil {
+		return err
+	}
+	if err := compareRows("BENCH_query.json", qBase.Rows, queryRows(freshQuery.Rows), report); err != nil {
 		return err
 	}
 

@@ -1,0 +1,155 @@
+// queryd serves a detection session's read surface over HTTP: load a
+// relation CSV and a rule file (or generate a synthetic demo workload),
+// open a session, and answer /v1/query, /v1/count, /v1/measures and the
+// streaming /v1/watch from lock-free epoch snapshots — reads stay fast
+// while update batches apply.
+//
+// Usage:
+//
+//	queryd -data tpch.csv -rules tpch_rules.txt -addr :8080
+//	queryd -demo -churn 250ms -addr :8080   # synthetic relation + live churn
+//
+// Endpoints:
+//
+//	GET /v1/query?rule=phi1&tuple=17&limit=10   point-in-time drill-down
+//	GET /v1/count                               per-rule histogram
+//	GET /v1/measures                            aggregate inconsistency measures
+//	GET /v1/watch                               NDJSON stream of per-batch ∆V events
+//
+// SIGINT/SIGTERM drains gracefully: the listener closes, active watch
+// streams get a terminal {"closed":true} line, then the session closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/queryhttp"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "relation CSV (from datagen or relation.WriteCSV)")
+		rulesPath = flag.String("rules", "", "CFD rule file, one rule per line")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		demo      = flag.Bool("demo", false, "serve a synthetic TPCH-like workload instead of -data/-rules")
+		demoRows  = flag.Int("demo-rows", 2000, "demo: base relation size")
+		demoRules = flag.Int("demo-rules", 4, "demo: number of rules")
+		seed      = flag.Int64("seed", 1, "demo: workload seed")
+		churn     = flag.Duration("churn", 0, "apply a continuous update batch every interval (demo only; 0 = static)")
+		batch     = flag.Int("batch", 50, "churn batch size")
+		maxWatch  = flag.Int("max-watch", 64, "bounded admission: concurrent /v1/watch streams")
+		watchBuf  = flag.Int("watch-buffer", 256, "per-subscriber watch event buffer")
+	)
+	flag.Parse()
+
+	var (
+		rel   *repro.Relation
+		rules []repro.CFD
+		gen   *repro.Generator
+	)
+	switch {
+	case *demo:
+		gen = repro.NewGenerator(repro.TPCH, *seed, *demoRows*3)
+		rules = gen.Rules(*demoRules)
+		rel = gen.Relation(*demoRows)
+	case *dataPath != "" && *rulesPath != "":
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel, err = repro.ReadRelationCSV(f, "data")
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		text, err := os.ReadFile(*rulesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rules, err = repro.ParseRules(string(text)); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "queryd: need -data and -rules, or -demo")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sess, err := repro.Open(rel, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	log.Printf("opened session: %d tuples, %d rules, %d initial violations (epoch %d)",
+		sess.Rows(), len(rules), len(sess.Query()), sess.Epoch())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Optional churn: a writer goroutine applying batches forever. The
+	// read side never waits for it — that is the point.
+	if *churn > 0 {
+		if gen == nil {
+			log.Fatal("queryd: -churn requires -demo (updates are drawn from the demo generator)")
+		}
+		mirror := rel.Clone()
+		go func() {
+			tick := time.NewTicker(*churn)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				updates := gen.Updates(mirror, *batch, 0.7)
+				if err := updates.Normalize().Apply(mirror); err != nil {
+					log.Printf("churn: %v", err)
+					return
+				}
+				if _, err := sess.ApplyBatch(ctx, updates); err != nil {
+					if !errors.Is(err, context.Canceled) {
+						log.Printf("churn: %v", err)
+					}
+					return
+				}
+			}
+		}()
+		log.Printf("churning: %d updates every %v", *batch, *churn)
+	}
+
+	qsrv := queryhttp.New(sess, queryhttp.Options{MaxStreams: *maxWatch, StreamBuffer: *watchBuf})
+	hsrv := &http.Server{Addr: *addr, Handler: qsrv}
+	// Drain order matters: qsrv.Close first, so every active watch
+	// stream gets its terminal {"closed":true} line and returns; only
+	// then hsrv.Shutdown, which waits for those now-finishing requests.
+	// Main must block on the drain, not just ListenAndServe — Shutdown
+	// closes the listener immediately, so ListenAndServe returns while
+	// streams are still being terminated.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Print("draining...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		qsrv.Close(shutCtx)
+		hsrv.Shutdown(shutCtx)
+	}()
+	log.Printf("serving on %s", *addr)
+	if err := hsrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+	log.Print("bye")
+}

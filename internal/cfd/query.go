@@ -15,6 +15,9 @@ import (
 // RuleIDs returns every interned rule id in lexicographic order,
 // including rules currently violated by no tuple.
 func (v *Violations) RuleIDs() []string {
+	if v.view != nil {
+		return v.view.RuleIDs()
+	}
 	idxs := v.rs.sortedIdx()
 	out := make([]string, len(idxs))
 	for i, idx := range idxs {
@@ -25,12 +28,18 @@ func (v *Violations) RuleIDs() []string {
 
 // LookupRule returns the interned index of rule, if any.
 func (v *Violations) LookupRule(rule string) (RuleIdx, bool) {
+	if v.view != nil {
+		return v.view.LookupRule(rule)
+	}
 	return v.rs.lookup(rule)
 }
 
 // CountIdx returns the number of tuples violating the rule with the
 // given interned index, in O(1).
 func (v *Violations) CountIdx(idx RuleIdx) int {
+	if v.view != nil {
+		return v.view.CountIdx(idx)
+	}
 	if int(idx) < 0 || int(idx) >= len(v.post) {
 		return 0
 	}
@@ -40,6 +49,9 @@ func (v *Violations) CountIdx(idx RuleIdx) int {
 // CountRule returns the number of tuples violating rule, in O(1); zero
 // for unknown rules.
 func (v *Violations) CountRule(rule string) int {
+	if v.view != nil {
+		return v.view.CountRule(rule)
+	}
 	idx, ok := v.rs.lookup(rule)
 	if !ok {
 		return 0
@@ -51,6 +63,10 @@ func (v *Violations) CountRule(rule string) int {
 // given interned index, in map order; f returning false stops the
 // iteration. Cost is O(visited), independent of |V|.
 func (v *Violations) EachTupleOfRuleIdx(idx RuleIdx, f func(relation.TupleID) bool) {
+	if v.view != nil {
+		v.view.EachTupleOfRuleIdx(idx, f)
+		return
+	}
 	if int(idx) < 0 || int(idx) >= len(v.post) {
 		return
 	}
@@ -64,6 +80,10 @@ func (v *Violations) EachTupleOfRuleIdx(idx RuleIdx, f func(relation.TupleID) bo
 // EachTupleOfRule is EachTupleOfRuleIdx by rule id; unknown rules visit
 // nothing.
 func (v *Violations) EachTupleOfRule(rule string, f func(relation.TupleID) bool) {
+	if v.view != nil {
+		v.view.EachTupleOfRule(rule, f)
+		return
+	}
 	if idx, ok := v.rs.lookup(rule); ok {
 		v.EachTupleOfRuleIdx(idx, f)
 	}
@@ -72,6 +92,9 @@ func (v *Violations) EachTupleOfRule(rule string, f func(relation.TupleID) bool)
 // TuplesOfRule returns the tuples violating rule in ascending order:
 // O(answer log answer), never a scan of V.
 func (v *Violations) TuplesOfRule(rule string) []relation.TupleID {
+	if v.view != nil {
+		return v.view.TuplesOfRule(rule)
+	}
 	idx, ok := v.rs.lookup(rule)
 	if !ok {
 		return nil
@@ -94,6 +117,9 @@ type RuleCount struct {
 // order (every interned rule, including zero rows): the per-rule
 // inconsistency histogram, from the postings in O(|Σ|).
 func (v *Violations) Histogram() []RuleCount {
+	if v.view != nil {
+		return v.view.Histogram()
+	}
 	idxs := v.rs.sortedIdx()
 	out := make([]RuleCount, len(idxs))
 	for i, idx := range idxs {
@@ -121,6 +147,9 @@ type Measures struct {
 
 // Measure computes the aggregate measures.
 func (v *Violations) Measure() Measures {
+	if v.view != nil {
+		return v.view.Measure()
+	}
 	var m Measures
 	m.ViolatingTuples = v.ms.lenTuples()
 	if m.ViolatingTuples > 0 {

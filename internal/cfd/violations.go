@@ -325,6 +325,16 @@ type Violations struct {
 	tuplesCache []relation.TupleID
 	// frozen marks a Snapshot view: mutators panic.
 	frozen bool
+
+	// track is the copy-on-write epoch machinery (epoch.go), armed by the
+	// first Publish/Snapshot; nil until then, so violation sets that are
+	// never snapshotted pay nothing on the mark path.
+	track *epochTrack
+	// view, when non-nil, makes this Violations a frozen epoch-backed
+	// snapshot: every read answers from the immutable view and mutators
+	// panic. Unlike the pre-epoch Snapshot, the view shares nothing
+	// mutable with the live set — it never changes under a writer.
+	view *EpochView
 }
 
 // NewViolations returns an empty violation set.
@@ -336,6 +346,7 @@ func NewViolations() *Violations {
 // RemoveIdx and HasRuleIdx. Indexes are assigned in first-seen order, so
 // pre-interning a rule list aligns them with CompileAll's RuleIdx.
 func (v *Violations) Intern(rule string) RuleIdx {
+	v.mutable()
 	idx, fresh := v.rs.intern(rule)
 	if fresh && int(idx) == smallWidth {
 		v.ms.spill()
@@ -345,6 +356,9 @@ func (v *Violations) Intern(rule string) RuleIdx {
 		// the rule — and churn on a previously emptied posting — never
 		// allocate on the mark path.
 		v.post = append(v.post, make(map[relation.TupleID]struct{}, 8))
+		if v.track != nil {
+			v.track.rulesDirty = true
+		}
 	}
 	return idx
 }
@@ -370,6 +384,9 @@ func (v *Violations) AddIdx(id relation.TupleID, idx RuleIdx) {
 	}
 	if changed {
 		v.post[idx][id] = struct{}{}
+		if v.track != nil {
+			v.noteMark(id, idx, true)
+		}
 	}
 }
 
@@ -392,6 +409,9 @@ func (v *Violations) RemoveIdx(id relation.TupleID, idx RuleIdx) {
 	}
 	if changed {
 		delete(v.post[idx], id)
+		if v.track != nil {
+			v.noteMark(id, idx, false)
+		}
 	}
 }
 
@@ -402,10 +422,18 @@ func (v *Violations) mutable() {
 }
 
 // Has reports whether the tuple violates any rule.
-func (v *Violations) Has(id relation.TupleID) bool { return v.ms.hasTuple(id) }
+func (v *Violations) Has(id relation.TupleID) bool {
+	if v.view != nil {
+		return v.view.Has(id)
+	}
+	return v.ms.hasTuple(id)
+}
 
 // HasRule reports whether the tuple violates the given rule.
 func (v *Violations) HasRule(id relation.TupleID, rule string) bool {
+	if v.view != nil {
+		return v.view.HasRule(id, rule)
+	}
 	idx, ok := v.rs.lookup(rule)
 	return ok && v.ms.has(id, idx)
 }
@@ -413,12 +441,18 @@ func (v *Violations) HasRule(id relation.TupleID, rule string) bool {
 // HasRuleIdx reports whether the tuple violates the rule with the given
 // interned index.
 func (v *Violations) HasRuleIdx(id relation.TupleID, idx RuleIdx) bool {
+	if v.view != nil {
+		return v.view.HasRuleIdx(id, idx)
+	}
 	return v.ms.has(id, idx)
 }
 
 // Rules returns the sorted rule ids violated by the tuple. The name
 // ordering is precomputed per rule set, so repeated calls never re-sort.
 func (v *Violations) Rules(id relation.TupleID) []string {
+	if v.view != nil {
+		return v.view.Rules(id)
+	}
 	if !v.ms.hasTuple(id) {
 		return nil
 	}
@@ -434,6 +468,9 @@ func (v *Violations) Rules(id relation.TupleID) []string {
 // Tuples returns the violating tuple ids in ascending order. The sorted
 // slice is cached between mutations; treat it as read-only.
 func (v *Violations) Tuples() []relation.TupleID {
+	if v.view != nil {
+		return v.view.Tuples()
+	}
 	if v.tuplesCache == nil {
 		v.tuplesCache = v.ms.sortedTuples()
 	}
@@ -441,13 +478,34 @@ func (v *Violations) Tuples() []relation.TupleID {
 }
 
 // Len returns the number of violating tuples.
-func (v *Violations) Len() int { return v.ms.lenTuples() }
+func (v *Violations) Len() int {
+	if v.view != nil {
+		return v.view.Len()
+	}
+	return v.ms.lenTuples()
+}
 
 // Marks returns the total number of (tuple, rule) violation marks.
-func (v *Violations) Marks() int { return v.ms.marks() }
+func (v *Violations) Marks() int {
+	if v.view != nil {
+		return v.view.Marks()
+	}
+	return v.ms.marks()
+}
 
-// Clone returns a deep copy.
+// Clone returns a deep, mutable copy (also of an epoch-backed snapshot).
 func (v *Violations) Clone() *Violations {
+	if v.view != nil {
+		c := NewViolations()
+		for _, name := range v.view.names {
+			c.Intern(name)
+		}
+		amtEach(v.view.marks, func(l *amtLeaf) bool {
+			l.eachIdx(func(idx RuleIdx) { c.AddIdx(l.key, idx) })
+			return true
+		})
+		return c
+	}
 	c := &Violations{rs: v.rs.clone(), ms: v.ms.clone()}
 	c.post = make([]map[relation.TupleID]struct{}, len(v.post))
 	for i, p := range v.post {
@@ -460,17 +518,119 @@ func (v *Violations) Clone() *Violations {
 	return c
 }
 
-// Snapshot returns a read-only view sharing v's storage: an O(1)
-// alternative to Clone when the caller only compares or inspects.
-// The view is valid until v next mutates; mutators on the view panic.
+// Snapshot returns a read-only epoch snapshot of v: a coherent cut of
+// the marks AND the posting indexes that never changes, even while v
+// keeps mutating. The first call mirrors the live state into the
+// copy-on-write epoch tries (O(|V|)); every later call publishes only
+// the marks flipped since the previous snapshot (O(|∆V|), see Publish).
+// Taking the snapshot is a writer-side operation — serialize it with the
+// mutators — but the returned set is immutable and safe for any number
+// of concurrent readers; mutators on it panic.
 func (v *Violations) Snapshot() *Violations {
-	return &Violations{rs: v.rs, ms: v.ms, post: v.post, frozen: true}
+	return &Violations{view: v.Publish(), frozen: true}
+}
+
+// srcLen, srcNames, srcLookup, srcHas, srcMarksOf, srcEachTuple and
+// srcEachIdx abstract over the two storages a Violations can read from —
+// the live maps or an immutable epoch view — so the set-algebra methods
+// (Equal, Diff, String) work across any combination.
+func (v *Violations) srcLen() int {
+	if v.view != nil {
+		return v.view.tuples
+	}
+	return v.ms.lenTuples()
+}
+
+func (v *Violations) srcNames() []string {
+	if v.view != nil {
+		return v.view.names
+	}
+	return v.rs.names
+}
+
+func (v *Violations) srcLookup(rule string) (RuleIdx, bool) {
+	if v.view != nil {
+		return v.view.LookupRule(rule)
+	}
+	return v.rs.lookup(rule)
+}
+
+func (v *Violations) srcHas(id relation.TupleID, idx RuleIdx) bool {
+	if v.view != nil {
+		return v.view.HasRuleIdx(id, idx)
+	}
+	return v.ms.has(id, idx)
+}
+
+func (v *Violations) srcMarksOf(id relation.TupleID) int {
+	if v.view != nil {
+		return v.view.marksOf(id)
+	}
+	return v.ms.marksOf(id)
+}
+
+func (v *Violations) srcEachTuple(f func(relation.TupleID)) {
+	if v.view != nil {
+		v.view.EachTuple(func(id relation.TupleID) bool { f(id); return true })
+		return
+	}
+	v.ms.eachTuple(f)
+}
+
+func (v *Violations) srcEachIdx(id relation.TupleID, f func(RuleIdx)) {
+	if v.view != nil {
+		v.view.eachIdx(id, f)
+		return
+	}
+	v.ms.eachIdx(id, f)
+}
+
+// srcRemapTo translates v's interned indexes into o's (-1 where absent).
+func (v *Violations) srcRemapTo(o *Violations) []RuleIdx {
+	names := v.srcNames()
+	remap := make([]RuleIdx, len(names))
+	for i, name := range names {
+		if idx, ok := o.srcLookup(name); ok {
+			remap[i] = idx
+		} else {
+			remap[i] = -1
+		}
+	}
+	return remap
 }
 
 // Equal reports whether two violation sets hold identical marks. Rule
 // sets interned in the same order compare word-for-word; otherwise marks
-// are translated name-wise.
+// are translated name-wise. Epoch-backed snapshots compare through the
+// same name-wise path (with a pointer shortcut for views of the same
+// lineage, whose tries are shared structurally).
 func (v *Violations) Equal(o *Violations) bool {
+	if v.view != nil || o.view != nil {
+		if v.srcLen() != o.srcLen() {
+			return false
+		}
+		if v.view != nil && o.view != nil && v.view.marks == o.view.marks {
+			return true
+		}
+		remap := v.srcRemapTo(o)
+		equal := true
+		v.srcEachTuple(func(id relation.TupleID) {
+			if !equal {
+				return
+			}
+			if v.srcMarksOf(id) != o.srcMarksOf(id) {
+				equal = false
+				return
+			}
+			v.srcEachIdx(id, func(idx RuleIdx) {
+				m := remap[idx]
+				if m < 0 || !o.srcHas(id, m) {
+					equal = false
+				}
+			})
+		})
+		return equal
+	}
 	if v.ms.lenTuples() != o.ms.lenTuples() {
 		return false
 	}
@@ -530,14 +690,16 @@ func wordsEqual(a, b []uint64) bool {
 }
 
 // Diff returns the marks present in v but not in o, as a map id → rules.
+// Works across any combination of live sets and epoch snapshots.
 func (v *Violations) Diff(o *Violations) map[relation.TupleID][]string {
 	out := make(map[relation.TupleID][]string)
-	remap, _ := v.rs.remapTo(&o.rs)
-	v.ms.eachTuple(func(id relation.TupleID) {
-		v.ms.eachIdx(id, func(idx RuleIdx) {
+	remap := v.srcRemapTo(o)
+	names := v.srcNames()
+	v.srcEachTuple(func(id relation.TupleID) {
+		v.srcEachIdx(id, func(idx RuleIdx) {
 			m := remap[idx]
-			if m < 0 || !o.ms.has(id, m) {
-				out[id] = append(out[id], v.rs.names[idx])
+			if m < 0 || !o.srcHas(id, m) {
+				out[id] = append(out[id], names[idx])
 			}
 		})
 	})
@@ -571,7 +733,7 @@ func DeltaBetween(old, new *Violations) *Delta {
 
 func (v *Violations) String() string {
 	var sb strings.Builder
-	for i, id := range v.ms.sortedTuples() {
+	for i, id := range v.Tuples() {
 		if i > 0 {
 			sb.WriteString(", ")
 		}

@@ -11,7 +11,7 @@ import (
 type query struct {
 	rules  []string
 	tuples []relation.TupleID
-	limit  int // 0 = unlimited
+	limit  int // <= 0: unlimited
 }
 
 // Filter narrows a Query.
@@ -19,19 +19,20 @@ type Filter func(*query)
 
 // ByRule restricts the result to tuples violating at least one of the
 // given rules; each result's Rules list is restricted to those rules.
-// Answered from the per-rule posting index: O(answer), no scan of V.
+// Unknown or retired rule ids match nothing. Answered from the per-rule
+// posting index: O(answer), no scan of V.
 func ByRule(rules ...string) Filter {
 	return func(q *query) { q.rules = append(q.rules, rules...) }
 }
 
-// ByTuple restricts the result to the given tuples. Answered from the
-// per-tuple mark bitsets: O(len(ids)).
+// ByTuple restricts the result to the given tuples; duplicates are
+// deduplicated. Answered from the per-tuple mark bitsets: O(len(ids)).
 func ByTuple(ids ...relation.TupleID) Filter {
 	return func(q *query) { q.tuples = append(q.tuples, ids...) }
 }
 
 // Limit caps the number of results (after the deterministic
-// ascending-TupleID ordering).
+// ascending-TupleID ordering). n <= 0 means unlimited.
 func Limit(n int) Filter {
 	return func(q *query) { q.limit = n }
 }
@@ -43,19 +44,64 @@ type Violation struct {
 	Rules []string
 }
 
-// Query answers a read-side drill-down over the maintained violation
+// Snapshot is an immutable, lock-free read handle over one published
+// epoch of the session: every Query/Count/Measures call on the same
+// Snapshot answers from the same consistent cut, no matter how many
+// batches writers apply in the meantime. Snapshots are cheap (one
+// atomic load, no copying) and safe to hold indefinitely.
+type Snapshot struct{ st *readState }
+
+// Snapshot returns a read handle pinned to the latest published epoch.
+func (s *Session) Snapshot() Snapshot {
+	return Snapshot{st: s.read.Load()}
+}
+
+// Epoch identifies the published violation-set epoch this snapshot
+// reads. Epochs increase monotonically with every state-changing batch
+// or rule change; Watch events carry the epoch they produced.
+func (sn Snapshot) Epoch() uint64 { return sn.st.view.Epoch() }
+
+// Rows is |D| at this epoch.
+func (sn Snapshot) Rows() int { return sn.st.rows }
+
+// Rules returns the rule set in force at this epoch.
+func (sn Snapshot) Rules() []cfd.CFD {
+	return append([]cfd.CFD(nil), sn.st.rules...)
+}
+
+// RuleInForce reports whether a rule id was in force at this epoch.
+func (sn Snapshot) RuleInForce(id string) bool { return sn.st.inForce[id] }
+
+// Epoch returns the session's latest published violation-set epoch
+// without taking any lock.
+func (s *Session) Epoch() uint64 { return s.Snapshot().Epoch() }
+
+// Query answers a read-side drill-down over the snapshot's violation
 // set: which tuples violate which rules. Results are sorted by TupleID.
 // With ByRule and/or ByTuple the answer comes from the posting indexes
 // and mark bitsets — cost proportional to the answer (plus its sort),
 // independent of |V|; with no filter it enumerates all of V.
-func (s *Session) Query(filters ...Filter) []Violation {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+//
+// Edge cases are total, not errors: an unknown or retired rule in
+// ByRule contributes nothing, duplicate ids in ByTuple are collapsed,
+// and Limit(n) with n <= 0 means unlimited.
+func (sn Snapshot) Query(filters ...Filter) []Violation {
 	var q query
 	for _, f := range filters {
 		f(&q)
 	}
-	v := s.eng.Violations()
+	if len(q.rules) > 1 {
+		seen := make(map[string]bool, len(q.rules))
+		dedup := q.rules[:0]
+		for _, r := range q.rules {
+			if !seen[r] {
+				seen[r] = true
+				dedup = append(dedup, r)
+			}
+		}
+		q.rules = dedup
+	}
+	v := sn.st.view
 
 	// Candidate tuples.
 	var candidates []relation.TupleID
@@ -117,21 +163,16 @@ func maxIfZero(v, def int) int {
 	return v
 }
 
-// Count returns the per-rule violation histogram — every rule in force
-// with the number of tuples violating it — from the posting index in
-// O(|Σ|). Rules retired with RemoveRules do not appear, even though the
-// violation set still remembers their interned ids.
-func (s *Session) Count() []cfd.RuleCount {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	inForce := make(map[string]bool)
-	for _, r := range s.eng.Rules() {
-		inForce[r.ID] = true
-	}
-	hist := s.eng.Violations().Histogram()
+// Count returns the snapshot's per-rule violation histogram — every
+// rule in force with the number of tuples violating it — from the
+// posting index in O(|Σ|). Rules retired with RemoveRules do not
+// appear, even though the violation set still remembers their interned
+// ids.
+func (sn Snapshot) Count() []cfd.RuleCount {
+	hist := sn.st.view.Histogram()
 	out := hist[:0:0]
 	for _, rc := range hist {
-		if inForce[rc.Rule] {
+		if sn.st.inForce[rc.Rule] {
 			out = append(out, rc)
 		}
 	}
@@ -150,13 +191,32 @@ type Measures struct {
 	TupleRatio float64
 }
 
-// Measures computes the aggregate inconsistency measures in O(|Σ|).
-func (s *Session) Measures() Measures {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m := Measures{Measures: s.eng.Violations().Measure(), Rows: s.rows}
+// Measures computes the snapshot's aggregate inconsistency measures in
+// O(|Σ|).
+func (sn Snapshot) Measures() Measures {
+	m := Measures{Measures: sn.st.view.Measure(), Rows: sn.st.rows}
 	if m.Rows > 0 {
 		m.TupleRatio = float64(m.ViolatingTuples) / float64(m.Rows)
 	}
 	return m
+}
+
+// Query answers the drill-down from the session's latest published
+// epoch without taking any lock: a long-running ApplyBatch or Run never
+// stalls it. See Snapshot.Query; take an explicit Snapshot to issue
+// several reads against one consistent cut.
+func (s *Session) Query(filters ...Filter) []Violation {
+	return s.Snapshot().Query(filters...)
+}
+
+// Count returns the per-rule violation histogram from the latest
+// published epoch, lock-free. See Snapshot.Count.
+func (s *Session) Count() []cfd.RuleCount {
+	return s.Snapshot().Count()
+}
+
+// Measures computes the aggregate inconsistency measures from the
+// latest published epoch, lock-free. See Snapshot.Measures.
+func (s *Session) Measures() Measures {
+	return s.Snapshot().Measures()
 }

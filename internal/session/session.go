@@ -25,6 +25,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cfd"
 	"repro/internal/core"
@@ -55,10 +56,17 @@ var (
 )
 
 // Session is a live, engine-agnostic incremental detection handle. All
-// methods are safe for concurrent use; writes (ApplyBatch, rule
-// management, Run) serialize on an internal lock, and reads observe the
-// state between writes.
+// methods are safe for concurrent use. Writes (ApplyBatch, rule
+// management, Run) serialize on the writer lock wmu; each applied batch
+// publishes an immutable epoch of the violation set, and the read
+// surface (Query, Count, Measures, Snapshot) answers from the latest
+// epoch without taking any lock — a long Run never stalls readers.
 type Session struct {
+	// wmu serializes writers end-to-end: Run holds it for the whole
+	// stream so batches from two writers never interleave.
+	wmu sync.Mutex
+	// mu guards the mutable session state (engine, rows, watchers) and
+	// is held only for the duration of one batch, not a whole Run.
 	mu   sync.Mutex
 	cfg  config
 	eng  engine
@@ -68,9 +76,44 @@ type Session struct {
 	rows int
 	seq  int
 
+	// read is the lock-free read surface: an immutable cut of the
+	// violation set plus the rule set in force, swapped atomically after
+	// every applied batch or rule change.
+	read atomic.Pointer[readState]
+
 	closed   bool
-	watchers map[int]*watcher
+	watchers map[int]*Subscription
 	nextW    int
+}
+
+// readState is one published read epoch: the immutable violation view
+// plus the row count and rule set it corresponds to. Readers load it
+// with one atomic pointer read; writers build a fresh one under s.mu.
+type readState struct {
+	view    *cfd.EpochView
+	rows    int
+	rules   []cfd.CFD       // rules in force at this epoch
+	inForce map[string]bool // index over rules
+}
+
+// publishRead publishes the engine's current violation state as a new
+// epoch and swaps it into the lock-free read surface. rulesChanged
+// rebuilds the in-force rule index; otherwise it is shared with the
+// previous state. Callers hold s.mu.
+func (s *Session) publishRead(rulesChanged bool) *cfd.EpochView {
+	view := s.eng.Violations().Publish()
+	st := &readState{view: view, rows: s.rows}
+	if prev := s.read.Load(); prev != nil && !rulesChanged {
+		st.rules, st.inForce = prev.rules, prev.inForce
+	} else {
+		st.rules = append([]cfd.CFD(nil), s.eng.Rules()...)
+		st.inForce = make(map[string]bool, len(st.rules))
+		for _, r := range st.rules {
+			st.inForce[r.ID] = true
+		}
+	}
+	s.read.Store(st)
+	return view
 }
 
 // Open builds, partitions and seeds a detection system over rel with the
@@ -88,7 +131,7 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 		return nil, err
 	}
 
-	s := &Session{cfg: cfg, rows: rel.Len(), watchers: make(map[int]*watcher)}
+	s := &Session{cfg: cfg, rows: rel.Len(), watchers: make(map[int]*Subscription)}
 	switch cfg.kind {
 	case Centralized:
 		eng, err := stream.NewCentralized(rel, rules)
@@ -192,6 +235,8 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 		s.Close()
 		return nil, err
 	}
+	// Publish the seeded state as the first read epoch.
+	s.publishRead(true)
 	return s, nil
 }
 
@@ -332,6 +377,8 @@ func (s *Session) SetUnitMode(unit bool) {
 // context is honored between protocol steps: a cancelled ctx fails the
 // call before any work.
 func (s *Session) ApplyBatch(ctx context.Context, updates relation.UpdateList) (*cfd.Delta, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -361,7 +408,7 @@ func (s *Session) applyLocked(updates relation.UpdateList) (*cfd.Delta, error) {
 	if err := s.markSites(); err != nil {
 		return nil, err
 	}
-	s.publish(EventBatch, delta)
+	s.publish(EventBatch, delta, s.publishRead(false))
 	return delta, nil
 }
 
@@ -372,6 +419,8 @@ func (s *Session) applyLocked(updates relation.UpdateList) (*cfd.Delta, error) {
 // distributed rounds are not atomic: on a transport error the session
 // should be rebuilt.
 func (s *Session) AddRules(rules ...cfd.CFD) (*cfd.Delta, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -384,13 +433,15 @@ func (s *Session) AddRules(rules ...cfd.CFD) (*cfd.Delta, error) {
 	if err := s.markSites(); err != nil {
 		return nil, err
 	}
-	s.publish(EventRulesAdded, delta)
+	s.publish(EventRulesAdded, delta, s.publishRead(true))
 	return delta, nil
 }
 
 // RemoveRules retires rules by id, dropping their per-site state and
 // their marks from V. Returns the retired ∆V.
 func (s *Session) RemoveRules(ids ...string) (*cfd.Delta, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -403,7 +454,7 @@ func (s *Session) RemoveRules(ids ...string) (*cfd.Delta, error) {
 	if err := s.markSites(); err != nil {
 		return nil, err
 	}
-	s.publish(EventRulesRemoved, delta)
+	s.publish(EventRulesRemoved, delta, s.publishRead(true))
 	return delta, nil
 }
 
@@ -411,6 +462,8 @@ func (s *Session) RemoveRules(ids ...string) (*cfd.Delta, error) {
 // batch baseline (batVer/batHor; a fresh centralized detection for
 // centralized sessions) without touching the maintained set.
 func (s *Session) BatchDetect() (*cfd.Violations, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -425,37 +478,58 @@ func (s *Session) BatchDetect() (*cfd.Violations, error) {
 // Run pumps a batch source through the session's engine with the stream
 // pipeline, metering every batch, until the source is exhausted or ctx
 // is cancelled (the arrival queue is drained cleanly either way). Every
-// applied batch is also published to Watch subscribers. The session is
-// locked for the duration: reads observe the pre- or post-stream state,
-// and Watch is the live view in between.
+// applied batch is also published to Watch subscribers. Run holds only
+// the writer lock: the state lock is taken per batch, so concurrent
+// reads (Query, Count, Measures, Snapshot) keep serving the latest
+// applied epoch throughout the stream.
 func (s *Session) Run(ctx context.Context, src stream.Source, opts stream.Options) (*stream.Summary, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
 		return nil, fmt.Errorf("session: Run: %w", xerr.ErrClosed)
 	}
 	return stream.RunCtx(ctx, &publishingApplier{s: s}, src, opts)
 }
 
 // publishingApplier threads stream batches through the session's row
-// accounting and Watch subscribers. Run holds the session lock and the
-// stream engine applies batches from the calling goroutine, so no extra
-// locking is needed here.
+// accounting and Watch subscribers. Run holds the writer lock for the
+// whole stream; each batch takes the state lock only while it applies,
+// so readers make progress between batches.
 type publishingApplier struct{ s *Session }
 
 func (p *publishingApplier) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	if p.s.closed {
+		return nil, fmt.Errorf("session: Run: %w", xerr.ErrClosed)
+	}
 	return p.s.applyLocked(updates)
 }
 
-func (p *publishingApplier) Violations() *cfd.Violations { return p.s.eng.Violations() }
-func (p *publishingApplier) Stats() network.Stats        { return p.s.eng.Stats() }
+func (p *publishingApplier) Violations() *cfd.Violations {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	return p.s.eng.Violations()
+}
+
+func (p *publishingApplier) Stats() network.Stats {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	return p.s.eng.Stats()
+}
 
 // Close tears the session down: RPC listeners, site server goroutines
-// and watch channels. After Close every mutating operation (ApplyBatch,
-// AddRules, RemoveRules, BatchDetect, Run) fails with ErrClosed; read
-// accessors (Violations, Query, Count, Measures, Stats) keep serving
-// the final state. Close is idempotent.
+// and watch channels. Close waits for an in-flight Run to finish (cancel
+// its context to stop it early). After Close every mutating operation
+// (ApplyBatch, AddRules, RemoveRules, BatchDetect, Run) fails with
+// ErrClosed; read accessors (Violations, Query, Count, Measures, Stats,
+// Snapshot) keep serving the final state. Close is idempotent.
 func (s *Session) Close() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

@@ -23,9 +23,8 @@ type Options struct {
 	Realtime bool
 	// OnBatch, when set, is invoked synchronously from the applier
 	// goroutine after each batch, with the batch itself, its result,
-	// and a frozen snapshot of the maintained violation set. The
-	// snapshot shares the engine's storage and is valid only during
-	// the call.
+	// and a frozen epoch snapshot of the maintained violation set. The
+	// snapshot is immutable and remains valid after the call returns.
 	OnBatch func(workload.Batch, BatchResult, *cfd.Violations)
 }
 

@@ -73,11 +73,24 @@ type (
 	// Measures are Session.Measures' aggregate inconsistency measures
 	// (drastic, problematic tuples, MI-style mark count, |V|/|D|).
 	Measures = session.Measures
-	// WatchEvent is one Session.Watch subscription event.
+	// WatchEvent is one Session.Watch subscription event, stamped with
+	// the global sequence number, the epoch it produced and the gap
+	// (events dropped for this subscriber) since the last delivery.
 	WatchEvent = session.Event
 	// WatchEventKind distinguishes batch, rule-add and rule-remove
 	// events.
 	WatchEventKind = session.EventKind
+	// WatchSubscription is a cancellable Session.Subscribe handle with
+	// its event channel and cumulative drop counter.
+	WatchSubscription = session.Subscription
+	// ReadSnapshot is an immutable epoch snapshot of the session's read
+	// state: Query/Count/Measures answered from one consistent cut,
+	// never blocking on (or blocked by) writers. See Session.Snapshot.
+	ReadSnapshot = session.Snapshot
+	// EpochView is a frozen copy-on-write view of a violation set at
+	// one publish epoch (the structure behind ReadSnapshot and
+	// Violations.Snapshot).
+	EpochView = cfd.EpochView
 )
 
 // Session kinds.
