@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench stream coalesce net recovery query chaos bench-verify profile fuzz api apicheck verify clean
+.PHONY: test race bench stream coalesce net recovery query chaos driver-chaos bench-verify profile fuzz api apicheck verify clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -56,6 +56,20 @@ query:
 # child) cases; drop it for the full matrix.
 chaos:
 	$(GO) test -race -short ./internal/chaos/ ./internal/sitehost/
+
+# driver-chaos runs the driver-side crash acceptance suite under the
+# race detector at full seed count: the 20-seed driver-kill resume
+# oracle (abandoned sessions reopened over the journal, interleaved
+# with site kills and partitions) plus the cross-process SIGKILL oracle
+# (this test binary re-executed as a real journaled driver, killed
+# mid-batch and restarted against live daemons). V is asserted
+# bit-identical to a fresh centralized detect after every step, with
+# zero replayed wire calls on clean-boundary kills.
+driver-chaos:
+	$(GO) test -race -timeout 20m \
+		-run 'TestDriverResumeOracle|TestCrossProcessDriverKillOracle' ./internal/chaos/
+	$(GO) test -race -run 'TestJournal|TestInDoubt' ./internal/session/
+	$(GO) test -race ./internal/journal/
 
 # bench-verify remeasures every deterministic column of the committed
 # baselines (BENCH_hotpath.json wire meters, BENCH_stream.json rows,

@@ -33,14 +33,33 @@ type recoveryRow struct {
 	Violations      int    `json:"violations"`
 }
 
+// driverRecoveryRow is one engine's driver-restart row: the driver
+// stops at a round boundary and a new process resumes exactly-once from
+// the write-ahead journal. The sweep asserts — before a row is
+// emitted — zero resume calls, zero wire replays, zero re-drives, and
+// the post-resume V equal to a fresh centralized detection.
+type driverRecoveryRow struct {
+	Style           string `json:"style"`
+	Batches         int    `json:"batches"`
+	BatchSize       int    `json:"batch_size"`
+	SteadyCalls     uint64 `json:"steady_calls"`
+	ResumedRound    uint64 `json:"resumed_round"`
+	ResumeCalls     uint64 `json:"resume_calls"`
+	WireReplays     int64  `json:"wire_replays"`
+	Redriven        int    `json:"redriven"`
+	PostResumeCalls uint64 `json:"post_resume_calls"`
+	Violations      int    `json:"violations"`
+}
+
 // recoveryBaseline is the file layout of BENCH_recovery.json.
 type recoveryBaseline struct {
-	GeneratedBy string        `json:"generated_by"`
-	GoVersion   string        `json:"go_version"`
-	GOOS        string        `json:"goos"`
-	GOARCH      string        `json:"goarch"`
-	Workload    string        `json:"workload"`
-	Rows        []recoveryRow `json:"rows"`
+	GeneratedBy string              `json:"generated_by"`
+	GoVersion   string              `json:"go_version"`
+	GOOS        string              `json:"goos"`
+	GOARCH      string              `json:"goarch"`
+	Workload    string              `json:"workload"`
+	Rows        []recoveryRow       `json:"rows"`
+	DriverRows  []driverRecoveryRow `json:"driver_rows"`
 }
 
 func recoveryRows(rows []harness.RecoveryRow) []recoveryRow {
@@ -58,7 +77,21 @@ func recoveryRows(rows []harness.RecoveryRow) []recoveryRow {
 	return out
 }
 
-func writeRecoveryBaseline(path string, sc harness.Scale, rows []harness.RecoveryRow) error {
+func driverRecoveryRows(rows []harness.DriverRecoveryRow) []driverRecoveryRow {
+	out := make([]driverRecoveryRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, driverRecoveryRow{
+			Style: r.Style, Batches: r.Batches, BatchSize: r.BatchSize,
+			SteadyCalls: r.SteadyCalls, ResumedRound: r.ResumedRound,
+			ResumeCalls: r.ResumeCalls, WireReplays: r.WireReplays,
+			Redriven: r.Redriven, PostResumeCalls: r.PostResumeCalls,
+			Violations: r.Violations,
+		})
+	}
+	return out
+}
+
+func writeRecoveryBaseline(path string, sc harness.Scale, rows []harness.RecoveryRow, driver []harness.DriverRecoveryRow) error {
 	base := recoveryBaseline{
 		GeneratedBy: "expbench -recovery",
 		GoVersion:   runtime.Version(),
@@ -66,7 +99,8 @@ func writeRecoveryBaseline(path string, sc harness.Scale, rows []harness.Recover
 		GOARCH:      runtime.GOARCH,
 		Workload: fmt.Sprintf("TPCH-like seed=%d |D|=%d |Σ|=50 n=%d sites",
 			sc.Seed, 3*sc.Unit, sc.Sites),
-		Rows: recoveryRows(rows),
+		Rows:       recoveryRows(rows),
+		DriverRows: driverRecoveryRows(driver),
 	}
 	buf, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
@@ -76,17 +110,23 @@ func writeRecoveryBaseline(path string, sc harness.Scale, rows []harness.Recover
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d rows)\n", path, len(base.Rows))
+	fmt.Printf("wrote %s (%d site rows, %d driver rows)\n", path, len(base.Rows), len(base.DriverRows))
 	return nil
 }
 
-// runRecoveryMode executes expbench -recovery: the cold-vs-warm crash
-// recovery sweep feeds the stdout table and the committed baseline.
+// runRecoveryMode executes expbench -recovery: the cold-vs-warm site
+// crash recovery sweep plus the driver-restart (journal resume) sweep
+// feed the stdout tables and the committed baseline.
 func runRecoveryMode(path string, sc harness.Scale) error {
 	rows, err := harness.RunRecovery(sc)
 	if err != nil {
 		return err
 	}
 	fmt.Println(harness.RecoveryResult(rows).Format())
-	return writeRecoveryBaseline(path, sc, rows)
+	driver, err := harness.RunDriverRecovery(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.DriverRecoveryResult(driver).Format())
+	return writeRecoveryBaseline(path, sc, rows, driver)
 }

@@ -130,6 +130,13 @@ func verifyBaselines(sc harness.Scale) error {
 	if err := compareRows("BENCH_recovery.json", recBase.Rows, recoveryRows(freshRec), report); err != nil {
 		return err
 	}
+	freshDriver, err := harness.RunDriverRecovery(sc)
+	if err != nil {
+		return err
+	}
+	if err := compareRows("BENCH_recovery.json (driver_rows)", recBase.DriverRows, driverRecoveryRows(freshDriver), report); err != nil {
+		return err
+	}
 
 	// BENCH_query.json: the state rows are deterministic; the sweep
 	// itself asserts the lock-free read-latency bound before returning

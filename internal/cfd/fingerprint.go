@@ -1,0 +1,54 @@
+package cfd
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"repro/internal/relation"
+)
+
+// Fingerprints give the crash-safety layers a compact, canonical digest
+// of violation state: the driver journal stamps every applied round
+// with its ∆V fingerprint, and the cross-process chaos oracle compares
+// a resumed driver's V against a fresh centralized Detect by digest
+// instead of shipping the full set over a pipe. Both digests hash the
+// sorted (tuple, rule) mark pairs, so they are independent of interning
+// order, map iteration, and which engine produced the set.
+
+func hashMark(h interface{ Write([]byte) (int, error) }, id relation.TupleID, rule string) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	h.Write(b[:])
+	h.Write([]byte(rule))
+	h.Write([]byte{0})
+}
+
+// Fingerprint returns a canonical 64-bit FNV-1a digest of the delta:
+// the sorted added marks, a separator, then the sorted removed marks.
+func (d *Delta) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, id := range d.AddedTuples() {
+		for _, rule := range d.AddedRules(id) {
+			hashMark(h, id, rule)
+		}
+	}
+	h.Write([]byte{0xff})
+	for _, id := range d.RemovedTuples() {
+		for _, rule := range d.RemovedRules(id) {
+			hashMark(h, id, rule)
+		}
+	}
+	return h.Sum64()
+}
+
+// Fingerprint returns a canonical 64-bit FNV-1a digest of the full
+// violation set — equal sets (in the sense of Equal) hash equal.
+func (v *Violations) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, id := range v.Tuples() {
+		for _, rule := range v.Rules(id) {
+			hashMark(h, id, rule)
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,302 @@
+package chaos_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/centralized"
+	"repro/internal/chaos"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+// TestMain doubles this test binary as the driver under test: with
+// CHAOS_DRIVER_HELPER=1 in the environment it runs a journaled session
+// driver speaking a line protocol on its standard streams (see
+// driverHelperMain) instead of the test suite — the parent SIGKILLs it
+// mid-batch and restarts it to exercise real-process driver recovery.
+func TestMain(m *testing.M) {
+	if os.Getenv("CHAOS_DRIVER_HELPER") == "1" {
+		os.Exit(driverHelperMain())
+	}
+	os.Exit(m.Run())
+}
+
+// driverConfig ships the deterministic run parameters to the helper
+// process via the CHAOS_DRIVER_ARGS environment variable.
+type driverConfig struct {
+	Kind  string   // "horizontal" | "vertical"
+	Addrs []string // site daemon addresses
+	Ckpt  string   // checkpoint root (sites)
+	Jdir  string   // journal dir (driver)
+	Seed  int64    // workload seed
+	Rows  int      // initial relation size
+}
+
+// helperBatch pins the one batch shape the helper ever draws: the whole
+// point of the protocol is that a restarted helper can regenerate the
+// exact update sequence by round count alone.
+func helperBatch(gen *workload.Generator, mirror *relation.Relation) relation.UpdateList {
+	return gen.Updates(mirror, 12, 0.6)
+}
+
+// driverHelperMain is the driver under test. Protocol on stdout:
+//
+//	ready <rounds> <resumed> <replayed> <fp>   after Open (+ resume)
+//	begin <round>                              a batch round is starting
+//	applied <round> <fp>                       the round committed
+//	bye                                        clean shutdown after "quit"
+//	error: ...                                 anything wrong (exit 1)
+//
+// and on stdin: "batch" to run one more round, "quit" to close. The
+// workload is fully deterministic from the config, so a restarted
+// helper re-derives its generator and mirror by fast-forwarding the
+// journaled round count.
+func driverHelperMain() int {
+	fail := func(format string, args ...any) int {
+		fmt.Printf("error: "+format+"\n", args...)
+		return 1
+	}
+	var cfg driverConfig
+	if err := json.Unmarshal([]byte(os.Getenv("CHAOS_DRIVER_ARGS")), &cfg); err != nil {
+		return fail("config: %v", err)
+	}
+	gen := workload.NewSized(workload.TPCH, cfg.Seed, 700)
+	pool := gen.Rules(3)
+	rel := gen.Relation(cfg.Rows)
+	opt := session.WithHorizontal(partition.HashHorizontal("c_name", len(cfg.Addrs)))
+	if cfg.Kind == "vertical" {
+		opt = session.WithVertical(partition.RoundRobinVertical(rel.Schema, len(cfg.Addrs)))
+	}
+	sess, err := session.Open(rel, pool, opt,
+		session.WithTCPSites(cfg.Addrs...),
+		session.WithCheckpointDir(cfg.Ckpt),
+		session.WithCheckpointEvery(2),
+		session.WithJournalDir(cfg.Jdir),
+		session.WithJournalEvery(3),
+		session.WithTCPRetryBudget(5*time.Second))
+	if err != nil {
+		return fail("open: %v", err)
+	}
+	defer sess.Close()
+	js := sess.Journal()
+	if js.InDoubt {
+		return fail("open left round %d in doubt", js.Rounds+1)
+	}
+
+	// Fast-forward the deterministic workload to the journaled round.
+	mirror := rel.Clone()
+	for r := uint64(0); r < js.Rounds; r++ {
+		if err := helperBatch(gen, mirror).Normalize().Apply(mirror); err != nil {
+			return fail("fast-forward round %d: %v", r+1, err)
+		}
+	}
+	if !sess.Violations().Equal(centralized.Detect(mirror, pool)) {
+		return fail("resumed V diverged from centralized oracle at round %d", js.Rounds)
+	}
+	resumed := 0
+	if js.Resumed {
+		resumed = 1
+	}
+	fmt.Printf("ready %d %d %d %016x\n", js.Rounds, resumed, sess.ReplayedCalls(), sess.Violations().Fingerprint())
+
+	round := js.Rounds
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		switch cmd := sc.Text(); cmd {
+		case "batch":
+			round++
+			fmt.Printf("begin %d\n", round)
+			updates := helperBatch(gen, mirror)
+			if _, err := sess.ApplyBatch(context.Background(), updates); err != nil {
+				return fail("round %d: %v", round, err)
+			}
+			if err := updates.Normalize().Apply(mirror); err != nil {
+				return fail("round %d mirror: %v", round, err)
+			}
+			if !sess.Violations().Equal(centralized.Detect(mirror, pool)) {
+				return fail("round %d: V diverged from centralized oracle", round)
+			}
+			fmt.Printf("applied %d %016x\n", round, sess.Violations().Fingerprint())
+		case "quit":
+			if err := sess.Close(); err != nil {
+				return fail("close: %v", err)
+			}
+			fmt.Println("bye")
+			return 0
+		default:
+			return fail("unknown command %q", cmd)
+		}
+	}
+	return fail("stdin closed without quit")
+}
+
+// TestCrossProcessDriverKillOracle SIGKILLs a real driver process (this
+// test binary re-executed in helper mode) mid-batch and at clean round
+// boundaries, restarts it over the same journal against live site
+// daemons, and asserts every restarted driver resumes to a V whose
+// fingerprint matches the parent's own centralized detection — with
+// zero replayed wire calls on clean-boundary kills.
+func TestCrossProcessDriverKillOracle(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		kind := "horizontal"
+		if seed%2 == 1 {
+			kind = "vertical"
+		}
+		t.Run(fmt.Sprintf("seed%d_%s", seed, kind), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed)*49999 + 3))
+			const sites = 3
+			rows := 90 + rng.Intn(50)
+			root, jdir := t.TempDir(), t.TempDir()
+			srvs := startSites(t, sites, root)
+			addrs := make([]string, sites)
+			for i, s := range srvs {
+				addrs[i] = s.addr
+			}
+			cfgJSON, err := json.Marshal(driverConfig{
+				Kind: kind, Addrs: addrs, Ckpt: root, Jdir: jdir,
+				Seed: int64(seed) + 4400, Rows: rows,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The parent runs the same deterministic workload to compute
+			// the expected fingerprint at every committed round.
+			gen := workload.NewSized(workload.TPCH, int64(seed)+4400, 700)
+			pool := gen.Rules(3)
+			rel := gen.Relation(rows)
+			mirror := rel.Clone()
+			parentRound := uint64(0)
+			advance := func(to uint64) {
+				t.Helper()
+				for parentRound < to {
+					if err := helperBatch(gen, mirror).Normalize().Apply(mirror); err != nil {
+						t.Fatal(err)
+					}
+					parentRound++
+				}
+			}
+			wantFP := func() string {
+				return fmt.Sprintf("%016x", centralized.Detect(mirror, pool).Fingerprint())
+			}
+
+			var child *chaos.Child
+			t.Cleanup(func() {
+				if child != nil {
+					child.Kill()
+				}
+			})
+			// start launches (or relaunches) the driver process and
+			// checks its ready line against the parent's bookkeeping.
+			// wantRounds < 0 accepts either of two adjacent rounds — a
+			// mid-batch SIGKILL may land before or after the intent hit
+			// the journal.
+			start := func(wantResumed int, lo, hi uint64) (rounds uint64, replayed int64) {
+				t.Helper()
+				var err error
+				child, err = chaos.StartChild(os.Args[0], []string{
+					"CHAOS_DRIVER_HELPER=1",
+					"CHAOS_DRIVER_ARGS=" + string(cfgJSON),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				line, err := child.ReadLine(60 * time.Second)
+				if err != nil {
+					t.Fatalf("waiting for ready: %v", err)
+				}
+				var resumed int
+				var fp string
+				if _, err := fmt.Sscanf(line, "ready %d %d %d %s", &rounds, &resumed, &replayed, &fp); err != nil {
+					t.Fatalf("bad ready line %q: %v", line, err)
+				}
+				if resumed != wantResumed {
+					t.Fatalf("ready %q: resumed = %d, want %d", line, resumed, wantResumed)
+				}
+				if rounds < lo || rounds > hi {
+					t.Fatalf("ready %q: resumed to round %d, want %d..%d", line, rounds, lo, hi)
+				}
+				advance(rounds)
+				if want := wantFP(); fp != want {
+					t.Fatalf("round %d: resumed driver fingerprint %s, parent oracle %s", rounds, fp, want)
+				}
+				return rounds, replayed
+			}
+
+			round, _ := start(0, 0, 0)
+			for step := 1; step <= 6; step++ {
+				switch rng.Intn(3) {
+				case 0: // a batch that completes
+					if err := child.Send("batch"); err != nil {
+						t.Fatal(err)
+					}
+					for _, want := range []string{
+						fmt.Sprintf("begin %d", round+1),
+						fmt.Sprintf("applied %d ", round+1),
+					} {
+						line, err := child.ReadLine(60 * time.Second)
+						if err != nil {
+							t.Fatalf("step %d: %v", step, err)
+						}
+						if len(line) < len(want) || line[:len(want)] != want {
+							t.Fatalf("step %d: got %q, want %q...", step, line, want)
+						}
+					}
+					round++
+					advance(round)
+				case 1: // SIGKILL mid-batch, restart, reconcile
+					if err := child.Send("batch"); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := child.ReadLine(60 * time.Second); err != nil {
+						t.Fatalf("step %d: waiting for begin: %v", step, err)
+					}
+					// The kill lands somewhere inside the round — before
+					// the intent, mid-protocol, or after the commit.
+					time.Sleep(time.Duration(rng.Intn(25)) * time.Millisecond)
+					child.Kill()
+					// The restarted driver settles the round if (and only
+					// if) its intent reached the journal.
+					round, _ = start(1, round, round+1)
+				case 2: // SIGKILL at the clean boundary: zero wire replays
+					child.Kill()
+					var replayed int64
+					round, replayed = start(1, round, round)
+					if replayed != 0 {
+						t.Fatalf("step %d: clean-boundary restart replayed %d calls, want 0", step, replayed)
+					}
+				}
+			}
+			// However the schedule fell, every seed ends with one forced
+			// boundary kill: the journal must bring the whole run back.
+			child.Kill()
+			if _, replayed := start(1, round, round); replayed != 0 {
+				t.Fatalf("final boundary restart replayed %d calls, want 0", replayed)
+			}
+			if err := child.Send("quit"); err != nil {
+				t.Fatal(err)
+			}
+			line, err := child.ReadLine(60 * time.Second)
+			if err != nil || line != "bye" {
+				t.Fatalf("quit: got %q, %v", line, err)
+			}
+			child.Wait()
+			child = nil
+		})
+	}
+}

@@ -3,11 +3,104 @@ package chaos
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"strings"
 	"syscall"
+	"time"
 )
+
+// Child is a controlled child process speaking a line protocol on its
+// standard streams — the generic process-level fault surface under both
+// site (Sited) and driver kill tests. Kill is the crash (SIGKILL, no
+// cleanup runs); the line reader survives it and drains whatever the
+// process managed to flush first.
+type Child struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	lines chan string
+}
+
+// StartChild launches bin with the given extra environment (appended to
+// the parent's) and arguments, wiring stdin for Send, stdout for
+// ReadLine (line-buffered via a background reader) and stderr straight
+// through to the parent's.
+func StartChild(bin string, env []string, args ...string) (*Child, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	c := &Child{cmd: cmd, stdin: stdin, lines: make(chan string, 64)}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			c.lines <- sc.Text()
+		}
+		close(c.lines)
+	}()
+	return c, nil
+}
+
+// Send writes one line to the child's stdin.
+func (c *Child) Send(line string) error {
+	_, err := io.WriteString(c.stdin, line+"\n")
+	return err
+}
+
+// ReadLine returns the child's next stdout line, failing after timeout
+// or when the stream closes (the child exited or was killed).
+func (c *Child) ReadLine(timeout time.Duration) (string, error) {
+	select {
+	case line, ok := <-c.lines:
+		if !ok {
+			return "", fmt.Errorf("chaos: child stdout closed")
+		}
+		return line, nil
+	case <-time.After(timeout):
+		return "", fmt.Errorf("chaos: no line from child within %v", timeout)
+	}
+}
+
+// Kill crashes the child with SIGKILL and reaps it. Idempotent.
+func (c *Child) Kill() error {
+	if c.cmd == nil {
+		return nil
+	}
+	c.cmd.Process.Kill()
+	c.cmd.Wait()
+	c.cmd = nil
+	return nil
+}
+
+// Signal delivers sig to the running child.
+func (c *Child) Signal(sig os.Signal) error {
+	if c.cmd == nil {
+		return fmt.Errorf("chaos: child not running")
+	}
+	return c.cmd.Process.Signal(sig)
+}
+
+// Wait reaps the child, returning its exit status.
+func (c *Child) Wait() error {
+	if c.cmd == nil {
+		return nil
+	}
+	err := c.cmd.Wait()
+	c.cmd = nil
+	return err
+}
 
 // Sited is one controlled cmd/sited child process — the process-level
 // fault surface: Kill is the crash (SIGKILL, the buffered checkpoint
@@ -18,7 +111,7 @@ type Sited struct {
 	bin     string
 	addr    string // concrete bound address after the first start
 	ckptDir string
-	cmd     *exec.Cmd
+	child   *Child
 }
 
 // StartSited launches bin (a built cmd/sited) listening on addr
@@ -38,28 +131,21 @@ func (s *Sited) start() error {
 	if s.ckptDir != "" {
 		args = append(args, "-checkpoint-dir", s.ckptDir)
 	}
-	cmd := exec.Command(s.bin, args...)
-	cmd.Stderr = os.Stderr
-	stdout, err := cmd.StdoutPipe()
+	child, err := StartChild(s.bin, nil, args...)
 	if err != nil {
 		return err
 	}
-	if err := cmd.Start(); err != nil {
-		return err
-	}
-	line, err := bufio.NewReader(stdout).ReadString('\n')
+	line, err := child.ReadLine(10 * time.Second)
 	if err != nil {
-		cmd.Process.Kill()
-		cmd.Wait()
+		child.Kill()
 		return fmt.Errorf("chaos: reading sited banner: %w", err)
 	}
 	bound, ok := strings.CutPrefix(strings.TrimSpace(line), "listening ")
 	if !ok {
-		cmd.Process.Kill()
-		cmd.Wait()
+		child.Kill()
 		return fmt.Errorf("chaos: unexpected sited banner %q", line)
 	}
-	s.addr, s.cmd = bound, cmd
+	s.addr, s.child = bound, child
 	return nil
 }
 
@@ -69,33 +155,32 @@ func (s *Sited) Addr() string { return s.addr }
 // Kill crashes the daemon with SIGKILL — no final checkpoint, the
 // buffered log tail may be lost. Idempotent.
 func (s *Sited) Kill() error {
-	if s.cmd == nil {
+	if s.child == nil {
 		return nil
 	}
-	s.cmd.Process.Kill()
-	s.cmd.Wait()
-	s.cmd = nil
+	s.child.Kill()
+	s.child = nil
 	return nil
 }
 
 // Terminate stops the daemon gracefully with SIGTERM, waiting for its
 // final checkpoint flush and exit.
 func (s *Sited) Terminate() error {
-	if s.cmd == nil {
+	if s.child == nil {
 		return nil
 	}
-	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+	if err := s.child.Signal(syscall.SIGTERM); err != nil {
 		return s.Kill()
 	}
-	err := s.cmd.Wait()
-	s.cmd = nil
+	err := s.child.Wait()
+	s.child = nil
 	return err
 }
 
 // Restart brings a killed or terminated daemon back on the same address
 // and checkpoint dir — the warm-restart path. No-op if still running.
 func (s *Sited) Restart() error {
-	if s.cmd != nil {
+	if s.child != nil {
 		return nil
 	}
 	return s.start()

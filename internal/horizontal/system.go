@@ -26,6 +26,11 @@ type Options struct {
 	// database is loaded into the remote sites and the local site
 	// replicas stay empty.
 	Transport network.Transport
+	// SkipSeed builds the system without the seeding pass: no site
+	// loads, no initial V. A resumed driver uses it when the sites
+	// already hold their fragments (recovered from checkpoints) and V is
+	// re-derived locally — see AdoptViolations.
+	SkipSeed bool
 }
 
 // System is a horizontally partitioned database with incremental CFD
@@ -119,28 +124,50 @@ func NewSystem(rel *relation.Relation, scheme *partition.HorizontalScheme, rules
 	}
 
 	sys.noIndexes = opts.NoIndexes
-	sys.direct = true
-	var seedErr error
-	if sys.noIndexes {
-		seedErr = sys.seedFragments(rel)
-	} else {
-		rel.Each(func(t relation.Tuple) bool {
-			delta, err := sys.applyUnit(relation.Update{Kind: relation.Insert, Tuple: t})
-			if err != nil {
-				seedErr = err
-				return false
-			}
-			delta.Apply(sys.v)
-			return true
-		})
-	}
-	sys.direct = false
-	if seedErr != nil {
-		return nil, seedErr
+	if !opts.SkipSeed {
+		sys.direct = true
+		var seedErr error
+		if sys.noIndexes {
+			seedErr = sys.seedFragments(rel)
+		} else {
+			rel.Each(func(t relation.Tuple) bool {
+				delta, err := sys.applyUnit(relation.Update{Kind: relation.Insert, Tuple: t})
+				if err != nil {
+					seedErr = err
+					return false
+				}
+				delta.Apply(sys.v)
+				return true
+			})
+		}
+		sys.direct = false
+		if seedErr != nil {
+			return nil, seedErr
+		}
 	}
 	sys.cluster.ResetStats()
 	return sys, nil
 }
+
+// AdoptViolations replaces the maintained violation set — the resume
+// path's seam. A restarted driver rebuilds the system with SkipSeed
+// (sites already hold their checkpointed fragments) and installs the V
+// it re-derived from its journaled mirror. The rules must already be
+// interned; the set is re-interned here against this system's rules.
+func (sys *System) AdoptViolations(v *cfd.Violations) {
+	v.InternRules(sys.rules)
+	sys.v = v
+}
+
+// ProtocolCursor returns the batch-grouped protocol's wave counter. The
+// relay role rotates on it, so identical cursors mean identical future
+// envelopes — the session journals it per round and restores it with
+// SetProtocolCursor on resume, keeping a restarted driver's traffic
+// bit-identical to a never-crashed one's.
+func (sys *System) ProtocolCursor() uint64 { return uint64(sys.waveSeq) }
+
+// SetProtocolCursor restores the wave counter (see ProtocolCursor).
+func (sys *System) SetProtocolCursor(c uint64) { sys.waveSeq = int(c) }
 
 // seedFragments loads rel into the owning fragments without building
 // indices (the NoIndexes mode measuring the batch baseline): tuples are

@@ -1,0 +1,565 @@
+// Package journal is the driver-side write-ahead log that makes a
+// TCP-sites session crash-safe: where internal/checkpoint persists each
+// *site's* state, the journal persists the *driver's* — the session
+// identity, the folded rule set and plan, a mirror of the maintained
+// relation, the per-site call watermarks, and every write round's
+// intent, logged durably before the first wire call of the round goes
+// out and marked applied (with the ∆V fingerprint) only after the
+// round's checkpoint marks are acknowledged.
+//
+// Recovery leans on the same determinism as the rest of the repo: a
+// driver rebuilt from the base record plus the applied intents, in
+// order, reaches bit-identical dispatch state, so re-driving a dangling
+// intent re-issues the same calls under the same sequence numbers and
+// the daemons' dedupe windows make the resume exactly-once.
+//
+// On-disk layout (one directory per driver):
+//
+//	journal-<epoch>.wal   header + CRC-framed gob records
+//
+// The file starts with checkpoint's 6-byte header shape (magic "RJRN",
+// format version, file kind) and frames every record exactly like
+// internal/checkpoint: big-endian uint32 length, big-endian uint32
+// CRC-32 (IEEE), payload. The first record is a self-contained Base;
+// after it, Intent and Applied records strictly alternate — at most the
+// final Intent may dangle (the round the driver died inside).
+// Compaction (a fresh Base capturing the folded state) writes the next
+// epoch to a temp file, syncs, atomically renames, then removes the old
+// epoch.
+//
+// Validation is deliberately stricter than checkpoint's: a torn
+// *trailing* record is the expected crash-mid-append shape and is
+// truncated away, but any other damage — bad magic or version, a
+// mid-file CRC failure, a broken Base/Intent/Applied interleave, or a
+// corrupt newest epoch even when an older valid one survives — fails
+// Recover with xerr.ErrJournalCorrupt. Falling back to an older epoch
+// would silently resume a driver *behind* the cluster, which is exactly
+// the divergence the journal exists to prevent; the caller resets and
+// starts a fresh session instead.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+	"repro/internal/xerr"
+)
+
+// FormatVersion is the on-disk journal format version.
+const FormatVersion = 1
+
+const kindJournal byte = 1
+
+var magic = [4]byte{'R', 'J', 'R', 'N'}
+
+const headerLen = 6 // magic + version + kind
+
+// OpKind distinguishes the journaled write operations.
+type OpKind uint8
+
+const (
+	// OpBatch is an ApplyBatch round (Updates carries the normalized ∆D).
+	OpBatch OpKind = 1
+	// OpAddRules is an AddRules round (Rules carries the new rules).
+	OpAddRules OpKind = 2
+	// OpRemoveRules is a RemoveRules round (RuleIDs carries the ids).
+	OpRemoveRules OpKind = 3
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpBatch:
+		return "batch"
+	case OpAddRules:
+		return "add-rules"
+	case OpRemoveRules:
+		return "remove-rules"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Base is the self-contained foundation record of a journal epoch: the
+// full driver state at round Round. Folding the applied intents after
+// it reconstructs the driver exactly.
+type Base struct {
+	// SessionID is the 8-byte identity the driver presents to its
+	// daemons; a resumed driver reuses it so reconnect handshakes are
+	// accepted.
+	SessionID []byte
+	// Kind is the partition style ("horizontal" or "vertical").
+	Kind string
+	// Sites is the cluster size.
+	Sites int
+	// SchemaName and SchemaAttrs pin the relation schema, so a resume
+	// against a different relation fails loudly instead of diverging.
+	SchemaName  string
+	SchemaAttrs []string
+	// Round is the number of applied write rounds folded into this base.
+	Round uint64
+	// Seqs holds the per-site call watermarks (transport sequence
+	// numbers) at this base — the journal's durability frontier.
+	Seqs []uint64
+	// Cursor is the cross-batch protocol cursor (the horizontal wave
+	// counter; zero for vertical).
+	Cursor uint64
+	// Rules is the rule set in force.
+	Rules []cfd.CFD
+	// Plan is the gob-encoded §5 HEV plan (vertical only; nil otherwise).
+	Plan []byte
+	// Tuples is the full mirror of the maintained relation.
+	Tuples []relation.Tuple
+}
+
+// Intent records one write round before its first wire call: enough to
+// re-drive the round deterministically from the pre-round state.
+type Intent struct {
+	// Round is the 1-based round number this intent opens (previous
+	// applied round + 1).
+	Round uint64
+	// Op says which of the payload fields below is meaningful.
+	Op OpKind
+	// Updates is the normalized ∆D of an OpBatch round.
+	Updates relation.UpdateList
+	// Rules carries OpAddRules' new rules.
+	Rules []cfd.CFD
+	// RuleIDs carries OpRemoveRules' retired ids.
+	RuleIDs []string
+	// Seqs are the pre-round per-site watermarks — the rewind point a
+	// re-drive resets the transport to.
+	Seqs []uint64
+	// Cursor is the pre-round protocol cursor.
+	Cursor uint64
+}
+
+// Applied closes an intent: the round's marks were acknowledged by
+// every site, so the round can never need re-driving.
+type Applied struct {
+	// Round matches the intent it closes.
+	Round uint64
+	// Fingerprint is the canonical digest of the round's ∆V
+	// (cfd.Delta.Fingerprint), pinning what the round did.
+	Fingerprint uint64
+	// Seqs are the post-round (post-mark) per-site watermarks.
+	Seqs []uint64
+	// Cursor is the post-round protocol cursor.
+	Cursor uint64
+}
+
+// State is a recovered journal: the base plus the intent ledger.
+// len(Applied) is len(Intents) or len(Intents)-1 — at most the last
+// intent dangles.
+type State struct {
+	Base    *Base
+	Intents []Intent
+	Applied []Applied
+}
+
+// Pending returns the dangling intent — the round the previous driver
+// died inside — or nil after a clean-boundary crash.
+func (st *State) Pending() *Intent {
+	if len(st.Intents) > len(st.Applied) {
+		return &st.Intents[len(st.Intents)-1]
+	}
+	return nil
+}
+
+// Rounds returns the number of applied rounds the journal records.
+func (st *State) Rounds() uint64 {
+	if n := len(st.Applied); n > 0 {
+		return st.Applied[n-1].Round
+	}
+	return st.Base.Round
+}
+
+// record is the on-disk union; exactly one pointer is set.
+type record struct {
+	Base    *Base
+	Intent  *Intent
+	Applied *Applied
+}
+
+// Store manages one driver's journal directory: the current epoch file,
+// open for append.
+type Store struct {
+	dir   string
+	epoch uint64 // current epoch; 0 = no journal yet
+
+	f *os.File
+	w *bufio.Writer
+}
+
+// Open prepares dir as a journal directory, creating it if needed, and
+// probes writability so a misconfigured deployment fails at Open, not
+// at the first batch.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	probe := filepath.Join(dir, ".probe")
+	f, err := os.Create(probe)
+	if err != nil {
+		return nil, fmt.Errorf("journal: dir %s not writable: %w", dir, err)
+	}
+	f.Close()
+	os.Remove(probe)
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Epoch returns the current epoch (0 before the first Begin).
+func (s *Store) Epoch() uint64 { return s.epoch }
+
+func (s *Store) path(epoch uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("journal-%016x.wal", epoch))
+}
+
+// corrupt wraps a validation failure as an errors.Is-compatible
+// ErrJournalCorrupt.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("journal: %w: %s", xerr.ErrJournalCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Recover loads the newest epoch's state and reopens its file for
+// append. (nil, nil) means an empty directory — a fresh deployment.
+// Any validation failure beyond a torn trailing record returns an error
+// wrapping xerr.ErrJournalCorrupt; older epochs are never consulted
+// (resuming from one would restart the driver behind the cluster). The
+// store stays usable either way, positioned so the next epoch never
+// collides with anything on disk.
+func (s *Store) Recover() (*State, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var epochs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "journal-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		hexa := strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".wal")
+		epoch, err := strconv.ParseUint(hexa, 16, 64)
+		if err != nil {
+			continue
+		}
+		epochs = append(epochs, epoch)
+	}
+	if len(epochs) == 0 {
+		return nil, nil
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] > epochs[j] })
+	s.epoch = epochs[0]
+
+	st, validLen, err := readEpochFile(s.path(s.epoch))
+	if err != nil {
+		return nil, err
+	}
+	// Truncate the torn tail (if any) and reopen for append.
+	f, err := os.OpenFile(s.path(s.epoch), os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	s.closeFile()
+	s.f, s.w = f, bufio.NewWriter(f)
+	return st, nil
+}
+
+// Begin starts the journal's first epoch from base. Only valid on a
+// store with no epoch yet (a fresh or Reset directory).
+func (s *Store) Begin(base *Base) error {
+	if s.f != nil || s.epoch != 0 {
+		return fmt.Errorf("journal: Begin on a non-empty journal (epoch %d)", s.epoch)
+	}
+	return s.startEpoch(base)
+}
+
+// Compact folds the journal into a fresh epoch whose Base is the
+// current driver state: temp file, sync, atomic rename, then the old
+// epoch is removed. Durable against a crash at any point — the old
+// epoch survives until the new one is fully on disk.
+func (s *Store) Compact(base *Base) error {
+	if s.f == nil {
+		return fmt.Errorf("journal: Compact before Begin")
+	}
+	return s.startEpoch(base)
+}
+
+// startEpoch writes epoch+1 with the given base record via temp file +
+// sync + rename, switches appends to it, and removes the previous
+// epoch's file.
+func (s *Store) startEpoch(base *Base) error {
+	epoch := s.epoch + 1
+	payload, err := encodeRecord(record{Base: base})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "journal-*.tmp")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	w := bufio.NewWriter(tmp)
+	if err := writeHeader(w); err == nil {
+		err = writeFramed(w, payload)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("journal: write base: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(epoch)); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.OpenFile(s.path(epoch), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	s.closeFile()
+	s.f, s.w = f, bufio.NewWriter(f)
+	prev := s.epoch
+	s.epoch = epoch
+	if prev > 0 {
+		os.Remove(s.path(prev))
+	}
+	return nil
+}
+
+// Intent appends and flushes one intent record — returns only once the
+// record is durable against process death, so the round's first wire
+// call never races its own recoverability.
+func (s *Store) Intent(it *Intent) error { return s.append(record{Intent: it}) }
+
+// Applied appends and flushes one applied record, closing the round.
+func (s *Store) Applied(ap *Applied) error { return s.append(record{Applied: ap}) }
+
+func (s *Store) append(rec record) error {
+	if s.w == nil {
+		return fmt.Errorf("journal: append before Begin")
+	}
+	payload, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if err := writeFramed(s.w, payload); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	return nil
+}
+
+// Reset discards every journal file and returns the store to epoch 0 —
+// the start-empty-on-corrupt path.
+func (s *Store) Reset() error {
+	s.closeFile()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "journal-") {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+	s.epoch = 0
+	return nil
+}
+
+// Close flushes and closes the epoch file.
+func (s *Store) Close() error {
+	if s.w != nil {
+		if err := s.w.Flush(); err != nil {
+			s.closeFile()
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	s.closeFile()
+	return nil
+}
+
+func (s *Store) closeFile() {
+	if s.f != nil {
+		s.f.Close()
+		s.f, s.w = nil, nil
+	}
+}
+
+// --- framing (checkpoint's record conventions, journal's magic) ---
+
+func encodeRecord(rec record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
+		return nil, fmt.Errorf("journal: encode record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func writeHeader(w io.Writer) error {
+	hdr := [headerLen]byte{magic[0], magic[1], magic[2], magic[3], FormatVersion, kindJournal}
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func writeFramed(w io.Writer, payload []byte) error {
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(frame[:]); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// errTorn marks an incomplete trailing record — crash mid-append.
+var errTorn = errors.New("torn trailing record")
+
+func readFramed(r io.Reader, path string) ([]byte, error) {
+	var frame [8]byte
+	if _, err := io.ReadFull(r, frame[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errTorn
+	}
+	n := binary.BigEndian.Uint32(frame[0:4])
+	want := binary.BigEndian.Uint32(frame[4:8])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errTorn
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, corrupt("%s: CRC mismatch", path)
+	}
+	return payload, nil
+}
+
+// readEpochFile loads and validates one epoch file, returning the state
+// and the byte offset of the end of the valid prefix (a torn trailing
+// record is dropped; everything else must validate).
+func readEpochFile(path string) (*State, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, corrupt("%s: %v", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, corrupt("%s: truncated header", path)
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] || hdr[2] != magic[2] || hdr[3] != magic[3] {
+		return nil, 0, corrupt("%s: bad magic %x", path, hdr[:4])
+	}
+	if hdr[4] != FormatVersion {
+		return nil, 0, corrupt("%s: format version %d, want %d", path, hdr[4], FormatVersion)
+	}
+	if hdr[5] != kindJournal {
+		return nil, 0, corrupt("%s: file kind %d, want %d", path, hdr[5], kindJournal)
+	}
+
+	st := &State{}
+	offset := int64(headerLen)
+	for {
+		payload, err := readFramed(r, path)
+		if err == io.EOF || errors.Is(err, errTorn) {
+			break // torn tail: the valid prefix is the journal
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		var rec record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return nil, 0, corrupt("%s: decode record: %v", path, err)
+		}
+		if err := st.fold(rec, path); err != nil {
+			return nil, 0, err
+		}
+		offset += int64(8 + len(payload))
+	}
+	if st.Base == nil {
+		return nil, 0, corrupt("%s: no base record", path)
+	}
+	return st, offset, nil
+}
+
+// fold validates one record against the interleave invariant and
+// appends it to the state.
+func (st *State) fold(rec record, path string) error {
+	set := 0
+	if rec.Base != nil {
+		set++
+	}
+	if rec.Intent != nil {
+		set++
+	}
+	if rec.Applied != nil {
+		set++
+	}
+	if set != 1 {
+		return corrupt("%s: record sets %d of base/intent/applied", path, set)
+	}
+	switch {
+	case rec.Base != nil:
+		if st.Base != nil {
+			return corrupt("%s: second base record", path)
+		}
+		st.Base = rec.Base
+		return nil
+	case st.Base == nil:
+		return corrupt("%s: record before base", path)
+	case rec.Intent != nil:
+		if len(st.Intents) > len(st.Applied) {
+			return corrupt("%s: intent for round %d while round %d is still open",
+				path, rec.Intent.Round, st.Intents[len(st.Intents)-1].Round)
+		}
+		if want := st.Rounds() + 1; rec.Intent.Round != want {
+			return corrupt("%s: intent round %d, want %d", path, rec.Intent.Round, want)
+		}
+		st.Intents = append(st.Intents, *rec.Intent)
+		return nil
+	default:
+		if len(st.Intents) == len(st.Applied) {
+			return corrupt("%s: applied round %d without an open intent", path, rec.Applied.Round)
+		}
+		if open := st.Intents[len(st.Intents)-1].Round; rec.Applied.Round != open {
+			return corrupt("%s: applied round %d closes intent round %d", path, rec.Applied.Round, open)
+		}
+		st.Applied = append(st.Applied, *rec.Applied)
+		return nil
+	}
+}

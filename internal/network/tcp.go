@@ -38,7 +38,20 @@ type TCPConfig struct {
 	// so a rejoined deployment's protocol meters stay bit-identical to
 	// a never-crashed one.
 	ReplayLog bool
+	// ReplayLimit caps the per-site replay log (entries retained since
+	// the last acknowledged mark); 0 means DefaultReplayLimit. Growth
+	// past the cap drops the log and latches an overflow flag: a daemon
+	// that later recovers behind the dropped range fails its reconnect
+	// with an error wrapping both xerr.ErrReplayOverflow and
+	// xerr.ErrSiteDown, instead of being silently rejoined with a
+	// truncated call tail. The next acknowledged mark clears the flag.
+	ReplayLimit int
 }
+
+// DefaultReplayLimit is the per-site replay-log cap applied when
+// TCPConfig.ReplayLimit is zero: generous enough for any protocol
+// round between marks, small enough to bound driver memory.
+const DefaultReplayLimit = 1024
 
 // TCPTransport connects a driver to N sited processes, one framed TCP
 // connection per site. Unlike the loopback and RPC transports, the site
@@ -89,11 +102,16 @@ type siteConn struct {
 	// Replay log (cfg.ReplayLog): the successful calls since the last
 	// acknowledged "chk.mark", covering seqs (replayBase, seq]. behind /
 	// behindFrom are set by ensureConn's handshake when the daemon's
-	// status shows it recovered to an earlier seq.
+	// status shows it recovered to an earlier seq. overflowed latches
+	// when the log outgrew cfg.ReplayLimit and had to be dropped; it
+	// clears at the next acknowledged mark. lastAck is the daemon's
+	// hello-ack watermark from the most recent handshake.
 	replay     []replayEntry
 	replayBase uint64
 	behind     bool
 	behindFrom uint64
+	overflowed bool
+	lastAck    uint64
 }
 
 // NewTCPTransport builds a transport for the given site addresses.
@@ -108,6 +126,9 @@ func NewTCPTransport(addrs []string, cfg TCPConfig) (*TCPTransport, error) {
 	}
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 30 * time.Second
+	}
+	if cfg.ReplayLimit <= 0 {
+		cfg.ReplayLimit = DefaultReplayLimit
 	}
 	cfg.Dial.TLS = cfg.TLS
 	t := &TCPTransport{cfg: cfg, closed: make(chan struct{})}
@@ -194,10 +215,17 @@ func (t *TCPTransport) ensureConn(site SiteID, sc *siteConn) error {
 			}
 			last = st.LastSeq
 		}
+		sc.lastAck = last
 		// sc.seq is the in-flight call; the daemon should have served
 		// everything before it. A daemon behind the replay log's floor
 		// recovered past what we can resend — that site is lost.
 		if last+1 < sc.seq {
+			if sc.overflowed {
+				conn.Close()
+				return fmt.Errorf(
+					"network: site %d (%s): %w: daemon recovered to seq %d but the driver's %w (cap %d) dropped the unacked tail",
+					site, sc.addr, xerr.ErrSiteDown, last, xerr.ErrReplayOverflow, t.cfg.ReplayLimit)
+			}
 			if last < sc.replayBase {
 				conn.Close()
 				return siteDown(site, sc.addr, fmt.Errorf(
@@ -274,8 +302,19 @@ func (t *TCPTransport) Invoke(to SiteID, method string, data []byte) ([]byte, er
 					// everything at or before it can never need replay.
 					sc.replay = sc.replay[:0]
 					sc.replayBase = msg.Seq
+					sc.overflowed = false
 				} else {
 					sc.replay = append(sc.replay, replayEntry{seq: msg.Seq, method: method, data: data})
+					if len(sc.replay) > t.cfg.ReplayLimit {
+						// The log outgrew its bound without a mark pruning
+						// it. Drop it and latch the overflow: memory stays
+						// bounded, and a daemon that later recovers behind
+						// this point fails loudly (ensureConn) instead of
+						// rejoining with a silently truncated call tail.
+						sc.replay = sc.replay[:0]
+						sc.replayBase = msg.Seq
+						sc.overflowed = true
+					}
 				}
 			}
 			return reply.Data, nil
@@ -318,6 +357,73 @@ func (t *TCPTransport) exchange(conn *netwire.Conn, msg *netwire.Msg) (*netwire.
 		return nil, fmt.Errorf("netwire: out-of-order reply (kind %d, seq %d, want %d)", reply.Kind, reply.Seq, msg.Seq)
 	}
 	return reply, nil
+}
+
+// Resume primes a freshly built transport with the per-site sequence
+// watermarks a restarted driver recovered from its journal. Each site's
+// next call continues the original numbering, and the first handshake
+// goes out as a Reconnect hello — the daemons recognize the session and
+// keep their state instead of treating the driver as a new deployment.
+// Must be called before the first Invoke.
+func (t *TCPTransport) Resume(seqs []uint64) error {
+	if len(seqs) != len(t.sites) {
+		return fmt.Errorf("network: resume: %d watermarks for %d sites", len(seqs), len(t.sites))
+	}
+	for i, sc := range t.sites {
+		sc.mu.Lock()
+		if sc.conn.Load() != nil || sc.seq != 0 {
+			sc.mu.Unlock()
+			return fmt.Errorf("network: resume: site %d already in use", i)
+		}
+		sc.seq = seqs[i]
+		sc.replayBase = seqs[i]
+		sc.greeted = true
+		sc.mu.Unlock()
+	}
+	return nil
+}
+
+// Rewind rolls the per-site sequence counters back to the given
+// watermarks so an interrupted round can be re-driven under its
+// original numbers: daemons that already served a call answer from
+// their dedupe windows, daemons that never saw it execute it once.
+// Replay-log entries past each watermark are dropped (the re-driven
+// calls re-log themselves).
+func (t *TCPTransport) Rewind(seqs []uint64) error {
+	if len(seqs) != len(t.sites) {
+		return fmt.Errorf("network: rewind: %d watermarks for %d sites", len(seqs), len(t.sites))
+	}
+	for i, sc := range t.sites {
+		sc.mu.Lock()
+		if seqs[i] > sc.seq {
+			sc.mu.Unlock()
+			return fmt.Errorf("network: rewind: site %d watermark %d ahead of seq %d", i, seqs[i], sc.seq)
+		}
+		sc.seq = seqs[i]
+		for len(sc.replay) > 0 && sc.replay[len(sc.replay)-1].seq > seqs[i] {
+			sc.replay = sc.replay[:len(sc.replay)-1]
+		}
+		sc.mu.Unlock()
+	}
+	return nil
+}
+
+// Probe performs (at most) a handshake with one site and returns the
+// daemon's hello-ack watermark — the highest call sequence it has
+// served. A resumed driver probes every site before accepting writes:
+// a watermark behind the journal's means lost site state, surfaced now
+// rather than as divergence later. Requires ReplayLog (the status ack).
+func (t *TCPTransport) Probe(site SiteID) (uint64, error) {
+	if int(site) < 0 || int(site) >= len(t.sites) {
+		return 0, fmt.Errorf("network: tcp transport has no site %d", site)
+	}
+	sc := t.sites[site]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := t.ensureConn(site, sc); err != nil {
+		return 0, err
+	}
+	return sc.lastAck, nil
 }
 
 // Close tears every connection down and aborts in-flight dial retries.

@@ -12,12 +12,14 @@
 package queryhttp
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/relation"
 	"repro/internal/session"
@@ -32,6 +34,16 @@ type Options struct {
 	// that falls further behind sees dropped > 0 gap markers. Default
 	// 256.
 	StreamBuffer int
+	// RetryAfter is the back-off hint every 503 carries as a
+	// Retry-After header (seconds, rounded up to at least 1): watch
+	// admission past MaxStreams, a draining server, and point reads
+	// that hit ReadTimeout. Default 1s.
+	RetryAfter time.Duration
+	// ReadTimeout bounds each point read (/v1/query, /v1/count,
+	// /v1/measures): a request that has not produced its response in
+	// time gets an immediate JSON 503 and the straggling handler's
+	// output is discarded. Default 2s.
+	ReadTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -40,6 +52,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StreamBuffer <= 0 {
 		o.StreamBuffer = 256
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 2 * time.Second
 	}
 	return o
 }
@@ -51,6 +69,12 @@ type Server struct {
 	sess *session.Session
 	opts Options
 	mux  *http.ServeMux
+
+	// readHook, when non-nil, runs at the start of every point read
+	// before the handler touches the snapshot — the seam the timeout
+	// tests use to simulate a stalled read. Set before serving; never
+	// mutated after.
+	readHook func()
 
 	mu       sync.Mutex
 	draining bool
@@ -68,9 +92,9 @@ func New(sess *session.Session, opts Options) *Server {
 		mux:     http.NewServeMux(),
 		streams: make(map[int]func()),
 	}
-	srv.mux.HandleFunc("/v1/query", srv.handleQuery)
-	srv.mux.HandleFunc("/v1/count", srv.handleCount)
-	srv.mux.HandleFunc("/v1/measures", srv.handleMeasures)
+	srv.mux.HandleFunc("/v1/query", srv.timed(srv.handleQuery))
+	srv.mux.HandleFunc("/v1/count", srv.timed(srv.handleCount))
+	srv.mux.HandleFunc("/v1/measures", srv.timed(srv.handleMeasures))
 	srv.mux.HandleFunc("/v1/watch", srv.handleWatch)
 	return srv
 }
@@ -122,6 +146,62 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// setRetryAfter stamps the configured back-off hint on a 503, rounded
+// up to whole seconds so a sub-second hint never degenerates to "0".
+func (srv *Server) setRetryAfter(w http.ResponseWriter) {
+	secs := int((srv.opts.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// bufferedResponse captures a point-read handler's output privately so
+// a timed-out handler never races the real ResponseWriter: the straggler
+// keeps writing into its own buffer, which is simply dropped.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header       { return b.header }
+func (b *bufferedResponse) WriteHeader(code int)      { b.status = code }
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+// timed bounds a point read by ReadTimeout: the handler runs against a
+// private buffer whose contents are forwarded only if they land in
+// time; otherwise the client gets an immediate JSON 503 with a
+// Retry-After hint and the handler's context is cancelled.
+func (srv *Server) timed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), srv.opts.ReadTimeout)
+		defer cancel()
+		buf := &bufferedResponse{header: make(http.Header), status: http.StatusOK}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if srv.readHook != nil {
+				srv.readHook()
+			}
+			h(buf, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			hdr := w.Header()
+			for k, vs := range buf.header {
+				hdr[k] = vs
+			}
+			w.WriteHeader(buf.status)
+			w.Write(buf.body.Bytes())
+		case <-ctx.Done():
+			srv.setRetryAfter(w)
+			writeError(w, http.StatusServiceUnavailable,
+				"read timed out after %v", srv.opts.ReadTimeout)
+		}
+	}
 }
 
 func onlyGet(w http.ResponseWriter, r *http.Request) bool {
@@ -275,7 +355,7 @@ func kindString(k session.EventKind) string {
 // handleWatch streams GET /v1/watch as NDJSON: one session event per
 // line, flushed as it lands. Admission is bounded by MaxStreams; a
 // draining server refuses new streams and terminates active ones with a
-// {"closed":true} line.
+// {"closed":true} line. Both 503 refusals carry a Retry-After hint.
 func (srv *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if !onlyGet(w, r) {
 		return
@@ -283,11 +363,13 @@ func (srv *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	srv.mu.Lock()
 	if srv.draining {
 		srv.mu.Unlock()
+		srv.setRetryAfter(w)
 		writeError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	if len(srv.streams) >= srv.opts.MaxStreams {
 		srv.mu.Unlock()
+		srv.setRetryAfter(w)
 		writeError(w, http.StatusServiceUnavailable, "watch stream limit (%d) reached", srv.opts.MaxStreams)
 		return
 	}

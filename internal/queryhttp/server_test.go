@@ -275,6 +275,95 @@ func TestWatchAdmissionAndDrain(t *testing.T) {
 	}
 }
 
+// TestWatchRetryAfter pins the Retry-After hint on both 503 admission
+// paths: past MaxStreams and while draining.
+func TestWatchRetryAfter(t *testing.T) {
+	s, _, _ := fixture(t)
+	srv := New(s, Options{MaxStreams: 1, RetryAfter: 2500 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	first, err := ts.Client().Get(ts.URL + "/v1/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Body.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first watch status %d", first.StatusCode)
+	}
+	refused := func(when string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/v1/watch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s: watch status %d, want 503", when, resp.StatusCode)
+		}
+		// 2.5s rounds up to whole seconds: the header must say 3.
+		if got := resp.Header.Get("Retry-After"); got != "3" {
+			t.Fatalf("%s: Retry-After %q, want \"3\"", when, got)
+		}
+	}
+	refused("over limit")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	refused("draining")
+}
+
+// TestPointReadTimeout stalls the point-read path past ReadTimeout and
+// checks every point endpoint answers an immediate JSON 503 with a
+// Retry-After hint — then, unstalled, answers 200 again on the same
+// server.
+func TestPointReadTimeout(t *testing.T) {
+	s, _, _ := fixture(t)
+	srv := New(s, Options{ReadTimeout: 50 * time.Millisecond})
+	release := make(chan struct{})
+	srv.readHook = func() { <-release }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	endpoints := []string{"/v1/query?limit=1", "/v1/count", "/v1/measures"}
+	for _, path := range endpoints {
+		start := time.Now()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s while stalled = %d, want 503", path, resp.StatusCode)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("GET %s: 503 took %v — timeout did not fire", path, elapsed)
+		}
+		if got := resp.Header.Get("Retry-After"); got != "1" {
+			t.Fatalf("GET %s: Retry-After %q, want \"1\"", path, got)
+		}
+		var body errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("GET %s: decode 503 body: %v", path, err)
+		}
+		resp.Body.Close()
+		if body.Error == "" {
+			t.Fatalf("GET %s: 503 with empty error", path)
+		}
+	}
+
+	// Unstall: the stragglers drain harmlessly into their private
+	// buffers and fresh requests answer 200.
+	close(release)
+	for _, path := range endpoints {
+		var body map[string]any
+		if code := getJSON(t, ts, path, &body); code != http.StatusOK {
+			t.Fatalf("GET %s after release = %d, want 200", path, code)
+		}
+	}
+}
+
 // TestWatchBackpressureGap stalls a subscriber below the session's
 // event rate and checks the gap marker crosses the HTTP boundary.
 func TestWatchBackpressureGap(t *testing.T) {

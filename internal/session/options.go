@@ -61,6 +61,11 @@ type config struct {
 
 	ckptDir   string
 	ckptEvery int
+
+	journalDir    string
+	journalEvery  int
+	inDoubtBudget time.Duration
+	inDoubtSet    bool
 }
 
 // Option configures Open.
@@ -69,6 +74,25 @@ type Option func(*config) error
 // checkpointing folds the checkpoint knobs into the hello payload form.
 func (c *config) checkpointing() sitehost.Checkpointing {
 	return sitehost.Checkpointing{Dir: c.ckptDir, Every: c.ckptEvery}
+}
+
+// journalCompactEvery resolves the journal compaction interval.
+func (c *config) journalCompactEvery() int {
+	if c.journalEvery > 0 {
+		return c.journalEvery
+	}
+	return 16
+}
+
+// inDoubtRetryBudget resolves the in-process re-drive budget.
+func (c *config) inDoubtRetryBudget() time.Duration {
+	if c.inDoubtSet {
+		return c.inDoubtBudget
+	}
+	if c.journalDir != "" {
+		return 10 * time.Second
+	}
+	return 0
 }
 
 func (c *config) setKind(k Kind) error {
@@ -117,6 +141,20 @@ func (c *config) validate() error {
 	}
 	if c.ckptEvery > 0 && c.ckptDir == "" {
 		return fmt.Errorf("session: WithCheckpointEvery requires WithCheckpointDir")
+	}
+	if c.journalDir != "" {
+		if len(c.tcpAddrs) == 0 {
+			return fmt.Errorf("session: WithJournalDir requires WithTCPSites (the journal re-drives wire rounds)")
+		}
+		if c.ckptDir == "" {
+			return fmt.Errorf("session: WithJournalDir requires WithCheckpointDir (resume leans on the daemons' durable marks)")
+		}
+	}
+	if c.journalEvery > 0 && c.journalDir == "" {
+		return fmt.Errorf("session: WithJournalEvery requires WithJournalDir")
+	}
+	if c.inDoubtSet && c.journalDir == "" {
+		return fmt.Errorf("session: WithInDoubtRetryBudget requires WithJournalDir (in-doubt rounds re-drive from the journal mirror)")
 	}
 	if c.useOptimizer && c.kind != Vertical {
 		return fmt.Errorf("session: WithOptimizer requires a vertical session")
@@ -337,6 +375,58 @@ func WithCheckpointEvery(n int) Option {
 			return fmt.Errorf("session: WithCheckpointEvery: non-positive interval %d", n)
 		}
 		c.ckptEvery = n
+		return nil
+	}
+}
+
+// WithJournalDir makes the *driver* crash-safe, completing the crash
+// story WithCheckpointDir starts for the sites: the session keeps a
+// write-ahead journal under dir, logging every write round's intent
+// durably before its first wire call and closing it (with the ∆V
+// fingerprint) once the round's checkpoint marks are acknowledged. A
+// session reopened over the same directory resumes instead of
+// reseeding: driver state is folded back from the journal, the daemons
+// are reclaimed by reconnect handshakes (zero re-metered wire calls on
+// a clean-boundary crash), and a round the old driver died inside is
+// re-driven under its original sequence numbers — the daemons' dedupe
+// windows make the resume exactly-once. A corrupt journal is reset and
+// the session starts fresh (see Journal().StartedCorrupt). Requires
+// WithTCPSites and WithCheckpointDir.
+func WithJournalDir(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return fmt.Errorf("session: WithJournalDir: empty dir")
+		}
+		c.journalDir = dir
+		return nil
+	}
+}
+
+// WithJournalEvery sets how many applied rounds the journal accumulates
+// before compacting into a fresh base epoch (default 16). Requires
+// WithJournalDir.
+func WithJournalEvery(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("session: WithJournalEvery: non-positive interval %d", n)
+		}
+		c.journalEvery = n
+		return nil
+	}
+}
+
+// WithInDoubtRetryBudget bounds how long a journaled session keeps
+// re-driving an in-doubt round in process (capped exponential backoff
+// between attempts) before surfacing ErrBatchInDoubt. Zero disables
+// in-process re-drives entirely — an in-doubt round then settles only
+// on the next Open. Default 10s. Requires WithJournalDir.
+func WithInDoubtRetryBudget(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("session: WithInDoubtRetryBudget: negative budget %v", d)
+		}
+		c.inDoubtBudget = d
+		c.inDoubtSet = true
 		return nil
 	}
 }

@@ -23,12 +23,14 @@ package session
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/cfd"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/netwire"
 	"repro/internal/network"
 	"repro/internal/optimizer"
@@ -75,6 +77,22 @@ type Session struct {
 	tcp  *network.TCPTransport // nil without WithTCPSites
 	rows int
 	seq  int
+
+	// Crash safety (WithJournalDir; see recover.go). mirror tracks the
+	// maintained relation driver-side, the compaction base and the V
+	// re-derivation source for re-drives. pending is the quarantined
+	// in-doubt round, nil in steady state. closing lets the in-doubt
+	// backoff loop notice Close without Close having to take wmu first.
+	sid          [8]byte
+	jnl          *journal.Store
+	mirror       *relation.Relation
+	jround       uint64
+	sinceCompact int
+	pending      *pendingOp
+	redriven     int
+	jResumed     bool
+	jCorrupt     bool
+	closing      atomic.Bool
 
 	// read is the lock-free read surface: an immutable cut of the
 	// violation set plus the rule set in force, swapped atomically after
@@ -132,6 +150,50 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 	}
 
 	s := &Session{cfg: cfg, rows: rel.Len(), watchers: make(map[int]*Subscription)}
+
+	// Journal recovery, ahead of engine construction: a valid journal
+	// turns this Open into a resume (folded driver state, SkipSeed
+	// engines, reconnect handshakes); a corrupt one is reset and the
+	// session starts fresh under a new identity.
+	var res *resumeState
+	if cfg.journalDir != "" {
+		jnl, err := journal.Open(cfg.journalDir)
+		if err != nil {
+			return nil, err
+		}
+		st, err := jnl.Recover()
+		switch {
+		case err != nil && errors.Is(err, xerr.ErrJournalCorrupt):
+			if rerr := jnl.Reset(); rerr != nil {
+				jnl.Close()
+				return nil, rerr
+			}
+			s.jCorrupt = true
+		case err != nil:
+			jnl.Close()
+			return nil, err
+		case st != nil:
+			if res, err = foldJournal(st, rel, cfg); err != nil {
+				jnl.Close()
+				return nil, err
+			}
+		}
+		s.jnl = jnl
+	}
+	// On resume the rel/rules arguments only pin the schema: the folded
+	// journal state is the truth about data and rules in force.
+	buildRel, buildRules := rel, rules
+	if res != nil {
+		buildRel, buildRules = res.mirror, res.rules
+		s.sid = res.sid
+	} else if len(cfg.tcpAddrs) > 0 {
+		var err error
+		if s.sid, err = newSessionID(); err != nil {
+			s.closeOnOpenErr()
+			return nil, err
+		}
+	}
+
 	switch cfg.kind {
 	case Centralized:
 		eng, err := stream.NewCentralized(rel, rules)
@@ -143,30 +205,34 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 		hOpts := core.HorizontalOptions{
 			DisableMD5: cfg.disableMD5,
 			NoIndexes:  cfg.noIndexes,
+			SkipSeed:   res != nil,
 		}
 		if len(cfg.tcpAddrs) > 0 {
 			n := cfg.hScheme.NumSites()
 			if len(cfg.tcpAddrs) != n {
+				s.closeOnOpenErr()
 				return nil, fmt.Errorf("session: WithTCPSites: %d addresses for %d sites", len(cfg.tcpAddrs), n)
 			}
-			sid, err := newSessionID()
+			hellos, err := sitehost.HorizontalHellos(s.sid, buildRel.Schema, buildRules, n, cfg.checkpointing())
 			if err != nil {
-				return nil, err
-			}
-			hellos, err := sitehost.HorizontalHellos(sid, rel.Schema, rules, n, cfg.checkpointing())
-			if err != nil {
+				s.closeOnOpenErr()
 				return nil, err
 			}
 			if s.tcp, err = newTCPTransport(cfg, hellos); err != nil {
+				s.closeOnOpenErr()
 				return nil, err
+			}
+			if res != nil {
+				if err := s.tcp.Resume(res.seqs); err != nil {
+					s.closeOnOpenErr()
+					return nil, err
+				}
 			}
 			hOpts.Transport = s.tcp
 		}
-		sys, err := core.NewHorizontal(rel, cfg.hScheme, rules, hOpts)
+		sys, err := core.NewHorizontal(buildRel, cfg.hScheme, buildRules, hOpts)
 		if err != nil {
-			if s.tcp != nil {
-				s.tcp.Close()
-			}
+			s.closeOnOpenErr()
 			return nil, err
 		}
 		s.det, s.eng = sys, sys
@@ -175,37 +241,46 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 			UseOptimizer: cfg.useOptimizer,
 			BeamWidth:    cfg.beamWidth,
 			NoIndexes:    cfg.noIndexes,
+			SkipSeed:     res != nil,
 		}
 		if len(cfg.tcpAddrs) > 0 {
 			n := cfg.vScheme.NumSites
 			if len(cfg.tcpAddrs) != n {
+				s.closeOnOpenErr()
 				return nil, fmt.Errorf("session: WithTCPSites: %d addresses for %d sites", len(cfg.tcpAddrs), n)
 			}
 			// The daemons must run the exact plan the driver runs, so
-			// plan here and pin it on both sides.
-			plan, err := vertical.PlanFor(rules, cfg.vScheme, vOpts)
-			if err != nil {
-				return nil, err
+			// plan here (or take the journal's folded plan) and pin it
+			// on both sides.
+			plan := res.planOrNil()
+			if plan == nil {
+				var err error
+				if plan, err = vertical.PlanFor(buildRules, cfg.vScheme, vOpts); err != nil {
+					s.closeOnOpenErr()
+					return nil, err
+				}
 			}
 			vOpts.Plan = plan
-			sid, err := newSessionID()
+			hellos, err := sitehost.VerticalHellos(s.sid, buildRel.Schema, cfg.vScheme, plan, buildRules, cfg.checkpointing())
 			if err != nil {
-				return nil, err
-			}
-			hellos, err := sitehost.VerticalHellos(sid, rel.Schema, cfg.vScheme, plan, rules, cfg.checkpointing())
-			if err != nil {
+				s.closeOnOpenErr()
 				return nil, err
 			}
 			if s.tcp, err = newTCPTransport(cfg, hellos); err != nil {
+				s.closeOnOpenErr()
 				return nil, err
+			}
+			if res != nil {
+				if err := s.tcp.Resume(res.seqs); err != nil {
+					s.closeOnOpenErr()
+					return nil, err
+				}
 			}
 			vOpts.Transport = s.tcp
 		}
-		sys, err := core.NewVertical(rel, cfg.vScheme, rules, vOpts)
+		sys, err := core.NewVertical(buildRel, cfg.vScheme, buildRules, vOpts)
 		if err != nil {
-			if s.tcp != nil {
-				s.tcp.Close()
-			}
+			s.closeOnOpenErr()
 			return nil, err
 		}
 		s.det, s.eng = sys, sys
@@ -229,15 +304,56 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 			s.rpc = t
 		}
 	}
-	// Seeding succeeded: make it the daemons' first durable point, so a
-	// crash during steady state never has to redo the bootstrap rounds.
-	if err := s.markSites(); err != nil {
-		s.Close()
-		return nil, err
+	if res != nil {
+		// Resume: re-derive V, restore the protocol cursor, and verify
+		// every daemon's durable watermark by handshake — no marks, no
+		// re-metered calls.
+		if err := s.finishResume(res); err != nil {
+			s.Close()
+			return nil, err
+		}
+	} else {
+		// Seeding succeeded: make it the daemons' first durable point,
+		// so a crash during steady state never redoes the bootstrap.
+		if err := s.markSites(); err != nil {
+			s.Close()
+			return nil, err
+		}
+		if s.jnl != nil {
+			// Genesis journal epoch: the seeded, marked state is round 0.
+			s.mirror = rel.Clone()
+			base, err := s.journalBase()
+			if err == nil {
+				err = s.jnl.Begin(base)
+			}
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
 	}
-	// Publish the seeded state as the first read epoch.
+	// Publish the seeded (or resumed) state as the first read epoch.
 	s.publishRead(true)
+	if res != nil && res.pending != nil {
+		// The previous driver died inside this round: re-drive it now.
+		// Failure keeps it quarantined without failing Open — reads
+		// serve the pre-round epoch and Journal().InDoubt reports it.
+		s.redriveOnOpen(res.pending)
+	}
 	return s, nil
+}
+
+// closeOnOpenErr tears down the partially built session on an Open
+// error path (journal handle, transport if already dialed).
+func (s *Session) closeOnOpenErr() {
+	if s.tcp != nil {
+		s.tcp.Close()
+		s.tcp = nil
+	}
+	if s.jnl != nil {
+		s.jnl.Close()
+		s.jnl = nil
+	}
 }
 
 // newSessionID draws the random identity a TCP-sites session presents
@@ -392,8 +508,15 @@ func (s *Session) ApplyBatch(ctx context.Context, updates relation.UpdateList) (
 
 // applyLocked is the shared batch path of ApplyBatch and Run's stream
 // applier: normalize, apply, account rows, publish. Callers hold s.mu.
+// Journaled sessions route through the intent/applied machinery in
+// recover.go instead (which ends in the same accounting and publish).
 func (s *Session) applyLocked(updates relation.UpdateList) (*cfd.Delta, error) {
 	norm := updates.Normalize()
+	if s.jnl != nil {
+		return s.journaledRound(
+			&pendingOp{op: journal.OpBatch, updates: norm},
+			func() (*cfd.Delta, error) { return s.eng.ApplyBatch(norm) })
+	}
 	delta, err := s.eng.ApplyBatch(norm)
 	if err != nil {
 		return nil, err
@@ -426,6 +549,11 @@ func (s *Session) AddRules(rules ...cfd.CFD) (*cfd.Delta, error) {
 	if s.closed {
 		return nil, fmt.Errorf("session: AddRules: %w", xerr.ErrClosed)
 	}
+	if s.jnl != nil {
+		return s.journaledRound(
+			&pendingOp{op: journal.OpAddRules, rules: append([]cfd.CFD(nil), rules...)},
+			func() (*cfd.Delta, error) { return s.eng.AddRules(rules) })
+	}
 	delta, err := s.eng.AddRules(rules)
 	if err != nil {
 		return nil, err
@@ -446,6 +574,11 @@ func (s *Session) RemoveRules(ids ...string) (*cfd.Delta, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, fmt.Errorf("session: RemoveRules: %w", xerr.ErrClosed)
+	}
+	if s.jnl != nil {
+		return s.journaledRound(
+			&pendingOp{op: journal.OpRemoveRules, ruleIDs: append([]string(nil), ids...)},
+			func() (*cfd.Delta, error) { return s.eng.RemoveRules(ids) })
 	}
 	delta, err := s.eng.RemoveRules(ids)
 	if err != nil {
@@ -528,6 +661,9 @@ func (p *publishingApplier) Stats() network.Stats {
 // ErrClosed; read accessors (Violations, Query, Count, Measures, Stats,
 // Snapshot) keep serving the final state. Close is idempotent.
 func (s *Session) Close() error {
+	// Flag first, outside the locks: an in-doubt backoff loop holding
+	// wmu checks this between attempts and yields promptly.
+	s.closing.Store(true)
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	s.mu.Lock()
@@ -550,6 +686,12 @@ func (s *Session) Close() error {
 			err = terr
 		}
 		s.tcp = nil
+	}
+	if s.jnl != nil {
+		if jerr := s.jnl.Close(); err == nil {
+			err = jerr
+		}
+		s.jnl = nil
 	}
 	return err
 }

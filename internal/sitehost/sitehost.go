@@ -499,6 +499,13 @@ func (h *Host) Dispatch(seq uint64, method string, data []byte) ([]byte, string)
 		if r, ok := h.window[seq]; ok {
 			return r.data, r.err
 		}
+		if seq <= h.lastSeq {
+			// Below the dedupe window's floor: the call was served, but
+			// its cached reply has been evicted. Re-executing it would
+			// silently corrupt site state, so refuse loudly — a driver
+			// this far behind must not be rejoined.
+			return nil, fmt.Sprintf("sitehost: seq %d below the dedupe window (served through %d)", seq, h.lastSeq)
+		}
 	}
 	if strings.HasPrefix(method, "chk.") {
 		return h.handleChk(seq, method)

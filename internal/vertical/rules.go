@@ -11,6 +11,7 @@ import (
 	"repro/internal/eqclass"
 	"repro/internal/network"
 	"repro/internal/optimizer"
+	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/xerr"
 )
@@ -167,6 +168,32 @@ func (s *site) listIDs(listIDsReq) (listIDsResp, error) {
 		out[i] = int64(id)
 	}
 	return listIDsResp{IDs: out}, nil
+}
+
+// GraftRules extends plan in place for newly added rules, exactly as
+// AddRules does on a live system: the variable rules are planned as
+// self-contained §4 naive chains and grafted onto plan. Constant rules
+// need no plan state and are skipped. The session's journal fold uses
+// this to replay AddRules intents onto the checkpointed plan when
+// rebuilding a crashed driver — grafting is deterministic, so the
+// folded plan is node-for-node identical to the one the live driver
+// (and every site daemon) holds.
+func GraftRules(plan *optimizer.Plan, scheme *partition.VerticalScheme, rules []cfd.CFD) error {
+	subIn := optimizer.Input{NumSites: scheme.NumSites, AttrSites: scheme.AttrSites}
+	for i := range rules {
+		if !rules[i].IsConstant() {
+			subIn.Rules = append(subIn.Rules, optimizer.RuleSpec{ID: rules[i].ID, LHS: rules[i].LHS, RHS: rules[i].RHS})
+		}
+	}
+	if len(subIn.Rules) == 0 {
+		return nil
+	}
+	sub, err := optimizer.NaiveChainPlan(subIn)
+	if err != nil {
+		return err
+	}
+	plan.Graft(sub)
+	return nil
 }
 
 // AddRules brings new rules into force on the running system without

@@ -35,6 +35,12 @@ type Options struct {
 	// replicas stay empty. Callers must also set Plan (the same plan the
 	// daemons were bootstrapped with; see PlanFor).
 	Transport network.Transport
+	// SkipSeed builds the system without the seeding pass: no fragment
+	// loads, no initial V. A resumed driver uses it when the sites
+	// already hold their checkpointed state and V is re-derived locally
+	// — see AdoptViolations. Callers must set Plan (the plan the sites
+	// were bootstrapped with).
+	SkipSeed bool
 }
 
 // runSchedule is the precomputed shipment plan for one alive rule set:
@@ -198,27 +204,38 @@ func NewSystem(rel *relation.Relation, scheme *partition.VerticalScheme, rules [
 	// in direct (unmetered) mode; V(Σ, D) accumulates on the way. With
 	// NoIndexes only the fragments are loaded.
 	sys.noIndexes = opts.NoIndexes
-	sys.direct = true
-	var seedErr error
-	rel.Each(func(t relation.Tuple) bool {
-		if sys.noIndexes {
-			seedErr = sys.applyFragments(t, OpInsert)
-			return seedErr == nil
+	if !opts.SkipSeed {
+		sys.direct = true
+		var seedErr error
+		rel.Each(func(t relation.Tuple) bool {
+			if sys.noIndexes {
+				seedErr = sys.applyFragments(t, OpInsert)
+				return seedErr == nil
+			}
+			delta, err := sys.applyUnit(relation.Update{Kind: relation.Insert, Tuple: t})
+			if err != nil {
+				seedErr = err
+				return false
+			}
+			delta.Apply(sys.v)
+			return true
+		})
+		sys.direct = false
+		if seedErr != nil {
+			return nil, seedErr
 		}
-		delta, err := sys.applyUnit(relation.Update{Kind: relation.Insert, Tuple: t})
-		if err != nil {
-			seedErr = err
-			return false
-		}
-		delta.Apply(sys.v)
-		return true
-	})
-	sys.direct = false
-	if seedErr != nil {
-		return nil, seedErr
 	}
 	sys.cluster.ResetStats()
 	return sys, nil
+}
+
+// AdoptViolations replaces the maintained violation set — the resume
+// path's seam. A restarted driver rebuilds the system with SkipSeed
+// (sites already hold their checkpointed state) and installs the V it
+// re-derived from its journaled mirror.
+func (sys *System) AdoptViolations(v *cfd.Violations) {
+	v.InternRules(sys.rules)
+	sys.v = v
 }
 
 func buildPlan(varRules []*cfd.CFD, scheme *partition.VerticalScheme, opts Options) (*optimizer.Plan, error) {

@@ -38,13 +38,31 @@ var (
 	// mixed-version files. Recovery never loads partial state: a corrupt
 	// checkpoint degrades to an empty daemon and a full reseed.
 	ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
+	// ErrBatchInDoubt marks a distributed round interrupted after
+	// dispatch began (a site or the driver failed mid-round): the
+	// cluster may hold a partial application. The session quarantines
+	// the round and re-drives it under its original sequence numbers —
+	// in memory within the in-doubt retry budget, or from the journal
+	// on driver restart — before accepting new writes.
+	ErrBatchInDoubt = errors.New("batch in doubt")
+	// ErrReplayOverflow marks a driver replay log that outgrew its
+	// bound before a checkpoint mark pruned it: a daemon recovering
+	// behind that log can no longer be caught up, so the condition is
+	// surfaced loudly instead of silently truncating the unacked tail.
+	ErrReplayOverflow = errors.New("replay log overflow")
+	// ErrJournalCorrupt marks a driver journal that failed validation —
+	// truncated base, mid-file CRC damage, version or interleave
+	// violations. Resume never folds partial intent history: a corrupt
+	// journal is reset and the driver starts a fresh session.
+	ErrJournalCorrupt = errors.New("journal corrupt")
 )
 
 // sentinels lists every sentinel for cross-process reconstruction.
 var sentinels = []error{
 	ErrArityMismatch, ErrUnknownAttribute, ErrNoIndexes,
 	ErrDuplicateRule, ErrUnknownRule, ErrClosed, ErrSiteDown,
-	ErrCheckpointCorrupt,
+	ErrCheckpointCorrupt, ErrBatchInDoubt, ErrReplayOverflow,
+	ErrJournalCorrupt,
 }
 
 // Rewrap re-attaches sentinel identity to an error message that crossed

@@ -91,6 +91,11 @@ type (
 	// one publish epoch (the structure behind ReadSnapshot and
 	// Violations.Snapshot).
 	EpochView = cfd.EpochView
+	// JournalStats is Session.Journal's report on the write-ahead
+	// journal: whether Open resumed (or reset a corrupt journal), the
+	// journaled round count, and how many rounds were re-driven or are
+	// still in doubt. Zero unless WithJournalDir is set.
+	JournalStats = session.JournalStats
 )
 
 // Session kinds.
@@ -164,6 +169,24 @@ var (
 	// between full snapshots (default 8): smaller compacts more often,
 	// larger replays a longer delta log on restart.
 	WithCheckpointEvery = session.WithCheckpointEvery
+	// WithJournalDir makes the driver itself crash-safe: every round —
+	// batch or rule change — is journaled under dir as a write-ahead
+	// intent before any site call and marked applied after it commits,
+	// so a new Open over the same dir resumes the cluster exactly-once.
+	// A clean-boundary crash resumes with zero replayed wire calls; a
+	// mid-round crash re-drives the journaled intent under its original
+	// sequence numbers, deduped by the sites' reply windows. Requires
+	// WithTCPSites and WithCheckpointDir; Session.Journal() reports the
+	// resume statistics.
+	WithJournalDir = session.WithJournalDir
+	// WithJournalEvery sets how many applied rounds the journal keeps
+	// before compacting into a fresh epoch file (default 16).
+	WithJournalEvery = session.WithJournalEvery
+	// WithInDoubtRetryBudget bounds the in-process capped-backoff loop
+	// that settles a quarantined in-doubt round (see ErrBatchInDoubt).
+	// Zero disables in-process settling — the round settles on the next
+	// Open over the journal. Default 10s when journaling.
+	WithInDoubtRetryBudget = session.WithInDoubtRetryBudget
 )
 
 // Query filters for Session.Query.
@@ -200,6 +223,24 @@ var (
 	// starts empty and is reseeded in full — partial state is never
 	// silently loaded.
 	ErrCheckpointCorrupt = xerr.ErrCheckpointCorrupt
+	// ErrBatchInDoubt marks a distributed round interrupted after
+	// dispatch began: the cluster may hold a partial application. The
+	// session quarantines the round and re-drives it under its original
+	// sequence numbers — in process within WithInDoubtRetryBudget, or
+	// from the journal on the next Open — before accepting new writes;
+	// reads keep serving the last published epoch throughout.
+	ErrBatchInDoubt = xerr.ErrBatchInDoubt
+	// ErrReplayOverflow marks a driver replay log that outgrew its
+	// bound before a checkpoint mark pruned it: the daemon behind that
+	// log can no longer be caught up, so the condition is surfaced
+	// loudly (errors.Is also matches ErrSiteDown) instead of silently
+	// truncating the unacknowledged tail.
+	ErrReplayOverflow = xerr.ErrReplayOverflow
+	// ErrJournalCorrupt marks a driver journal that failed validation
+	// beyond a torn tail. Resume never folds partial intent history:
+	// Open resets the journal and starts fresh, reporting it via
+	// Session.Journal().StartedCorrupt.
+	ErrJournalCorrupt = xerr.ErrJournalCorrupt
 )
 
 // Data model.
