@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench stream coalesce net recovery query chaos driver-chaos bench-verify profile fuzz api apicheck verify clean
+.PHONY: test race bench stream storage storage-bench coalesce net recovery query chaos driver-chaos bench-verify profile fuzz api apicheck verify clean
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -23,6 +23,25 @@ bench:
 # stream regenerates the streaming-pipeline baseline (BENCH_stream.json).
 stream:
 	$(GO) run ./cmd/expbench -stream
+
+# storage runs the out-of-core suite under the race detector: the
+# storage-package disk/memory differential, the stored relation,
+# postings and engine oracles, and the session-level eviction-churn
+# oracle (tiny page-cache budgets; every round faults and evicts).
+# -short caps the seed count; drop it locally for all 20 seeds.
+storage:
+	$(GO) test -race -short ./internal/storage/
+	$(GO) test -race -short -run 'TestStored|TestIDsCache|TestStorageOption' \
+		./internal/relation/ ./internal/cfd/ ./internal/centralized/ ./internal/session/
+	$(GO) test -race -run 'TestRunStorageQuick' ./internal/harness/
+
+# storage-bench regenerates the out-of-core baseline
+# (BENCH_storage.json: disk-backed vs in-memory engine over the same
+# updates, V asserted bit-identical at every measured row). Scale up
+# with `go run ./cmd/expbench -storage -storage.rows 10000000` for the
+# paper-scale ingest.
+storage-bench:
+	$(GO) run ./cmd/expbench -storage
 
 # coalesce regenerates the batch-grouped protocol baseline
 # (BENCH_coalesce.json: per-update vs coalesced wire meters).
@@ -74,11 +93,13 @@ driver-chaos:
 # bench-verify remeasures every deterministic column of the committed
 # baselines (BENCH_hotpath.json wire meters, BENCH_stream.json rows,
 # BENCH_coalesce.json rows, BENCH_net.json rows, BENCH_recovery.json
-# rows, BENCH_query.json state rows — whose sweep also re-asserts the
-# lock-free read-latency bound) and fails on drift. CI runs it, so
-# wire-meter and read-path regressions are caught at PR time;
-# intentional protocol changes regenerate with
-# `make bench stream coalesce net recovery query` and commit the diff.
+# rows, BENCH_storage.json state rows — whose sweep also re-asserts
+# disk/memory V bit-identity at every row — and BENCH_query.json state
+# rows, whose sweep re-asserts the lock-free read-latency bound) and
+# fails on drift. CI runs it, so wire-meter and read-path regressions
+# are caught at PR time; intentional protocol changes regenerate with
+# `make bench stream coalesce net recovery query storage-bench` and
+# commit the diff.
 bench-verify:
 	$(GO) run ./cmd/expbench -verify
 
@@ -96,6 +117,7 @@ profile:
 fuzz:
 	$(GO) test -fuzz=FuzzAppendKey -fuzztime=10s -run '^$$' ./internal/relation
 	$(GO) test -fuzz=FuzzFrame -fuzztime=10s -run '^$$' ./internal/netwire
+	$(GO) test -fuzz=FuzzStorePage -fuzztime=10s -run '^$$' ./internal/storage
 
 # api regenerates the committed API-surface lockfile; apicheck fails when
 # the public repro surface (go doc -all) drifts from it, so façade changes

@@ -23,6 +23,10 @@ import (
 //     and warm-restart call/record counts — the sweep asserts warm
 //     strictly cheaper than cold and the recovered V correct before a
 //     row is emitted);
+//   - BENCH_storage.json: the state rows (|D|, ∆V, |V|, marks per ingest
+//     chunk and sweep batch) of the out-of-core sweep — the sweep asserts
+//     disk/memory V bit-identity at every row before emitting; cache
+//     counters and timings are informational and skipped;
 //   - BENCH_query.json: the state rows (|D|, |V|, marks, epoch per
 //     phase) of the read-contention sweep — the sweep asserts the
 //     lock-free read-latency bound before emitting; its latency
@@ -135,6 +139,22 @@ func verifyBaselines(sc harness.Scale) error {
 		return err
 	}
 	if err := compareRows("BENCH_recovery.json (driver_rows)", recBase.DriverRows, driverRecoveryRows(freshDriver), report); err != nil {
+		return err
+	}
+
+	// BENCH_storage.json: the state rows are deterministic; the sweep
+	// itself asserts disk/memory V bit-identity at every row before
+	// emitting it (cache counters and timings are informational and not
+	// compared — eviction order is not reproducible).
+	var stoBase storageBaseline
+	if err := readJSON("BENCH_storage.json", &stoBase); err != nil {
+		return err
+	}
+	freshSto, err := harness.RunStorage(sc, harness.StorageKnobs{})
+	if err != nil {
+		return err
+	}
+	if err := compareRows("BENCH_storage.json", stoBase.Rows, storageRows(freshSto.Rows), report); err != nil {
 		return err
 	}
 

@@ -28,6 +28,10 @@ type Incremental struct {
 	// through a reused scratch buffer.
 	groups []map[string]map[string]map[relation.TupleID]struct{}
 	keyBuf []byte
+
+	// gst, when non-nil, replaces groups with the out-of-core group
+	// index (storedgroups.go); built by NewIncrementalStored.
+	gst *storedGroups
 }
 
 // NewIncremental indexes rel and computes the initial V(Σ, D). The
@@ -71,7 +75,9 @@ func (inc *Incremental) Violations() *cfd.Violations { return inc.v }
 // Relation returns the maintained relation (D ⊕ all applied batches).
 func (inc *Incremental) Relation() *relation.Relation { return inc.rel }
 
-// Apply processes a batch update and returns ∆V.
+// Apply processes a batch update and returns ∆V. A stored maintainer
+// flushes its stores after the batch: one Apply is one protocol round,
+// so write-back batching aligns with rounds.
 func (inc *Incremental) Apply(updates relation.UpdateList) (*cfd.Delta, error) {
 	delta := cfd.NewDelta()
 	for _, u := range updates.Normalize() {
@@ -81,6 +87,11 @@ func (inc *Incremental) Apply(updates relation.UpdateList) (*cfd.Delta, error) {
 		}
 		ud.Apply(inc.v)
 		delta.Merge(ud)
+	}
+	if inc.gst != nil {
+		if err := inc.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return delta, nil
 }
@@ -110,6 +121,12 @@ func (inc *Incremental) applyUnit(u relation.Update) (*cfd.Delta, error) {
 				} else {
 					delta.Remove(u.Tuple.ID, r.ID)
 				}
+			}
+			continue
+		}
+		if inc.gst != nil {
+			if err := inc.applyRuleStored(i, u, delta); err != nil {
+				return nil, err
 			}
 			continue
 		}

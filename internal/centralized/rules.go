@@ -25,6 +25,41 @@ func (inc *Incremental) AddRules(rules []cfd.CFD) (*cfd.Delta, error) {
 	comp := cfd.CompileAll(inc.rel.Schema, all)
 	delta := cfd.NewDelta()
 
+	if inc.gst != nil {
+		// Stored mode: seed each new rule's group index by streaming
+		// the maintained relation through the same incremental insert
+		// analysis — inserting every tuple into an initially empty
+		// group index marks exactly the members of multi-class groups.
+		first := len(inc.rules)
+		inc.rules, inc.comp = all, comp
+		var err error
+		for i := first; i < len(all); i++ {
+			r := &inc.comp[i]
+			inc.gst.addRule(r.ConstRHS)
+			inc.rel.Each(func(t relation.Tuple) bool {
+				if r.ConstRHS {
+					if r.SingleViolation(t) {
+						delta.Add(t.ID, r.ID)
+					}
+					return true
+				}
+				if !r.MatchesLHS(t) {
+					return true
+				}
+				err = inc.applyRuleStored(i, relation.Update{Kind: relation.Insert, Tuple: t}, delta)
+				return err == nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		delta.Apply(inc.v)
+		if err := inc.Flush(); err != nil {
+			return nil, err
+		}
+		return delta, nil
+	}
+
 	for i := len(inc.rules); i < len(all); i++ {
 		r := &comp[i]
 		if r.ConstRHS {
@@ -101,6 +136,31 @@ func (inc *Incremental) RemoveRules(ids []string) (*cfd.Delta, error) {
 			delta.Remove(t, id)
 			return true
 		})
+	}
+
+	if inc.gst != nil {
+		var rules []cfd.CFD
+		var tags []uint32
+		for i := range inc.rules {
+			if drop[inc.rules[i].ID] {
+				if inc.gst.tags[i] != 0 {
+					if err := inc.gst.purgeRule(inc.gst.tags[i]); err != nil {
+						return nil, err
+					}
+				}
+				continue
+			}
+			rules = append(rules, inc.rules[i])
+			tags = append(tags, inc.gst.tags[i])
+		}
+		inc.rules = rules
+		inc.comp = cfd.CompileAll(inc.rel.Schema, rules)
+		inc.gst.tags = tags
+		delta.Apply(inc.v)
+		if err := inc.Flush(); err != nil {
+			return nil, err
+		}
+		return delta, nil
 	}
 
 	var rules []cfd.CFD

@@ -1,0 +1,339 @@
+package centralized
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Stored grouping indexes: the out-of-core backend for the per-rule
+// equivalence groups the Fig. 4 case analysis reads and writes. One
+// store record per (rule, X-key) holds the whole group — B-value
+// classes and their member sets — so a unit update touches exactly the
+// records of the rules its tuple matches: load, run the same case
+// analysis as the in-memory path, store back. The page cache turns a
+// round's locality into one fault per warm page; Flush at round
+// boundaries writes the dirty pages back.
+//
+// Keys are a stable big-endian uint32 rule tag followed by the raw
+// length-prefixed X-key. Tags are assigned once when a rule enters
+// force and never reused, so RemoveRules-style renumbering of the
+// compiled-rule slice never invalidates stored keys; a retired rule's
+// records are purged by tag prefix.
+
+// Storage bundles the three stores of an out-of-core engine.
+type Storage struct {
+	Tuples   storage.Store
+	Groups   storage.Store
+	Postings storage.Store
+}
+
+// Close closes every open store, returning the first error. Safe on a
+// partially populated Storage (nil stores are skipped).
+func (s Storage) Close() error {
+	var err error
+	for _, st := range []storage.Store{s.Tuples, s.Groups, s.Postings} {
+		if st == nil {
+			continue
+		}
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// GroupPagerBits sizes group stores at 2^14 hash pages.
+const GroupPagerBits = 14
+
+// GroupKey appends the store key of (rule tag, X-key) to dst.
+func GroupKey(dst []byte, tag uint32, xkey []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, tag)
+	return append(dst, xkey...)
+}
+
+type storedGroups struct {
+	st      storage.Store
+	tags    []uint32 // per compiled rule; 0 for ConstRHS rules (no groups)
+	nextTag uint32
+	keyBuf  []byte
+	encBuf  []byte
+}
+
+// addRule assigns the next stable tag (variable rules) or 0 (ConstRHS).
+func (g *storedGroups) addRule(constRHS bool) {
+	if constRHS {
+		g.tags = append(g.tags, 0)
+		return
+	}
+	g.nextTag++
+	g.tags = append(g.tags, g.nextTag)
+}
+
+// group record codec: uvarint #classes; per class (sorted by B-value):
+// uvarint len(b), b, uvarint #members, members as ascending uvarint ids.
+
+func encodeGroup(dst []byte, group map[string]map[relation.TupleID]struct{}) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(group)))
+	bs := make([]string, 0, len(group))
+	for b := range group {
+		bs = append(bs, b)
+	}
+	sort.Strings(bs)
+	var ids []relation.TupleID
+	for _, b := range bs {
+		dst = binary.AppendUvarint(dst, uint64(len(b)))
+		dst = append(dst, b...)
+		cls := group[b]
+		dst = binary.AppendUvarint(dst, uint64(len(cls)))
+		ids = ids[:0]
+		for id := range cls {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			dst = binary.AppendUvarint(dst, uint64(id))
+		}
+	}
+	return dst
+}
+
+func decodeGroup(raw []byte) (map[string]map[relation.TupleID]struct{}, error) {
+	nClasses, w := binary.Uvarint(raw)
+	if w <= 0 {
+		return nil, fmt.Errorf("centralized: bad group class count")
+	}
+	raw = raw[w:]
+	group := make(map[string]map[relation.TupleID]struct{}, nClasses)
+	for c := uint64(0); c < nClasses; c++ {
+		blen, w := binary.Uvarint(raw)
+		if w <= 0 || blen > uint64(len(raw)-w) {
+			return nil, fmt.Errorf("centralized: bad group B-value frame")
+		}
+		b := string(raw[w : w+int(blen)])
+		raw = raw[w+int(blen):]
+		n, w := binary.Uvarint(raw)
+		if w <= 0 {
+			return nil, fmt.Errorf("centralized: bad group member count")
+		}
+		raw = raw[w:]
+		cls := make(map[relation.TupleID]struct{}, n)
+		for i := uint64(0); i < n; i++ {
+			id, w := binary.Uvarint(raw)
+			if w <= 0 {
+				return nil, fmt.Errorf("centralized: bad group member id")
+			}
+			raw = raw[w:]
+			cls[relation.TupleID(id)] = struct{}{}
+		}
+		group[b] = cls
+	}
+	if len(raw) != 0 {
+		return nil, fmt.Errorf("centralized: %d trailing bytes in group record", len(raw))
+	}
+	return group, nil
+}
+
+// load fetches and decodes the group of (rule i, xkey); nil when the
+// group does not exist. The key stays in g.keyBuf for the store-back.
+func (g *storedGroups) load(i int, xkey []byte) (map[string]map[relation.TupleID]struct{}, error) {
+	g.keyBuf = GroupKey(g.keyBuf[:0], g.tags[i], xkey)
+	raw, ok, err := g.st.Get(g.keyBuf)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return decodeGroup(raw)
+}
+
+// store writes back the group last loaded (g.keyBuf), deleting the
+// record when the group emptied.
+func (g *storedGroups) store(group map[string]map[relation.TupleID]struct{}) error {
+	if len(group) == 0 {
+		return g.st.Delete(g.keyBuf)
+	}
+	g.encBuf = encodeGroup(g.encBuf[:0], group)
+	return g.st.Put(g.keyBuf, g.encBuf)
+}
+
+// purgeRule deletes every record of the given tag (a retired rule).
+// Group stores use a hash pager, so this is a filtered full scan — fine
+// for the rare rule-retirement path.
+func (g *storedGroups) purgeRule(tag uint32) error {
+	var keys [][]byte
+	err := g.st.Each(func(k, _ []byte) bool {
+		if len(k) >= 4 && binary.BigEndian.Uint32(k[:4]) == tag {
+			keys = append(keys, append([]byte(nil), k...))
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := g.st.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewIncrementalStored is NewIncremental with all three state planes —
+// the maintained relation's tuples, the grouping indexes, and the
+// violation postings — behind stores, so resident memory is bounded by
+// the stores' page-cache budgets (plus the always-resident mark bitsets
+// and tuple-id index) instead of |D|. The source rel is streamed in
+// tuple by tuple; the stores must be empty.
+func NewIncrementalStored(rel *relation.Relation, rules []cfd.CFD, st Storage) (*Incremental, error) {
+	if err := cfd.ValidateAll(rel.Schema, rules); err != nil {
+		return nil, err
+	}
+	mrel, err := relation.NewStored(rel.Schema, st.Tuples)
+	if err != nil {
+		return nil, err
+	}
+	if mrel.Len() != 0 {
+		return nil, fmt.Errorf("centralized: stored engine requires an empty tuple store (%d tuples)", mrel.Len())
+	}
+	inc := &Incremental{
+		rel:   mrel,
+		rules: append([]cfd.CFD(nil), rules...),
+		v:     cfd.NewViolations(),
+		gst:   &storedGroups{st: st.Groups},
+	}
+	if err := inc.v.UseStoredPostings(st.Postings); err != nil {
+		return nil, err
+	}
+	inc.v.InternRules(inc.rules)
+	inc.comp = cfd.CompileAll(rel.Schema, inc.rules)
+	for i := range inc.comp {
+		inc.gst.addRule(inc.comp[i].ConstRHS)
+	}
+	rel.Each(func(t relation.Tuple) bool {
+		var delta *cfd.Delta
+		delta, err = inc.applyUnit(relation.Update{Kind: relation.Insert, Tuple: t})
+		if err != nil {
+			return false
+		}
+		delta.Apply(inc.v)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := inc.Flush(); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// Stored reports whether the maintainer keeps its state behind stores.
+func (inc *Incremental) Stored() bool { return inc.gst != nil }
+
+// Flush writes back all dirty state to the stores — tuples, groups and
+// postings — and is a no-op for the in-memory maintainer. Callers align
+// it with protocol-round boundaries.
+func (inc *Incremental) Flush() error {
+	if inc.gst == nil {
+		return nil
+	}
+	if err := inc.rel.Flush(); err != nil {
+		return err
+	}
+	if err := inc.gst.st.Flush(); err != nil {
+		return err
+	}
+	return inc.v.FlushPostings()
+}
+
+// StorageStats reports the per-store cache counters of a stored
+// maintainer (zero Stats in memory mode).
+func (inc *Incremental) StorageStats() map[string]storage.Stats {
+	if inc.gst == nil {
+		return nil
+	}
+	return map[string]storage.Stats{
+		"tuples":   inc.rel.StoreStats(),
+		"groups":   inc.gst.st.Stats(),
+		"postings": inc.v.PostingStats(),
+	}
+}
+
+// applyRuleStored is the stored-groups mirror of applyUnit's per-rule
+// body: the identical Fig. 4 case analysis, with the group record
+// loaded from and stored back to the group store.
+func (inc *Incremental) applyRuleStored(i int, u relation.Update, delta *cfd.Delta) error {
+	r := &inc.comp[i]
+	inc.keyBuf = u.Tuple.AppendKey(inc.keyBuf[:0], r.LHSCols)
+	bVal := u.Tuple.Values[r.RHSCol]
+	group, err := inc.gst.load(i, inc.keyBuf)
+	if err != nil {
+		return err
+	}
+
+	switch u.Kind {
+	case relation.Insert:
+		classSize := len(group[bVal])
+		distinct := len(group)
+		// Fig. 4 incVIns case analysis.
+		switch {
+		case classSize > 0:
+			if distinct >= 2 {
+				delta.Add(u.Tuple.ID, r.ID)
+			}
+		case distinct >= 2:
+			delta.Add(u.Tuple.ID, r.ID)
+		case distinct == 1:
+			delta.Add(u.Tuple.ID, r.ID)
+			for b := range group {
+				for id := range group[b] {
+					delta.Add(id, r.ID)
+				}
+			}
+		}
+		if group == nil {
+			group = make(map[string]map[relation.TupleID]struct{})
+		}
+		if group[bVal] == nil {
+			group[bVal] = make(map[relation.TupleID]struct{})
+		}
+		group[bVal][u.Tuple.ID] = struct{}{}
+
+	case relation.Delete:
+		if group == nil || group[bVal] == nil {
+			return fmt.Errorf("centralized: tuple %d not indexed for rule %s", u.Tuple.ID, r.ID)
+		}
+		classSize := len(group[bVal])
+		distinct := len(group)
+		// Fig. 4 incVDel case analysis.
+		switch {
+		case classSize > 1:
+			if distinct >= 2 {
+				delta.Remove(u.Tuple.ID, r.ID)
+			}
+		case distinct-1 >= 2:
+			delta.Remove(u.Tuple.ID, r.ID)
+		case distinct-1 == 1:
+			delta.Remove(u.Tuple.ID, r.ID)
+			for b, cls := range group {
+				if b == bVal {
+					continue
+				}
+				for id := range cls {
+					delta.Remove(id, r.ID)
+				}
+			}
+		}
+		delete(group[bVal], u.Tuple.ID)
+		if len(group[bVal]) == 0 {
+			delete(group, bVal)
+		}
+	}
+	return inc.gst.store(group)
+}

@@ -567,8 +567,8 @@ func (v *Violations) buildEpoch(epoch uint64) *EpochView {
 		names:      v.rs.names,
 		byName:     cloneByName(v.rs.byName),
 		nameSorted: v.rs.sortedIdx(),
-		post:       make([]*amtNode, len(v.post)),
-		counts:     make([]int, len(v.post)),
+		post:       make([]*amtNode, v.postLen()),
+		counts:     make([]int, v.postLen()),
 	}
 	v.ms.each(func(id relation.TupleID, idx RuleIdx) {
 		var newKey bool
@@ -579,8 +579,8 @@ func (v *Violations) buildEpoch(epoch uint64) *EpochView {
 		ev.post[idx], _, _ = amtSet(ev.post[idx], id, 0, 0)
 		ev.markN++
 	})
-	for i, p := range v.post {
-		ev.counts[i] = len(p)
+	for i, n := 0, v.postLen(); i < n; i++ {
+		ev.counts[i] = v.postCount(i)
 	}
 	return ev
 }

@@ -40,10 +40,10 @@ func (v *Violations) CountIdx(idx RuleIdx) int {
 	if v.view != nil {
 		return v.view.CountIdx(idx)
 	}
-	if int(idx) < 0 || int(idx) >= len(v.post) {
+	if int(idx) < 0 || int(idx) >= v.postLen() {
 		return 0
 	}
-	return len(v.post[idx])
+	return v.postCount(int(idx))
 }
 
 // CountRule returns the number of tuples violating rule, in O(1); zero
@@ -67,7 +67,13 @@ func (v *Violations) EachTupleOfRuleIdx(idx RuleIdx, f func(relation.TupleID) bo
 		v.view.EachTupleOfRuleIdx(idx, f)
 		return
 	}
-	if int(idx) < 0 || int(idx) >= len(v.post) {
+	if int(idx) < 0 || int(idx) >= v.postLen() {
+		return
+	}
+	if v.sp != nil {
+		if err := v.sp.each(idx, f); err != nil {
+			panic(err) // disk corruption mid-read; no way to continue
+		}
 		return
 	}
 	for id := range v.post[idx] {
@@ -99,10 +105,11 @@ func (v *Violations) TuplesOfRule(rule string) []relation.TupleID {
 	if !ok {
 		return nil
 	}
-	out := make([]relation.TupleID, 0, len(v.post[idx]))
-	for id := range v.post[idx] {
+	out := make([]relation.TupleID, 0, v.postCount(int(idx)))
+	v.EachTupleOfRuleIdx(idx, func(id relation.TupleID) bool {
 		out = append(out, id)
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -123,7 +130,7 @@ func (v *Violations) Histogram() []RuleCount {
 	idxs := v.rs.sortedIdx()
 	out := make([]RuleCount, len(idxs))
 	for i, idx := range idxs {
-		out[i] = RuleCount{Rule: v.rs.names[idx], Count: len(v.post[idx])}
+		out[i] = RuleCount{Rule: v.rs.names[idx], Count: v.postCount(int(idx))}
 	}
 	return out
 }
@@ -155,9 +162,10 @@ func (v *Violations) Measure() Measures {
 	if m.ViolatingTuples > 0 {
 		m.Drastic = 1
 	}
-	for _, p := range v.post {
-		m.Marks += len(p)
-		if len(p) > 0 {
+	for i, n := 0, v.postLen(); i < n; i++ {
+		c := v.postCount(i)
+		m.Marks += c
+		if c > 0 {
 			m.RulesViolated++
 		}
 	}

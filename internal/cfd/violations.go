@@ -321,6 +321,12 @@ type Violations struct {
 	// warm mark churn stays allocation-free.
 	post []map[relation.TupleID]struct{}
 
+	// sp, when non-nil, replaces post with the out-of-core posting
+	// index (storedpost.go): flips buffer in a per-rule overlay with
+	// exact resident counts and page to disk at FlushPostings. The
+	// marks themselves (ms) always stay memory-resident.
+	sp *storedPost
+
 	// tuplesCache holds Tuples()' sorted output; nil when stale.
 	tuplesCache []relation.TupleID
 	// frozen marks a Snapshot view: mutators panic.
@@ -352,10 +358,14 @@ func (v *Violations) Intern(rule string) RuleIdx {
 		v.ms.spill()
 	}
 	if fresh {
-		// Pre-size the posting map (one bucket) so the first marks of
-		// the rule — and churn on a previously emptied posting — never
-		// allocate on the mark path.
-		v.post = append(v.post, make(map[relation.TupleID]struct{}, 8))
+		if v.sp != nil {
+			v.sp.internSlot()
+		} else {
+			// Pre-size the posting map (one bucket) so the first marks
+			// of the rule — and churn on a previously emptied posting —
+			// never allocate on the mark path.
+			v.post = append(v.post, make(map[relation.TupleID]struct{}, 8))
+		}
 		if v.track != nil {
 			v.track.rulesDirty = true
 		}
@@ -383,7 +393,11 @@ func (v *Violations) AddIdx(id relation.TupleID, idx RuleIdx) {
 		v.tuplesCache = nil
 	}
 	if changed {
-		v.post[idx][id] = struct{}{}
+		if v.sp != nil {
+			v.sp.add(id, idx)
+		} else {
+			v.post[idx][id] = struct{}{}
+		}
 		if v.track != nil {
 			v.noteMark(id, idx, true)
 		}
@@ -408,7 +422,11 @@ func (v *Violations) RemoveIdx(id relation.TupleID, idx RuleIdx) {
 		v.tuplesCache = nil
 	}
 	if changed {
-		delete(v.post[idx], id)
+		if v.sp != nil {
+			v.sp.remove(id, idx)
+		} else {
+			delete(v.post[idx], id)
+		}
 		if v.track != nil {
 			v.noteMark(id, idx, false)
 		}
@@ -494,6 +512,8 @@ func (v *Violations) Marks() int {
 }
 
 // Clone returns a deep, mutable copy (also of an epoch-backed snapshot).
+// Cloning a stored-postings set materializes an in-memory one: clones
+// exist to be mutated independently, not to share a disk file.
 func (v *Violations) Clone() *Violations {
 	if v.view != nil {
 		c := NewViolations()
@@ -504,6 +524,14 @@ func (v *Violations) Clone() *Violations {
 			l.eachIdx(func(idx RuleIdx) { c.AddIdx(l.key, idx) })
 			return true
 		})
+		return c
+	}
+	if v.sp != nil {
+		c := NewViolations()
+		for _, name := range v.rs.names {
+			c.Intern(name)
+		}
+		v.ms.each(func(id relation.TupleID, idx RuleIdx) { c.AddIdx(id, idx) })
 		return c
 	}
 	c := &Violations{rs: v.rs.clone(), ms: v.ms.clone()}

@@ -45,11 +45,9 @@ package checkpoint
 import (
 	"bufio"
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -398,13 +396,7 @@ func readHeader(r io.Reader, path string, wantKind byte) (byte, error) {
 }
 
 func writeFramed(w io.Writer, payload []byte) error {
-	var frame [8]byte
-	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(frame[:]); err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
+	if err := WriteFramed(w, payload); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil
@@ -412,29 +404,17 @@ func writeFramed(w io.Writer, payload []byte) error {
 
 // errTorn marks an incomplete trailing record: the crash-mid-append
 // shape, recoverable by truncating to the preceding record.
-var errTorn = errors.New("torn trailing record")
+var errTorn = ErrTornRecord
 
 // readFramed reads one record, verifying its CRC. io.EOF means a clean
 // end; errTorn means the file ends inside a record; a CRC mismatch is
 // corruption.
 func readFramed(r io.Reader, path string) ([]byte, error) {
-	var frame [8]byte
-	if _, err := io.ReadFull(r, frame[:]); err != nil {
-		if err == io.EOF {
-			return nil, io.EOF
-		}
-		return nil, errTorn
-	}
-	n := binary.BigEndian.Uint32(frame[0:4])
-	want := binary.BigEndian.Uint32(frame[4:8])
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, errTorn
-	}
-	if crc32.ChecksumIEEE(payload) != want {
+	payload, err := ReadFramed(r)
+	if errors.Is(err, ErrBadCRC) {
 		return nil, corrupt("%s: CRC mismatch", path)
 	}
-	return payload, nil
+	return payload, err
 }
 
 // readSnapshotFile loads and validates one snapshot file: header, one

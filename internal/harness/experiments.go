@@ -289,7 +289,7 @@ func Exp6(sc Scale) (*Result, error) {
 	r := &Result{
 		Name: "Exp-6", Figure: "Fig 9(f)", Title: "TPCH horizontal: time vs |D|",
 		XLabel:  fmt.Sprintf("|D| (×%d tuples)", sc.Unit),
-		Columns: []string{"incHor(s)", "batHor(s)", "incKB", "batKB"},
+		Columns: []string{"incHor(s)", "batHor(s)", "incSim(s)", "batSim(s)", "incKB", "batKB"},
 	}
 	for _, d := range []int{2, 4, 6, 8, 10} {
 		o, err := run(spec{
@@ -305,6 +305,7 @@ func Exp6(sc Scale) (*Result, error) {
 		r.Points = append(r.Points, Point{X: float64(d), Values: map[string]float64{
 			"incHor(s)": o.incSeconds, "batHor(s)": o.batSeconds,
 			"incKB": kb(o.incStats.Bytes), "batKB": kb(o.batStats.Bytes),
+			"incSim(s)": o.incSim, "batSim(s)": o.batSim,
 		}})
 	}
 	return r, nil
@@ -343,7 +344,7 @@ func Exp8(sc Scale) (*Result, error) {
 	r := &Result{
 		Name: "Exp-8", Figure: "Fig 9(i)", Title: "TPCH horizontal: time vs |Σ|",
 		XLabel:  "#CFDs",
-		Columns: []string{"incHor(s)", "batHor(s)"},
+		Columns: []string{"incHor(s)", "batHor(s)", "incSim(s)", "batSim(s)"},
 	}
 	for _, n := range []int{25, 50, 75, 100, 125} {
 		o, err := run(spec{
@@ -358,6 +359,7 @@ func Exp8(sc Scale) (*Result, error) {
 		}
 		r.Points = append(r.Points, Point{X: float64(n), Values: map[string]float64{
 			"incHor(s)": o.incSeconds, "batHor(s)": o.batSeconds,
+			"incSim(s)": o.incSim, "batSim(s)": o.batSim,
 		}})
 	}
 	return r, nil

@@ -1,0 +1,28 @@
+package harness
+
+import "testing"
+
+// TestRunStorageQuick is the reduced-scale smoke of the out-of-core
+// sweep: the full ingest + batch pipeline at the quick scale, with the
+// sweep's own in-harness assertions (V bit-identity at every row, data
+// beyond budget, eviction churn) doing the verification.
+func TestRunStorageQuick(t *testing.T) {
+	run, err := RunStorage(Quick, StorageKnobs{CacheBudget: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Rows) != 10+run.Knobs.Batches {
+		t.Fatalf("expected %d rows, got %d", 10+run.Knobs.Batches, len(run.Rows))
+	}
+	last := run.Rows[len(run.Rows)-1]
+	if last.Phase != "batch" || last.Rows == 0 {
+		t.Fatalf("unexpected final row: %+v", last)
+	}
+	if run.Stats["tuples"].DiskBytes == 0 {
+		t.Fatal("tuple store never reached disk")
+	}
+	// The table must render every row.
+	if res := StorageResult(run); len(res.Points) != len(run.Rows) {
+		t.Fatalf("result dropped rows: %d != %d", len(res.Points), len(run.Rows))
+	}
+}

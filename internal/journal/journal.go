@@ -41,11 +41,9 @@ package journal
 import (
 	"bufio"
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -54,6 +52,7 @@ import (
 	"strings"
 
 	"repro/internal/cfd"
+	"repro/internal/checkpoint"
 	"repro/internal/relation"
 	"repro/internal/xerr"
 )
@@ -432,40 +431,26 @@ func writeHeader(w io.Writer) error {
 	return err
 }
 
+// The journal shares the checkpoint layer's CRC-framed record
+// convention (checkpoint.WriteFramed/ReadFramed), so all durable files
+// in the repository stay bit-compatible by construction.
+
 func writeFramed(w io.Writer, payload []byte) error {
-	var frame [8]byte
-	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(frame[:]); err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
+	if err := checkpoint.WriteFramed(w, payload); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	return nil
 }
 
 // errTorn marks an incomplete trailing record — crash mid-append.
-var errTorn = errors.New("torn trailing record")
+var errTorn = checkpoint.ErrTornRecord
 
 func readFramed(r io.Reader, path string) ([]byte, error) {
-	var frame [8]byte
-	if _, err := io.ReadFull(r, frame[:]); err != nil {
-		if err == io.EOF {
-			return nil, io.EOF
-		}
-		return nil, errTorn
-	}
-	n := binary.BigEndian.Uint32(frame[0:4])
-	want := binary.BigEndian.Uint32(frame[4:8])
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, errTorn
-	}
-	if crc32.ChecksumIEEE(payload) != want {
+	payload, err := checkpoint.ReadFramed(r)
+	if errors.Is(err, checkpoint.ErrBadCRC) {
 		return nil, corrupt("%s: CRC mismatch", path)
 	}
-	return payload, nil
+	return payload, err
 }
 
 // readEpochFile loads and validates one epoch file, returning the state

@@ -1,0 +1,159 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func testSchema() *Schema {
+	return MustSchema("emp", "id", "name", "city", "zip")
+}
+
+func randTuple(rng *rand.Rand, s *Schema, id TupleID) Tuple {
+	vals := make([]string, s.Width())
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%d", rng.Intn(50))
+	}
+	t, _ := NewTuple(s, id, vals)
+	return t
+}
+
+// TestStoredDifferential drives a stored relation and a map relation
+// through the same op sequence under a tiny page-cache budget and
+// checks Equal, Len, Get, Has, IDs and iteration agree throughout,
+// including across a store close/reopen.
+func TestStoredDifferential(t *testing.T) {
+	s := testSchema()
+	path := filepath.Join(t.TempDir(), "tuples.dat")
+	opt := storage.DiskOptions{
+		PageFor:     storage.Uint64Pager(TupleKeyShift),
+		CacheBudget: 4 << 10,
+		Monotone:    true,
+		Kind:        'T',
+	}
+	st, err := storage.OpenDisk(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := NewStored(s, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := New(s)
+	rng := rand.New(rand.NewSource(7))
+	next := TupleID(1)
+	for step := 0; step < 4000; step++ {
+		switch {
+		case rng.Intn(10) < 6 || mem.Len() == 0:
+			tu := randTuple(rng, s, next)
+			next++
+			if err := stored.Insert(tu); err != nil {
+				t.Fatal(err)
+			}
+			mem.MustInsert(tu)
+		default:
+			ids := mem.IDs()
+			id := ids[rng.Intn(len(ids))]
+			dt, err := stored.Delete(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mt, _ := mem.Delete(id)
+			if !dt.EqualValues(mt) {
+				t.Fatalf("step %d: Delete(%d) returned %v want %v", step, id, dt, mt)
+			}
+		}
+		if step%501 == 500 {
+			if !stored.Equal(mem) || !mem.Equal(stored) {
+				t.Fatalf("step %d: relations diverged", step)
+			}
+			if err := stored.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// Reopen the store and rebuild the membership index.
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if st, err = storage.OpenDisk(path, opt); err != nil {
+				t.Fatal(err)
+			}
+			if stored, err = NewStored(s, st); err != nil {
+				t.Fatal(err)
+			}
+			if !stored.Equal(mem) {
+				t.Fatalf("step %d: reopen lost state", step)
+			}
+		}
+	}
+	if stats := stored.StoreStats(); stats.Evictions == 0 {
+		t.Fatalf("tiny budget never evicted (resident %d)", stats.ResidentBytes)
+	}
+	if mem.StoreStats() != (storage.Stats{}) {
+		t.Fatal("map mode reported store stats")
+	}
+	if !stored.Stored() || mem.Stored() {
+		t.Fatal("Stored() misreports mode")
+	}
+	st.Close()
+}
+
+// TestIDsCacheSafety pins the satellite fix: IDs() must return a slice
+// the caller can mutate (workload.Generator does) without corrupting
+// the cached sorted view, and the cache must invalidate on mutation.
+func TestIDsCacheSafety(t *testing.T) {
+	s := MustSchema("r", "a")
+	r := New(s)
+	for i := 1; i <= 5; i++ {
+		r.MustInsert(Tuple{ID: TupleID(i), Values: []string{"x"}})
+	}
+	ids := r.IDs()
+	ids[0], ids[4] = ids[4], ids[0] // caller mutates its copy
+	ids = ids[:3]
+	if got := r.IDs(); len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("cached view corrupted by caller mutation: %v", got)
+	}
+	r.Delete(2)
+	if got := r.IDs(); len(got) != 4 || got[1] != 3 {
+		t.Fatalf("stale ids after delete: %v", got)
+	}
+	r.MustInsert(Tuple{ID: 99, Values: []string{"y"}})
+	if got := r.IDs(); got[len(got)-1] != 99 {
+		t.Fatalf("stale ids after ascending insert: %v", got)
+	}
+	r.MustInsert(Tuple{ID: 2, Values: []string{"z"}})
+	want := []TupleID{1, 2, 3, 4, 5, 99}
+	got := r.IDs()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stale ids after out-of-order insert: %v", got)
+		}
+	}
+}
+
+// TestDecodeKeyVals round-trips AppendKeyVals and rejects hostile input.
+func TestDecodeKeyVals(t *testing.T) {
+	vals := []string{"", "alice", "sf\x1f", "94110"}
+	enc := AppendKeyVals(nil, vals)
+	got, err := DecodeKeyVals(enc, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("field %d: %q != %q", i, got[i], vals[i])
+		}
+	}
+	if _, err := DecodeKeyVals(enc, 5); err == nil {
+		t.Fatal("width over-read not rejected")
+	}
+	if _, err := DecodeKeyVals(enc, 3); err == nil {
+		t.Fatal("trailing bytes not rejected")
+	}
+	if _, err := DecodeKeyVals([]byte{0xff, 0xff}, 1); err == nil {
+		t.Fatal("oversized length prefix not rejected")
+	}
+}

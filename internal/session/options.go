@@ -66,6 +66,10 @@ type config struct {
 	journalEvery  int
 	inDoubtBudget time.Duration
 	inDoubtSet    bool
+
+	storageDir  string
+	cacheBudget int64
+	budgetSet   bool
 }
 
 // Option configures Open.
@@ -155,6 +159,12 @@ func (c *config) validate() error {
 	}
 	if c.inDoubtSet && c.journalDir == "" {
 		return fmt.Errorf("session: WithInDoubtRetryBudget requires WithJournalDir (in-doubt rounds re-drive from the journal mirror)")
+	}
+	if c.storageDir != "" && c.kind != Centralized {
+		return fmt.Errorf("session: WithStorageDir requires a centralized session (the distributed engines keep per-site state)")
+	}
+	if c.budgetSet && c.storageDir == "" {
+		return fmt.Errorf("session: WithPageCacheBudget requires WithStorageDir")
 	}
 	if c.useOptimizer && c.kind != Vertical {
 		return fmt.Errorf("session: WithOptimizer requires a vertical session")
@@ -411,6 +421,37 @@ func WithJournalEvery(n int) Option {
 			return fmt.Errorf("session: WithJournalEvery: non-positive interval %d", n)
 		}
 		c.journalEvery = n
+		return nil
+	}
+}
+
+// WithStorageDir runs a centralized session out-of-core: the maintained
+// relation's tuples, the grouping indexes and the violation postings
+// live in page-structured store files under dir (tuples.dat, groups.dat,
+// post.dat), so resident memory is bounded by the page-cache budget —
+// see WithPageCacheBudget — instead of |D|. The violation *marks* and
+// the tuple-id index stay memory-resident (a few bytes per violating or
+// live tuple), keeping reads and ∆V computation in-memory-fast. The
+// stores must be empty: a session seeds them from rel and flushes after
+// every applied batch or rule change. Requires a centralized session.
+func WithStorageDir(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return fmt.Errorf("session: WithStorageDir: empty dir")
+		}
+		c.storageDir = dir
+		return nil
+	}
+}
+
+// WithPageCacheBudget bounds the approximate decoded bytes the storage
+// page caches keep resident, split across the three stores (half to
+// tuples, the rest between groups and postings). Zero or unset keeps
+// the default (64 MiB); negative is unlimited. Requires WithStorageDir.
+func WithPageCacheBudget(bytes int64) Option {
+	return func(c *config) error {
+		c.cacheBudget = bytes
+		c.budgetSet = true
 		return nil
 	}
 }

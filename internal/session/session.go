@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/centralized"
 	"repro/internal/cfd"
 	"repro/internal/core"
 	"repro/internal/journal"
@@ -77,6 +78,11 @@ type Session struct {
 	tcp  *network.TCPTransport // nil without WithTCPSites
 	rows int
 	seq  int
+
+	// stores, non-nil with WithStorageDir, are the out-of-core backing
+	// stores the centralized engine pages through; Close flushes and
+	// closes them.
+	stores *centralized.Storage
 
 	// Crash safety (WithJournalDir; see recover.go). mirror tracks the
 	// maintained relation driver-side, the compaction base and the V
@@ -196,6 +202,23 @@ func Open(rel *relation.Relation, rules []cfd.CFD, opts ...Option) (*Session, er
 
 	switch cfg.kind {
 	case Centralized:
+		if cfg.storageDir != "" {
+			budget := int64(defaultCacheBudget)
+			if cfg.budgetSet {
+				budget = cfg.cacheBudget
+			}
+			st, err := openStorage(cfg.storageDir, budget)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := stream.NewCentralizedStored(rel, rules, st)
+			if err != nil {
+				st.Close()
+				return nil, err
+			}
+			s.eng, s.stores = eng, &st
+			break
+		}
 		eng, err := stream.NewCentralized(rel, rules)
 		if err != nil {
 			return nil, err
@@ -692,6 +715,14 @@ func (s *Session) Close() error {
 			err = jerr
 		}
 		s.jnl = nil
+	}
+	if s.stores != nil {
+		// Close flushes each store's dirty pages; every applied round
+		// already flushed, so this is normally a cheap no-op.
+		if serr := s.stores.Close(); err == nil {
+			err = serr
+		}
+		s.stores = nil
 	}
 	return err
 }

@@ -1,0 +1,95 @@
+package session
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/centralized"
+	"repro/internal/cfd"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Out-of-core session wiring (WithStorageDir): a centralized session's
+// three state planes — tuples, grouping indexes, violation postings —
+// open as page-structured disk stores under one directory, with the
+// page-cache budget split across them. The split favors tuples (every
+// delete re-reads its tuple) over groups over postings, whose records
+// are only touched on posting-list reads and flushes.
+
+// Store file names under the storage directory.
+const (
+	tuplesFile   = "tuples.dat"
+	groupsFile   = "groups.dat"
+	postingsFile = "post.dat"
+)
+
+// defaultCacheBudget is the page-cache budget when WithStorageDir is
+// given without WithPageCacheBudget.
+const defaultCacheBudget = 64 << 20
+
+// splitBudget divides the session budget across the three stores:
+// 50% tuples, 35% groups, 15% postings. Non-positive stays non-positive
+// (unlimited) for all three.
+func splitBudget(total int64) (tuples, groups, postings int64) {
+	if total <= 0 {
+		return total, total, total
+	}
+	tuples = total / 2
+	groups = total * 35 / 100
+	postings = total - tuples - groups
+	return tuples, groups, postings
+}
+
+// openStorage opens the three stores of an out-of-core centralized
+// session under dir, creating the directory and files as needed.
+func openStorage(dir string, budget int64) (centralized.Storage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return centralized.Storage{}, fmt.Errorf("session: storage dir: %w", err)
+	}
+	tb, gb, pb := splitBudget(budget)
+	var st centralized.Storage
+	open := func(name string, opt storage.DiskOptions) (storage.Store, error) {
+		s, err := storage.OpenDisk(filepath.Join(dir, name), opt)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+	var err error
+	if st.Tuples, err = open(tuplesFile, storage.DiskOptions{
+		PageFor: storage.Uint64Pager(relation.TupleKeyShift), CacheBudget: tb, Monotone: true, Kind: 'T'}); err != nil {
+		return centralized.Storage{}, err
+	}
+	if st.Groups, err = open(groupsFile, storage.DiskOptions{
+		PageFor: storage.FNVPager(centralized.GroupPagerBits), CacheBudget: gb, Kind: 'G'}); err != nil {
+		return centralized.Storage{}, err
+	}
+	if st.Postings, err = open(postingsFile, storage.DiskOptions{
+		PageFor: cfd.PostPager, CacheBudget: pb, Monotone: true, Kind: 'P'}); err != nil {
+		return centralized.Storage{}, err
+	}
+	return st, nil
+}
+
+// StorageDir returns the out-of-core storage directory, "" for a fully
+// in-memory session.
+func (s *Session) StorageDir() string { return s.cfg.storageDir }
+
+// StorageStats reports the per-store page-cache and file counters of an
+// out-of-core session, keyed "tuples", "groups", "postings". Nil for
+// in-memory sessions. Counters are informational — never part of any
+// verified experiment baseline.
+func (s *Session) StorageStats() map[string]storage.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type storer interface {
+		Maintainer() *centralized.Incremental
+	}
+	if st, ok := s.eng.(storer); ok && st.Maintainer().Stored() {
+		return st.Maintainer().StorageStats()
+	}
+	return nil
+}

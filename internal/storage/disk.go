@@ -1,0 +1,607 @@
+package storage
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/xerr"
+)
+
+// DiskStore file layout. One append-only data file per store:
+//
+//	magic "RSTR" (4) | version (1) | kind (1)        — header, 6 bytes
+//	CRC-framed records (checkpoint.WriteFramed), each:
+//	    page number  big-endian uint32 (4)
+//	    live count   big-endian uint32 (4)
+//	    page payload (see page.go; empty when count == 0 — a tombstone)
+//
+// The newest record for a page number wins; older records and applied
+// tombstones are dead weight reclaimed by compaction (temp + fsync +
+// rename, like checkpoint snapshots). A torn trailing record is the
+// expected crash-mid-append shape and is truncated on open; any other
+// damage fails open with xerr.ErrStoreCorrupt.
+
+const (
+	diskMagic     = "RSTR"
+	diskVersion   = 1
+	diskHeaderLen = 6
+	recPrefixLen  = 8 // page number + live count
+	// pageOverhead approximates the fixed in-memory cost of one cached
+	// page beyond its records (struct, map header, list element).
+	pageOverhead = 128
+	// compactMinDead is the floor of reclaimable bytes below which
+	// compaction is never worth a file rewrite.
+	compactMinDead = 1 << 16
+)
+
+// DiskOptions configures a DiskStore.
+type DiskOptions struct {
+	// PageFor maps a key to its page number. Required. All keys of a
+	// page are stored, cached, faulted and evicted together, so a good
+	// pager clusters keys that are accessed together.
+	PageFor func(key []byte) uint32
+	// CacheBudget bounds the approximate decoded bytes of the page
+	// cache; <= 0 means unlimited. Dirty pages are pinned until Flush,
+	// so the cache can exceed the budget transiently within a round.
+	CacheBudget int64
+	// Monotone declares that PageFor is monotone in bytewise key order,
+	// letting EachRange fault only pages that can intersect the range.
+	Monotone bool
+	// Kind is the header kind byte identifying what the store holds
+	// (e.g. 'T' tuples, 'G' groups, 'P' postings). Zero means 'S'.
+	Kind byte
+}
+
+type pageLoc struct {
+	off   int64 // frame start offset in the data file
+	rec   int64 // total framed record size (frame + payload)
+	count int   // live records in the page
+}
+
+type page struct {
+	no    uint32
+	m     map[string][]byte
+	size  int64 // approximate decoded bytes (records only)
+	dirty bool
+}
+
+// DiskStore is the disk backend: a page-structured append-only file
+// with an LRU cache of decoded pages under a byte budget. Safe for
+// concurrent use.
+type DiskStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	opt  DiskOptions
+
+	index    map[uint32]pageLoc
+	fileSize int64
+	dead     int64 // bytes of superseded records and applied tombstones
+	n        int   // live records across all pages
+
+	cache    map[uint32]*list.Element // value: *page
+	lru      *list.List               // front = most recently used
+	resident int64
+	dirty    int
+
+	stats  Stats
+	encBuf []byte
+}
+
+func storeCorrupt(format string, a ...any) error {
+	return fmt.Errorf("storage: %s: %w", fmt.Sprintf(format, a...), xerr.ErrStoreCorrupt)
+}
+
+// OpenDisk opens (creating if absent) the data file at path. Reopening
+// an existing file rebuilds the page index by scanning it, truncating a
+// torn trailing record.
+func OpenDisk(path string, opt DiskOptions) (*DiskStore, error) {
+	if opt.PageFor == nil {
+		return nil, errors.New("storage: DiskOptions.PageFor is required")
+	}
+	if opt.Kind == 0 {
+		opt.Kind = 'S'
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	s := &DiskStore{
+		f:     f,
+		path:  path,
+		opt:   opt,
+		index: make(map[uint32]pageLoc),
+		cache: make(map[uint32]*list.Element),
+		lru:   list.New(),
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if fi.Size() == 0 {
+		hdr := []byte(diskMagic + string([]byte{diskVersion, opt.Kind}))
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		s.fileSize = diskHeaderLen
+		return s, nil
+	}
+	if err := s.scan(fi.Size()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan rebuilds the index from the data file, newest record per page
+// winning, and truncates a torn trailing record.
+func (s *DiskStore) scan(size int64) error {
+	if size < diskHeaderLen {
+		return storeCorrupt("%s: short header", s.path)
+	}
+	var hdr [diskHeaderLen]byte
+	if _, err := s.f.ReadAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if string(hdr[:4]) != diskMagic {
+		return storeCorrupt("%s: bad magic", s.path)
+	}
+	if hdr[4] != diskVersion {
+		return storeCorrupt("%s: format version %d (want %d)", s.path, hdr[4], diskVersion)
+	}
+	if _, err := s.f.Seek(diskHeaderLen, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	br := bufio.NewReader(s.f)
+	off := int64(diskHeaderLen)
+	for {
+		payload, err := checkpoint.ReadFramed(br)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, checkpoint.ErrTornRecord) {
+			// Crash mid-append: drop the torn tail, keep everything
+			// before it.
+			if err := s.f.Truncate(off); err != nil {
+				return fmt.Errorf("storage: %w", err)
+			}
+			size = off
+			break
+		}
+		if err != nil {
+			return storeCorrupt("%s @%d: %v", s.path, off, err)
+		}
+		if len(payload) < recPrefixLen {
+			return storeCorrupt("%s @%d: record shorter than its prefix", s.path, off)
+		}
+		no := binary.BigEndian.Uint32(payload[0:4])
+		count := int(binary.BigEndian.Uint32(payload[4:8]))
+		rec := int64(checkpoint.FrameOverhead + len(payload))
+		if old, ok := s.index[no]; ok {
+			s.dead += old.rec
+			s.n -= old.count
+		}
+		if count == 0 {
+			delete(s.index, no)
+			s.dead += rec // an applied tombstone is itself dead weight
+		} else {
+			s.index[no] = pageLoc{off: off, rec: rec, count: count}
+			s.n += count
+		}
+		off += rec
+	}
+	s.fileSize = size
+	if _, err := s.f.Seek(size, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// fault returns the decoded page, serving from the cache or reading it
+// from disk. With create=false an absent page returns (nil, nil).
+// Caller holds s.mu.
+func (s *DiskStore) fault(no uint32, create bool) (*page, error) {
+	if el, ok := s.cache[no]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.Hits++
+		return el.Value.(*page), nil
+	}
+	s.stats.Misses++
+	pg := &page{no: no, m: make(map[string][]byte)}
+	if loc, ok := s.index[no]; ok {
+		sect := io.NewSectionReader(s.f, loc.off, loc.rec)
+		payload, err := checkpoint.ReadFramed(sect)
+		if err != nil {
+			return nil, storeCorrupt("%s page %d @%d: %v", s.path, no, loc.off, err)
+		}
+		if len(payload) < recPrefixLen || binary.BigEndian.Uint32(payload[0:4]) != no {
+			return nil, storeCorrupt("%s page %d @%d: record/index mismatch", s.path, no, loc.off)
+		}
+		m, size, err := decodePage(payload[recPrefixLen:])
+		if err != nil {
+			return nil, storeCorrupt("%s page %d @%d: %v", s.path, no, loc.off, err)
+		}
+		pg.m, pg.size = m, size
+		s.stats.Faults++
+	} else if !create {
+		return nil, nil
+	}
+	s.cache[no] = s.lru.PushFront(pg)
+	s.resident += pg.size + pageOverhead
+	return pg, nil
+}
+
+// evict drops clean pages from the LRU tail until the cache fits the
+// budget. Dirty pages are pinned; Flush unpins them. Caller holds s.mu.
+func (s *DiskStore) evict() {
+	if s.opt.CacheBudget <= 0 {
+		return
+	}
+	el := s.lru.Back()
+	for el != nil && s.resident > s.opt.CacheBudget {
+		prev := el.Prev()
+		pg := el.Value.(*page)
+		if !pg.dirty {
+			s.lru.Remove(el)
+			delete(s.cache, pg.no)
+			s.resident -= pg.size + pageOverhead
+			s.stats.Evictions++
+		}
+		el = prev
+	}
+}
+
+func (s *DiskStore) Get(key []byte) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pg, err := s.fault(s.opt.PageFor(key), false)
+	if err != nil || pg == nil {
+		return nil, false, err
+	}
+	v, ok := pg.m[string(key)]
+	s.evict()
+	return v, ok, nil
+}
+
+func (s *DiskStore) Put(key, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pg, err := s.fault(s.opt.PageFor(key), true)
+	if err != nil {
+		return err
+	}
+	k := string(key)
+	if old, ok := pg.m[k]; ok {
+		pg.size += int64(len(val) - len(old))
+		s.resident += int64(len(val) - len(old))
+	} else {
+		d := int64(len(k)+len(val)) + entryOverhead
+		pg.size += d
+		s.resident += d
+		s.n++
+	}
+	pg.m[k] = append([]byte(nil), val...)
+	if !pg.dirty {
+		pg.dirty = true
+		s.dirty++
+	}
+	s.evict()
+	return nil
+}
+
+func (s *DiskStore) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pg, err := s.fault(s.opt.PageFor(key), false)
+	if err != nil || pg == nil {
+		return err
+	}
+	k := string(key)
+	if old, ok := pg.m[k]; ok {
+		delete(pg.m, k)
+		d := int64(len(k)+len(old)) + entryOverhead
+		pg.size -= d
+		s.resident -= d
+		s.n--
+		if !pg.dirty {
+			pg.dirty = true
+			s.dirty++
+		}
+	}
+	s.evict()
+	return nil
+}
+
+func (s *DiskStore) Each(fn func(key, val []byte) bool) error {
+	return s.EachRange(nil, nil, fn)
+}
+
+func (s *DiskStore) EachRange(lo, hi []byte, fn func(key, val []byte) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Candidate pages: everything indexed on disk plus cached pages
+	// that were never flushed.
+	seen := make(map[uint32]struct{}, len(s.index)+len(s.cache))
+	pages := make([]uint32, 0, len(s.index)+len(s.cache))
+	add := func(no uint32) {
+		if _, ok := seen[no]; !ok {
+			seen[no] = struct{}{}
+			pages = append(pages, no)
+		}
+	}
+	for no := range s.index {
+		add(no)
+	}
+	for no := range s.cache {
+		add(no)
+	}
+	if s.opt.Monotone {
+		// A monotone pager bounds the pages a key range can touch.
+		filtered := pages[:0]
+		var pLo, pHi uint32
+		if lo != nil {
+			pLo = s.opt.PageFor(lo)
+		}
+		if hi != nil {
+			pHi = s.opt.PageFor(hi)
+		}
+		for _, no := range pages {
+			if lo != nil && no < pLo {
+				continue
+			}
+			if hi != nil && no > pHi {
+				continue
+			}
+			filtered = append(filtered, no)
+		}
+		pages = filtered
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	keys := make([]string, 0, 64)
+	for _, no := range pages {
+		pg, err := s.fault(no, false)
+		if err != nil {
+			return err
+		}
+		if pg == nil {
+			continue
+		}
+		keys = keys[:0]
+		for k := range pg.m {
+			if lo != nil && k < string(lo) {
+				continue
+			}
+			if hi != nil && k >= string(hi) {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !fn([]byte(k), pg.m[k]) {
+				s.evict()
+				return nil
+			}
+		}
+		s.evict()
+	}
+	return nil
+}
+
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Flush appends every dirty page (tombstoning pages that became empty),
+// fsyncs the file and unpins the flushed pages, then compacts when the
+// dead-byte share warrants a rewrite. The engines call Flush at
+// protocol-round boundaries, so within a round writes batch in memory.
+func (s *DiskStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *DiskStore) flushLocked() error {
+	if s.dirty == 0 {
+		return nil
+	}
+	dirtyPages := make([]*page, 0, s.dirty)
+	for _, el := range s.cache {
+		if pg := el.Value.(*page); pg.dirty {
+			dirtyPages = append(dirtyPages, pg)
+		}
+	}
+	sort.Slice(dirtyPages, func(i, j int) bool { return dirtyPages[i].no < dirtyPages[j].no })
+	bw := bufio.NewWriter(s.f)
+	off := s.fileSize
+	for _, pg := range dirtyPages {
+		old, onDisk := s.index[pg.no]
+		if len(pg.m) == 0 && !onDisk {
+			// Never persisted and now empty: nothing to write or
+			// tombstone. Drop it from the cache entirely.
+			s.dropPage(pg)
+			continue
+		}
+		s.encBuf = s.encBuf[:0]
+		s.encBuf = binary.BigEndian.AppendUint32(s.encBuf, pg.no)
+		s.encBuf = binary.BigEndian.AppendUint32(s.encBuf, uint32(len(pg.m)))
+		s.encBuf = encodePage(s.encBuf, pg.m)
+		if err := checkpoint.WriteFramed(bw, s.encBuf); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		rec := int64(checkpoint.FrameOverhead + len(s.encBuf))
+		if onDisk {
+			s.dead += old.rec
+		}
+		if len(pg.m) == 0 {
+			delete(s.index, pg.no)
+			s.dead += rec // the tombstone itself
+		} else {
+			s.index[pg.no] = pageLoc{off: off, rec: rec, count: len(pg.m)}
+		}
+		off += rec
+		s.stats.FlushedPages++
+		s.stats.FlushedBytes += uint64(rec)
+		pg.dirty = false
+		s.dirty--
+		if len(pg.m) == 0 {
+			s.dropPage(pg)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	s.fileSize = off
+	s.evict()
+	return s.maybeCompact()
+}
+
+// dropPage removes a page from the cache without counting an eviction.
+// Caller holds s.mu; the page must be clean.
+func (s *DiskStore) dropPage(pg *page) {
+	if el, ok := s.cache[pg.no]; ok {
+		if pg.dirty {
+			pg.dirty = false
+			s.dirty--
+		}
+		s.lru.Remove(el)
+		delete(s.cache, pg.no)
+		s.resident -= pg.size + pageOverhead
+	}
+}
+
+// maybeCompact rewrites the data file when dead bytes exceed both a
+// fixed floor and the live bytes — the classic "over half the file is
+// garbage" rule. Caller holds s.mu with no dirty pages outstanding.
+func (s *DiskStore) maybeCompact() error {
+	live := s.fileSize - diskHeaderLen - s.dead
+	if s.dead < compactMinDead || s.dead <= live {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// compactLocked streams the newest record of every live page to a temp
+// file, fsyncs, and atomically renames it over the data file — the same
+// discipline as checkpoint snapshots, so a crash at any point leaves
+// either the old file or the new one, never a mix.
+func (s *DiskStore) compactLocked() error {
+	tmp := s.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+	bw := bufio.NewWriter(tf)
+	if _, err := bw.Write([]byte(diskMagic + string([]byte{diskVersion, s.opt.Kind}))); err != nil {
+		tf.Close()
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	nos := make([]uint32, 0, len(s.index))
+	for no := range s.index {
+		nos = append(nos, no)
+	}
+	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+	newIndex := make(map[uint32]pageLoc, len(nos))
+	off := int64(diskHeaderLen)
+	for _, no := range nos {
+		loc := s.index[no]
+		sect := io.NewSectionReader(s.f, loc.off, loc.rec)
+		payload, err := checkpoint.ReadFramed(sect)
+		if err != nil {
+			tf.Close()
+			return storeCorrupt("%s page %d @%d: %v", s.path, no, loc.off, err)
+		}
+		if err := checkpoint.WriteFramed(bw, payload); err != nil {
+			tf.Close()
+			return fmt.Errorf("storage: compact: %w", err)
+		}
+		newIndex[no] = pageLoc{off: off, rec: loc.rec, count: loc.count}
+		off += loc.rec
+	}
+	if err := bw.Flush(); err != nil {
+		tf.Close()
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(s.path)); err == nil {
+		d.Sync() // best-effort directory durability, like checkpoint
+		d.Close()
+	}
+	old := s.f
+	nf, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: compact reopen: %w", err)
+	}
+	if _, err := nf.Seek(off, io.SeekStart); err != nil {
+		nf.Close()
+		return fmt.Errorf("storage: compact reopen: %w", err)
+	}
+	old.Close()
+	s.f = nf
+	s.index = newIndex
+	s.fileSize = off
+	s.dead = 0
+	s.stats.Compactions++
+	return nil
+}
+
+func (s *DiskStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.ResidentPages = len(s.cache)
+	st.ResidentBytes = s.resident
+	st.DirtyPages = s.dirty
+	st.DiskBytes = s.fileSize
+	return st
+}
+
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.flushLocked()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+var (
+	_ Store = (*MemStore)(nil)
+	_ Store = (*DiskStore)(nil)
+)

@@ -1,0 +1,70 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzStorePage throws hostile bytes at the page payload codec — the
+// layer below the CRC framing, so it must stay panic- and OOM-free even
+// on CRC-valid frames whose payload was never a page — and checks that
+// whatever does decode round-trips bit-identically through encodePage.
+func FuzzStorePage(f *testing.F) {
+	// A well-formed two-record page.
+	good := encodePage(nil, map[string][]byte{"k1": {1, 2}, "k2": {3}})
+	f.Add(good)
+	f.Add([]byte{})
+	// Truncated mid-key.
+	f.Add(good[:len(good)-1])
+	// Length prefix pointing past the end.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	// Zero-length key and value (legal: one empty record).
+	f.Add([]byte{0, 0})
+	// Duplicate key (last wins; size accounting must not double-count).
+	f.Add([]byte{0, 0, 0, 0})
+	// Huge uvarint (overlong encoding territory).
+	f.Add(bytes.Repeat([]byte{0x80}, 12))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, size, err := decodePage(data)
+		if err != nil {
+			return // hostile input rejected cleanly — that's the contract
+		}
+		var want int64
+		for k, v := range m {
+			want += int64(len(k)+len(v)) + entryOverhead
+		}
+		if size != want {
+			t.Fatalf("decoded size %d, recomputed %d", size, want)
+		}
+		// Round-trip: decode(encode(decode(data))) is a fixed point.
+		enc := encodePage(nil, m)
+		m2, _, err := decodePage(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if len(m2) != len(m) {
+			t.Fatalf("round-trip lost records: %d -> %d", len(m), len(m2))
+		}
+		for k, v := range m {
+			if !bytes.Equal(m2[k], v) {
+				t.Fatalf("round-trip changed %q: %x -> %x", k, v, m2[k])
+			}
+		}
+		// Canonical encodings are themselves fixed points of encode.
+		if enc2 := encodePage(nil, m2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding unstable:\n%x\n%x", enc, enc2)
+		}
+		// Uvarint lengths must have been validated before allocation:
+		// a decoded map can never hold more bytes than the input
+		// carried.
+		var total int
+		for k, v := range m {
+			total += len(k) + len(v)
+		}
+		if total > len(data) {
+			t.Fatalf("decoded %d payload bytes from %d input bytes", total, len(data))
+		}
+		_ = binary.MaxVarintLen64
+	})
+}

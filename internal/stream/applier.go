@@ -86,6 +86,22 @@ func NewCentralized(rel *relation.Relation, rules []cfd.CFD) (*Centralized, erro
 	return &Centralized{inc: inc}, nil
 }
 
+// NewCentralizedStored is NewCentralized with the maintainer's state —
+// tuples, grouping indexes, violation postings — behind the given
+// stores (centralized.NewIncrementalStored), bounding resident memory
+// by their page-cache budgets instead of |D|.
+func NewCentralizedStored(rel *relation.Relation, rules []cfd.CFD, st centralized.Storage) (*Centralized, error) {
+	inc, err := centralized.NewIncrementalStored(rel, rules, st)
+	if err != nil {
+		return nil, err
+	}
+	return &Centralized{inc: inc}, nil
+}
+
+// Maintainer exposes the underlying incremental maintainer (for storage
+// stats and flush control of stored engines).
+func (c *Centralized) Maintainer() *centralized.Incremental { return c.inc }
+
 // ApplyBatch applies ∆D through the Fig. 4 case analysis.
 func (c *Centralized) ApplyBatch(updates relation.UpdateList) (*cfd.Delta, error) {
 	return c.inc.Apply(updates)

@@ -55,6 +55,12 @@ var (
 	// violations. Resume never folds partial intent history: a corrupt
 	// journal is reset and the driver starts a fresh session.
 	ErrJournalCorrupt = errors.New("journal corrupt")
+	// ErrStoreCorrupt marks an out-of-core data file (internal/storage
+	// page store) that failed validation — bad magic or version, a
+	// mid-file CRC failure, or a page payload that does not decode. A
+	// torn trailing record is NOT corruption (crash mid-append) and is
+	// truncated away on open.
+	ErrStoreCorrupt = errors.New("storage corrupt")
 )
 
 // sentinels lists every sentinel for cross-process reconstruction.
@@ -62,7 +68,7 @@ var sentinels = []error{
 	ErrArityMismatch, ErrUnknownAttribute, ErrNoIndexes,
 	ErrDuplicateRule, ErrUnknownRule, ErrClosed, ErrSiteDown,
 	ErrCheckpointCorrupt, ErrBatchInDoubt, ErrReplayOverflow,
-	ErrJournalCorrupt,
+	ErrJournalCorrupt, ErrStoreCorrupt,
 }
 
 // Rewrap re-attaches sentinel identity to an error message that crossed

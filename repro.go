@@ -47,6 +47,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/session"
+	"repro/internal/storage"
 	"repro/internal/stream"
 	"repro/internal/vertical"
 	"repro/internal/workload"
@@ -96,6 +97,11 @@ type (
 	// journaled round count, and how many rounds were re-driven or are
 	// still in doubt. Zero unless WithJournalDir is set.
 	JournalStats = session.JournalStats
+	// StorageStats are one store's page-cache and file counters
+	// (hits, misses, faults, evictions, flushed/resident/disk bytes) on
+	// an out-of-core session; see Session.StorageStats. Informational —
+	// never part of a verified experiment baseline.
+	StorageStats = storage.Stats
 )
 
 // Session kinds.
@@ -187,6 +193,18 @@ var (
 	// Zero disables in-process settling — the round settles on the next
 	// Open over the journal. Default 10s when journaling.
 	WithInDoubtRetryBudget = session.WithInDoubtRetryBudget
+	// WithStorageDir runs a centralized session out-of-core: tuples,
+	// grouping indexes and violation postings live in page-structured
+	// store files under dir, bounding resident memory by the page-cache
+	// budget instead of |D|. Violation marks and the tuple-id index stay
+	// memory-resident, so reads and ∆V stay in-memory-fast. The stores
+	// must be empty (the session seeds them from rel); V is bit-identical
+	// to an in-memory session throughout.
+	WithStorageDir = session.WithStorageDir
+	// WithPageCacheBudget bounds the approximate decoded bytes the
+	// storage page caches keep resident (default 64 MiB, negative =
+	// unlimited). Requires WithStorageDir.
+	WithPageCacheBudget = session.WithPageCacheBudget
 )
 
 // Query filters for Session.Query.
@@ -241,6 +259,11 @@ var (
 	// Open resets the journal and starts fresh, reporting it via
 	// Session.Journal().StartedCorrupt.
 	ErrJournalCorrupt = xerr.ErrJournalCorrupt
+	// ErrStoreCorrupt marks an out-of-core store file that failed its
+	// integrity checks beyond a torn trailing record (bad header,
+	// mid-file CRC mismatch, malformed page payload). The store refuses
+	// to open — partial state is never silently served.
+	ErrStoreCorrupt = xerr.ErrStoreCorrupt
 )
 
 // Data model.
